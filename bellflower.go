@@ -1,0 +1,279 @@
+// Package bellflower is a clustered XML schema matching library — an
+// open-source reproduction of "Using Element Clustering to Increase the
+// Efficiency of XML Schema Matching" (Smiljanić, van Keulen, Jonker;
+// ICDE 2006) and of its experimental system, Bellflower.
+//
+// Schema matching discovers semantic mappings between a small personal
+// schema and a large repository of schema trees. The search space of
+// candidate mappings grows exponentially with the personal schema size, so
+// Bellflower inserts a k-means clustering step between element matching and
+// mapping generation: the repository candidates are partitioned into
+// regions (clusters) and the Branch & Bound mapping generator runs per
+// cluster, trading a controlled loss of low-ranked mappings for a large
+// efficiency gain.
+//
+// # Quick start
+//
+//	repo := bellflower.NewRepository()
+//	tree, _ := bellflower.ParseSchema("lib(address,book(authorName,data(title),shelf))")
+//	repo.MustAdd(tree)
+//
+//	m := bellflower.NewMatcher(repo)
+//	personal, _ := bellflower.ParseSchema("book(title,author)")
+//	report, _ := m.Match(personal, bellflower.DefaultOptions())
+//	for _, mp := range report.Mappings {
+//	    fmt.Println(bellflower.FormatMapping(personal, mp))
+//	}
+//
+// Repositories can also be ingested from XSD and DTD files (ParseXSD,
+// ParseDTD) or generated synthetically at the paper's experimental scale
+// (Synthetic). Discovered mappings can rewrite personal-schema XPath
+// queries into repository queries (Matcher.RewriteQuery), completing the
+// personal-schema-querying workflow the paper's introduction motivates.
+package bellflower
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"bellflower/internal/cluster"
+	"bellflower/internal/cost"
+	"bellflower/internal/dtd"
+	"bellflower/internal/mapgen"
+	"bellflower/internal/matcher"
+	"bellflower/internal/objective"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/query"
+	"bellflower/internal/repogen"
+	"bellflower/internal/schema"
+	"bellflower/internal/xmldoc"
+	"bellflower/internal/xsd"
+)
+
+// Core data model, re-exported from the internal packages so library users
+// need only this import.
+type (
+	// Tree is a rooted labelled schema tree (personal schema or one
+	// repository schema).
+	Tree = schema.Tree
+
+	// Node is a schema element or attribute.
+	Node = schema.Node
+
+	// Repository is a forest of schema trees.
+	Repository = schema.Repository
+
+	// Mapping is a discovered schema mapping s ↦ t with its decomposed
+	// objective score.
+	Mapping = mapgen.Mapping
+
+	// PartialMapping covers only part of the personal schema (found in
+	// non-useful clusters when Options.IncludePartials is set).
+	PartialMapping = mapgen.PartialMapping
+
+	// Report is the instrumented result of a Match run: the ranked
+	// mappings plus the efficiency counters the paper's tables report.
+	Report = pipeline.Report
+
+	// Options configures a Match run; see DefaultOptions.
+	Options = pipeline.Options
+
+	// Variant selects the clustering configuration (VariantSmall /
+	// VariantMedium / VariantLarge / VariantTree).
+	Variant = pipeline.Variant
+
+	// ObjectiveParams holds α (name vs path weight) and K (path
+	// normalization) of the objective function.
+	ObjectiveParams = objective.Params
+
+	// ClusterConfig tunes the adapted k-means clusterer.
+	ClusterConfig = cluster.Config
+
+	// SyntheticConfig controls synthetic repository generation.
+	SyntheticConfig = repogen.Config
+
+	// ElementMatcher scores the similarity of two schema elements from
+	// local properties; see NameMatcher, SynonymMatcher and TypeMatcher
+	// in this package's constructors.
+	ElementMatcher = matcher.Matcher
+
+	// CostModel predicts clustered-matching cost from calibrated unit
+	// costs (the paper's future-work cost model).
+	CostModel = cost.Model
+
+	// CostProblem describes a matching problem's size parameters for the
+	// cost model.
+	CostProblem = cost.Problem
+)
+
+// Clustering variants (Sec. 5 of the paper).
+const (
+	// VariantTree is the non-clustered baseline: each repository tree is
+	// one cluster.
+	VariantTree = pipeline.VariantTree
+	// VariantSmall joins clusters whose medoids are within distance 2.
+	VariantSmall = pipeline.VariantSmall
+	// VariantMedium joins within distance 3 (the paper's default).
+	VariantMedium = pipeline.VariantMedium
+	// VariantLarge joins within distance 4.
+	VariantLarge = pipeline.VariantLarge
+)
+
+// NewRepository returns an empty schema repository.
+func NewRepository() *Repository { return schema.NewRepository() }
+
+// ParseSchema builds a tree from the compact spec syntax, e.g.
+// "book(title,author(first,last),isbn@)". A trailing '@' marks attributes
+// and ':type' declares datatypes.
+func ParseSchema(spec string) (*Tree, error) { return schema.ParseSpec(spec) }
+
+// MustParseSchema is ParseSchema but panics on error.
+func MustParseSchema(spec string) *Tree { return schema.MustParseSpec(spec) }
+
+// ParseXSD reads an XML Schema document and returns its trees, one per
+// top-level element declaration.
+func ParseXSD(r io.Reader) ([]*Tree, error) { return xsd.Parse(r) }
+
+// ParseDTD reads a DTD document and returns its trees, one per root
+// element.
+func ParseDTD(r io.Reader) ([]*Tree, error) { return dtd.Parse(r) }
+
+// InferSchema infers a schema tree from an XML instance document, merging
+// repeated sibling elements into single declarations.
+func InferSchema(r io.Reader) (*Tree, error) { return xmldoc.Infer(r) }
+
+// WriteXSD serializes schema trees as one XML Schema document — the
+// inverse of ParseXSD for the supported subset (attributes sort before
+// element children on round trip).
+func WriteXSD(w io.Writer, trees ...*Tree) error { return xsd.Write(w, trees...) }
+
+// SaveRepository serializes a repository in a compact line-oriented text
+// format that loads much faster than re-parsing schema files.
+func SaveRepository(w io.Writer, r *Repository) error { return schema.WriteRepository(w, r) }
+
+// LoadRepository reads a repository written by SaveRepository.
+func LoadRepository(r io.Reader) (*Repository, error) { return schema.ReadRepository(r) }
+
+// NewStructureMatcher returns a structural context matcher for two-phase
+// matching (Options.StructureMatcher): kind is "path" (root-path context),
+// "child" (immediate child names) or "leaf" (subtree leaf names).
+func NewStructureMatcher(kind string) (ElementMatcher, error) {
+	switch kind {
+	case "path":
+		return matcher.PathContextMatcher{}, nil
+	case "child":
+		return matcher.ChildContextMatcher{}, nil
+	case "leaf":
+		return matcher.LeafContextMatcher{}, nil
+	default:
+		return nil, fmt.Errorf("bellflower: unknown structure matcher %q (want path|child|leaf)", kind)
+	}
+}
+
+// CalibrateCostModel fits the cost model's unit costs from a measured run:
+// typically a Report's ClusterTime/GenTime with the problem's clustering
+// op count and partial-mapping counter.
+func CalibrateCostModel(clusterSeconds, clusterOps, genSeconds, partials float64) (CostModel, error) {
+	return cost.Calibrate(clusterSeconds, clusterOps, genSeconds, partials)
+}
+
+// Synthetic generates a reproducible synthetic repository; see
+// DefaultSyntheticConfig for the paper's experimental scale.
+func Synthetic(cfg SyntheticConfig) (*Repository, error) { return repogen.Generate(cfg) }
+
+// DefaultSyntheticConfig mirrors the paper's reference repository: 9759
+// nodes over a few hundred trees with realistic vocabulary overlap and
+// naming noise.
+func DefaultSyntheticConfig() SyntheticConfig { return repogen.DefaultConfig() }
+
+// DefaultOptions mirrors the paper's reference experiment: δ = 0.75,
+// α = 0.5, K = 4, medium clusters.
+func DefaultOptions() Options { return pipeline.DefaultOptions() }
+
+// NewNameMatcher returns the paper-faithful fuzzy name matcher
+// (CompareStringFuzzy); tokenAware additionally credits reordered compound
+// names.
+func NewNameMatcher(tokenAware bool) ElementMatcher {
+	return matcher.NameMatcher{TokenAware: tokenAware}
+}
+
+// NewSynonymMatcher returns a dictionary matcher over the given synonym
+// groups plus a built-in general-purpose dictionary.
+func NewSynonymMatcher(groups ...[]string) ElementMatcher {
+	m := matcher.DefaultSynonyms()
+	for _, g := range groups {
+		m.AddGroup(g...)
+	}
+	return m
+}
+
+// NewTypeMatcher returns a datatype-compatibility matcher.
+func NewTypeMatcher() ElementMatcher { return matcher.TypeMatcher{} }
+
+// NewCombinedMatcher merges matchers with the given weights (weighted
+// average), the combining technique of COMA/LSD.
+func NewCombinedMatcher(matchers []ElementMatcher, weights []float64) (ElementMatcher, error) {
+	if len(matchers) != len(weights) || len(matchers) == 0 {
+		return nil, fmt.Errorf("bellflower: %d matchers, %d weights", len(matchers), len(weights))
+	}
+	parts := make([]matcher.Weighted, len(matchers))
+	for i := range matchers {
+		if weights[i] < 0 {
+			return nil, fmt.Errorf("bellflower: negative weight %v", weights[i])
+		}
+		parts[i] = matcher.Weighted{Matcher: matchers[i], Weight: weights[i]}
+	}
+	return matcher.NewCombined(parts...), nil
+}
+
+// Matcher runs clustered schema matching against a fixed repository. It
+// precomputes the node-labelling index once; Match calls reuse it.
+type Matcher struct {
+	runner *pipeline.Runner
+}
+
+// NewMatcher indexes the repository and returns a Matcher.
+func NewMatcher(repo *Repository) *Matcher {
+	return &Matcher{runner: pipeline.NewRunner(repo)}
+}
+
+// Repository returns the matcher's repository.
+func (m *Matcher) Repository() *Repository { return m.runner.Repository() }
+
+// Match runs the full pipeline — element matching, clustering, per-cluster
+// Branch & Bound mapping generation — and returns the instrumented report
+// with the ranked mappings.
+func (m *Matcher) Match(personal *Tree, opts Options) (*Report, error) {
+	return m.runner.Run(personal, opts)
+}
+
+// RewriteQuery translates an XPath query over the personal schema (e.g.
+// /book[title="Iliad"]/author) into a query over the repository schema,
+// using a mapping discovered by Match.
+func (m *Matcher) RewriteQuery(q string, personal *Tree, mp Mapping) (string, error) {
+	parsed, err := query.Parse(q)
+	if err != nil {
+		return "", err
+	}
+	return query.Rewrite(parsed, personal, mp, m.runner.Index())
+}
+
+// FormatMapping renders a mapping as "personal ↦ repository" pairs with the
+// similarity index, e.g.:
+//
+//	Δ=0.93  book→/lib/book  title→/lib/book/data/title  author→/lib/book/authorName
+func FormatMapping(personal *Tree, m Mapping) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Δ=%.3f ", m.Score.Delta)
+	for i, n := range personal.Nodes() {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s→%s", n.Name, m.Images[i].PathString())
+	}
+	return b.String()
+}
+
+// FormatSchema renders a tree as an indented outline for inspection.
+func FormatSchema(t *Tree) string { return schema.FormatIndented(t) }

@@ -1,0 +1,194 @@
+package bellflower
+
+import (
+	"strings"
+	"testing"
+)
+
+func paperRepo(t *testing.T) *Repository {
+	t.Helper()
+	repo := NewRepository()
+	tree, err := ParseSchema("lib(address,book(authorName,data(title),shelf))")
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	repo.MustAdd(tree)
+	return repo
+}
+
+func TestMatchPaperFigure1(t *testing.T) {
+	m := NewMatcher(paperRepo(t))
+	personal := MustParseSchema("book(title,author)")
+	opts := DefaultOptions()
+	opts.Variant = VariantTree
+	opts.Threshold = 0.5
+	opts.MinSim = 0.4
+	rep, err := m.Match(personal, opts)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if len(rep.Mappings) == 0 {
+		t.Fatalf("no mappings")
+	}
+	best := rep.Mappings[0]
+	if best.Images[0].Name != "book" {
+		t.Errorf("best book image = %v", best.Images[0])
+	}
+	out := FormatMapping(personal, best)
+	if !strings.Contains(out, "book→/lib/book") {
+		t.Errorf("FormatMapping = %q", out)
+	}
+}
+
+func TestEndToEndQueryRewrite(t *testing.T) {
+	m := NewMatcher(paperRepo(t))
+	personal := MustParseSchema("book(title,author)")
+	opts := DefaultOptions()
+	opts.Variant = VariantTree
+	opts.Threshold = 0.5
+	opts.MinSim = 0.4
+	rep, err := m.Match(personal, opts)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	// Find the Fig. 1 mapping (title via data).
+	var target *Mapping
+	for i := range rep.Mappings {
+		mp := &rep.Mappings[i]
+		if mp.Images[1].PathString() == "/lib/book/data/title" &&
+			mp.Images[2].Name == "authorName" {
+			target = mp
+			break
+		}
+	}
+	if target == nil {
+		t.Fatalf("Fig. 1 mapping not found")
+	}
+	got, err := m.RewriteQuery(`/book[title="Iliad"]/author`, personal, *target)
+	if err != nil {
+		t.Fatalf("RewriteQuery: %v", err)
+	}
+	if got != `/lib/book[data/title="Iliad"]/authorName` {
+		t.Errorf("RewriteQuery = %q", got)
+	}
+}
+
+func TestParseXSDAndDTD(t *testing.T) {
+	xsdTrees, err := ParseXSD(strings.NewReader(`
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="contact">
+    <xs:complexType><xs:sequence>
+      <xs:element name="name" type="xs:string"/>
+      <xs:element name="email" type="xs:string"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>`))
+	if err != nil {
+		t.Fatalf("ParseXSD: %v", err)
+	}
+	if xsdTrees[0].String() != "contact(name,email)" {
+		t.Errorf("xsd tree = %q", xsdTrees[0])
+	}
+
+	dtdTrees, err := ParseDTD(strings.NewReader(`
+<!ELEMENT contact (name, email)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT email (#PCDATA)>`))
+	if err != nil {
+		t.Fatalf("ParseDTD: %v", err)
+	}
+	if dtdTrees[0].String() != "contact(name,email)" {
+		t.Errorf("dtd tree = %q", dtdTrees[0])
+	}
+}
+
+func TestSyntheticAndVariants(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.TargetNodes = 1500
+	repo, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatalf("Synthetic: %v", err)
+	}
+	m := NewMatcher(repo)
+	personal := MustParseSchema("address(name,email)")
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	var treeSpace, mediumSpace float64
+	for _, v := range []Variant{VariantMedium, VariantTree} {
+		opts.Variant = v
+		rep, err := m.Match(personal, opts)
+		if err != nil {
+			t.Fatalf("Match(%v): %v", v, err)
+		}
+		if v == VariantTree {
+			treeSpace = rep.Counters.SearchSpace
+		} else {
+			mediumSpace = rep.Counters.SearchSpace
+		}
+	}
+	if mediumSpace >= treeSpace {
+		t.Errorf("clustering did not reduce the search space: %v >= %v", mediumSpace, treeSpace)
+	}
+}
+
+func TestCombinedMatcherFacade(t *testing.T) {
+	cm, err := NewCombinedMatcher(
+		[]ElementMatcher{NewNameMatcher(true), NewSynonymMatcher([]string{"writer", "scribe"}), NewTypeMatcher()},
+		[]float64{3, 1, 1},
+	)
+	if err != nil {
+		t.Fatalf("NewCombinedMatcher: %v", err)
+	}
+	repo := paperRepo(t)
+	m := NewMatcher(repo)
+	personal := MustParseSchema("book(title,author)")
+	opts := DefaultOptions()
+	opts.Variant = VariantTree
+	opts.Threshold = 0.4
+	opts.MinSim = 0.3
+	opts.Matcher = cm
+	rep, err := m.Match(personal, opts)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if len(rep.Mappings) == 0 {
+		t.Errorf("combined matcher found nothing")
+	}
+}
+
+func TestCombinedMatcherErrors(t *testing.T) {
+	if _, err := NewCombinedMatcher(nil, nil); err == nil {
+		t.Errorf("empty combined accepted")
+	}
+	if _, err := NewCombinedMatcher([]ElementMatcher{NewTypeMatcher()}, []float64{-1}); err == nil {
+		t.Errorf("negative weight accepted")
+	}
+	if _, err := NewCombinedMatcher([]ElementMatcher{NewTypeMatcher()}, []float64{1, 2}); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+}
+
+func TestFormatSchema(t *testing.T) {
+	out := FormatSchema(MustParseSchema("a(b,c@)"))
+	if !strings.Contains(out, "a\n") || !strings.Contains(out, "@c") {
+		t.Errorf("FormatSchema = %q", out)
+	}
+}
+
+func TestIncludePartialsFacade(t *testing.T) {
+	repo := NewRepository()
+	repo.MustAdd(MustParseSchema("contact(name,address)"))
+	m := NewMatcher(repo)
+	opts := DefaultOptions()
+	opts.Variant = VariantTree
+	opts.Threshold = 0.2
+	opts.MinSim = 0.4
+	opts.IncludePartials = true
+	rep, err := m.Match(MustParseSchema("person(name,address,zzzwwy)"), opts)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if len(rep.Partials) == 0 {
+		t.Errorf("no partial mappings")
+	}
+}

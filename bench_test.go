@@ -1,0 +1,333 @@
+package bellflower
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (Sec. 5), plus ablation benchmarks for the design choices
+// DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-variant benchmarks report the paper's machine-independent
+// efficiency indicators (search-space size, partial mappings, mappings
+// found) as custom metrics alongside wall-clock time, so the table shapes
+// are visible straight from the benchmark output.
+
+import (
+	"sync"
+	"testing"
+
+	"bellflower/internal/cluster"
+	"bellflower/internal/experiments"
+
+	"bellflower/internal/mapgen"
+	"bellflower/internal/matcher"
+	"bellflower/internal/objective"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/schema"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+// env lazily builds the paper-scale environment (9759-node repository)
+// shared by all benchmarks.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		e, err := experiments.NewEnv(experiments.DefaultSetup())
+		if err != nil {
+			panic(err)
+		}
+		benchEnv = e
+	})
+	return benchEnv
+}
+
+func benchOptions(e *experiments.Env, v pipeline.Variant) pipeline.Options {
+	return pipeline.Options{
+		Objective: objective.Params{Alpha: e.Setup.Alpha, K: e.Setup.K},
+		Threshold: e.Setup.Threshold,
+		MinSim:    e.Setup.MinSim,
+		Variant:   v,
+	}
+}
+
+// BenchmarkTable1 regenerates both halves of Table 1: for every clustering
+// variant it runs the full pipeline and reports search space, partial
+// mappings and mappings found as custom metrics.
+func BenchmarkTable1(b *testing.B) {
+	e := env(b)
+	for _, v := range pipeline.Variants() {
+		b.Run(v.String(), func(b *testing.B) {
+			var rep *pipeline.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = e.Runner.Run(e.Personal, benchOptions(e, v))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.Counters.SearchSpace, "searchspace")
+			b.ReportMetric(float64(rep.Counters.PartialMappings), "partials")
+			b.ReportMetric(float64(len(rep.Mappings)), "mappings")
+			b.ReportMetric(float64(rep.UsefulClusters), "useful-clusters")
+		})
+	}
+}
+
+// BenchmarkFig4Reclustering regenerates Fig. 4: the k-means run under each
+// reclustering strategy, reporting the resulting cluster count.
+func BenchmarkFig4Reclustering(b *testing.B) {
+	e := env(b)
+	cands := matcher.FindCandidates(e.Personal, e.Repo, matcher.NameMatcher{},
+		matcher.Config{MinSim: e.Setup.MinSim})
+	ix := e.Runner.Index()
+	cfgs := []struct {
+		name string
+		cfg  cluster.Config
+	}{
+		{"none", func() cluster.Config {
+			c := cluster.DefaultConfig()
+			c.JoinThreshold, c.RemoveBelow, c.SplitAbove = 0, 0, 0
+			return c
+		}()},
+		{"join", func() cluster.Config {
+			c := cluster.DefaultConfig()
+			c.RemoveBelow, c.SplitAbove = 0, 0
+			return c
+		}()},
+		{"join-remove", func() cluster.Config {
+			c := cluster.DefaultConfig()
+			c.SplitAbove = 0
+			return c
+		}()},
+	}
+	for _, tc := range cfgs {
+		b.Run(tc.name, func(b *testing.B) {
+			var res *cluster.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = cluster.KMeans(ix, cands, tc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(res.Clusters)), "clusters")
+			b.ReportMetric(float64(res.Iterations), "iterations")
+		})
+	}
+}
+
+// BenchmarkFig5Preservation regenerates Fig. 5: preservation of mappings
+// per variant against the tree baseline at δ = 0.75 and δ = 0.9.
+func BenchmarkFig5Preservation(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for vi, label := range res.Labels {
+				curve := res.Curves[vi]
+				b.ReportMetric(curve[0].Preserved, label+"-preserved@0.75")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6Alpha regenerates Fig. 6: preservation under the three
+// objective-function variants.
+func BenchmarkFig6Alpha(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for ai, alpha := range res.Alphas {
+				name := "preserved@0.75-alpha"
+				switch alpha {
+				case 0.25:
+					name += "025"
+				case 0.5:
+					name += "050"
+				default:
+					name += "075"
+				}
+				b.ReportMetric(res.Curves[ai][0].Preserved, name)
+			}
+		}
+	}
+}
+
+// BenchmarkEndToEnd measures the paper's bottom-line comparison: total
+// matching time, non-clustered vs medium clusters.
+func BenchmarkEndToEnd(b *testing.B) {
+	e := env(b)
+	for _, v := range []pipeline.Variant{pipeline.VariantTree, pipeline.VariantMedium} {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Runner.Run(e.Personal, benchOptions(e, v)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation benchmarks (design choices from DESIGN.md §6) ---
+
+// BenchmarkAblationBnB compares Branch & Bound against exhaustive
+// enumeration on the tree baseline — the paper's "30 times less partial
+// mappings" observation.
+func BenchmarkAblationBnB(b *testing.B) {
+	e := env(b)
+	for _, alg := range []mapgen.Algorithm{mapgen.BranchAndBound, mapgen.Exhaustive} {
+		b.Run(alg.String(), func(b *testing.B) {
+			var rep *pipeline.Report
+			for i := 0; i < b.N; i++ {
+				opts := benchOptions(e, pipeline.VariantTree)
+				opts.Algorithm = alg
+				var err error
+				rep, err = e.Runner.Run(e.Personal, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.Counters.PartialMappings), "partials")
+		})
+	}
+}
+
+// BenchmarkAblationSeeding compares MEmin seeding against uniform seeding
+// with a similar centroid count.
+func BenchmarkAblationSeeding(b *testing.B) {
+	e := env(b)
+	cands := matcher.FindCandidates(e.Personal, e.Repo, matcher.NameMatcher{},
+		matcher.Config{MinSim: e.Setup.MinSim})
+	ix := e.Runner.Index()
+	n := e.Personal.Len()
+	minSet := cands.MinSet()
+	stride := 1
+	if minSet >= 0 && len(cands.Sets[minSet].Elems) > 0 {
+		stride = benchMax(1, cands.TotalMappingElements()/len(cands.Sets[minSet].Elems))
+	}
+	cfgs := []struct {
+		name string
+		cfg  cluster.Config
+	}{
+		{"memin", cluster.DefaultConfig()},
+		{"uniform", func() cluster.Config {
+			c := cluster.DefaultConfig()
+			c.Seeding = cluster.SeedEveryKth
+			c.SeedStride = stride
+			return c
+		}()},
+	}
+	for _, tc := range cfgs {
+		b.Run(tc.name, func(b *testing.B) {
+			var useful int
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.KMeans(ix, cands, tc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				useful = len(res.UsefulClusters(n))
+			}
+			b.ReportMetric(float64(useful), "useful-clusters")
+		})
+	}
+}
+
+// BenchmarkAblationDistance compares the O(1) labelling-based tree distance
+// against naive parent walking, the hot operation of k-means assignment.
+func BenchmarkAblationDistance(b *testing.B) {
+	e := env(b)
+	ix := e.Runner.Index()
+	// Collect same-tree query pairs.
+	type pair struct{ a, b *schema.Node }
+	var pairs []pair
+	for _, t := range e.Repo.Trees() {
+		ns := t.Nodes()
+		for i := 0; i < len(ns) && len(pairs) < 4096; i += 7 {
+			pairs = append(pairs, pair{ns[i], ns[(i*3+1)%len(ns)]})
+		}
+	}
+	b.Run("labeled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			ix.Distance(p.a, p.b)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			p.a.Tree().Distance(p.a, p.b)
+		}
+	})
+}
+
+// BenchmarkAblationClusterer compares the adapted k-means against
+// single-linkage agglomerative clustering on the full pipeline.
+func BenchmarkAblationClusterer(b *testing.B) {
+	e := env(b)
+	for _, agg := range []bool{false, true} {
+		name := "kmeans"
+		if agg {
+			name = "agglomerative"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rep *pipeline.Report
+			for i := 0; i < b.N; i++ {
+				opts := benchOptions(e, pipeline.VariantMedium)
+				opts.Agglomerative = agg
+				var err error
+				rep, err = e.Runner.Run(e.Personal, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.Clusters), "clusters")
+			b.ReportMetric(float64(len(rep.Mappings)), "mappings")
+			b.ReportMetric(rep.Counters.SearchSpace, "searchspace")
+		})
+	}
+}
+
+// BenchmarkAblationParallelism measures the parallel per-cluster
+// generation extension.
+func BenchmarkAblationParallelism(b *testing.B) {
+	e := env(b)
+	names := map[int]string{1: "sequential", 4: "parallel4"}
+	for _, workers := range []int{1, 4} {
+		b.Run(names[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := benchOptions(e, pipeline.VariantMedium)
+				opts.Parallelism = workers
+				if _, err := e.Runner.Run(e.Personal, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkElementMatching isolates step ② — the quadratic candidate
+// search — at paper scale.
+func BenchmarkElementMatching(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		matcher.FindCandidates(e.Personal, e.Repo, matcher.NameMatcher{},
+			matcher.Config{MinSim: e.Setup.MinSim})
+	}
+}
+
+func benchMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

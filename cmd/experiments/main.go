@@ -1,0 +1,128 @@
+// Command experiments reproduces the paper's evaluation (Sec. 5): Table 1a
+// and 1b, Figure 4, Figure 5 and Figure 6, plus the end-to-end efficiency
+// comparison, on a synthetic repository at the paper's scale.
+//
+//	experiments all
+//	experiments table1 -nodes 9759 -seed 1
+//	experiments fig5 -delta 0.75
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bellflower/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		nodes  = fs.Int("nodes", 9759, "synthetic repository size (the paper uses 9759)")
+		seed   = fs.Int64("seed", 1, "repository generation seed")
+		minSim = fs.Float64("minsim", 0.25, "element matcher candidate threshold")
+		delta  = fs.Float64("delta", 0.75, "objective function threshold δ")
+		alpha  = fs.Float64("alpha", 0.5, "objective weight α")
+		spec   = fs.String("personal", "address(name,email)", "personal schema spec")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: experiments [flags] table1|fig4|fig5|fig6|endtoend|scale|convergence|all")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	what := fs.Arg(0)
+	if what == "" {
+		what = "all"
+	}
+
+	setup := experiments.DefaultSetup()
+	setup.RepoConfig.TargetNodes = *nodes
+	setup.RepoConfig.Seed = *seed
+	setup.MinSim = *minSim
+	setup.Threshold = *delta
+	setup.Alpha = *alpha
+	setup.PersonalSpec = *spec
+
+	env, err := experiments.NewEnv(setup)
+	if err != nil {
+		return err
+	}
+	st := env.Repo.Stats()
+	fmt.Printf("repository: %d trees, %d nodes (seed %d); personal schema: %s; δ=%.2f α=%.2f\n\n",
+		st.Trees, st.Nodes, *seed, *spec, *delta, *alpha)
+
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			res, err := experiments.RunTable1(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig4":
+			res, err := experiments.RunFig4(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig5":
+			res, err := experiments.RunFig5(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "fig6":
+			res, err := experiments.RunFig6(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "endtoend":
+			res, err := experiments.RunEndToEnd(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "scale":
+			res, err := experiments.RunScale(setup, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "convergence":
+			res, err := experiments.RunConvergence(env, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "ordering":
+			res, err := experiments.RunOrdering(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		default:
+			return fmt.Errorf("unknown experiment %q (want table1|fig4|fig5|fig6|endtoend|scale|convergence|all)", name)
+		}
+		return nil
+	}
+
+	if what == "all" {
+		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "endtoend", "scale", "convergence", "ordering"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(what)
+}

@@ -1,0 +1,82 @@
+package bellflower_test
+
+import (
+	"fmt"
+	"strings"
+
+	"bellflower"
+)
+
+// The paper's Fig. 1: match a personal book schema against a library
+// schema and print the best mapping.
+func Example() {
+	repo := bellflower.NewRepository()
+	tree, _ := bellflower.ParseSchema("lib(address,book(authorName,data(title),shelf))")
+	repo.MustAdd(tree)
+
+	personal := bellflower.MustParseSchema("book(title,author)")
+	opts := bellflower.DefaultOptions()
+	opts.Variant = bellflower.VariantTree
+	opts.Threshold = 0.5
+	opts.MinSim = 0.4
+
+	m := bellflower.NewMatcher(repo)
+	report, _ := m.Match(personal, opts)
+	fmt.Println(bellflower.FormatMapping(personal, report.Mappings[0]))
+	// Output: Δ=0.871 book→/lib/book  title→/lib/book/data/title  author→/lib/book/authorName
+}
+
+// Rewrite a personal-schema XPath query over a discovered mapping.
+func ExampleMatcher_RewriteQuery() {
+	repo := bellflower.NewRepository()
+	tree, _ := bellflower.ParseSchema("lib(address,book(authorName,data(title),shelf))")
+	repo.MustAdd(tree)
+
+	personal := bellflower.MustParseSchema("book(title,author)")
+	opts := bellflower.DefaultOptions()
+	opts.Variant = bellflower.VariantTree
+	opts.Threshold = 0.5
+	opts.MinSim = 0.4
+
+	m := bellflower.NewMatcher(repo)
+	report, _ := m.Match(personal, opts)
+	q, _ := m.RewriteQuery(`/book[title="Iliad"]/author`, personal, report.Mappings[0])
+	fmt.Println(q)
+	// Output: /lib/book[data/title="Iliad"]/authorName
+}
+
+// Parse the compact schema spec syntax.
+func ExampleParseSchema() {
+	tree, _ := bellflower.ParseSchema("book(title:string,author(first,last),isbn@:token)")
+	fmt.Print(bellflower.FormatSchema(tree))
+	// Output:
+	// book
+	//   title:string
+	//   author
+	//     first
+	//     last
+	//   @isbn:token
+}
+
+// Ingest an XML Schema document.
+func ExampleParseXSD() {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="contact">
+	    <xs:complexType><xs:sequence>
+	      <xs:element name="name" type="xs:string"/>
+	      <xs:element name="email" type="xs:string"/>
+	    </xs:sequence></xs:complexType>
+	  </xs:element>
+	</xs:schema>`
+	trees, _ := bellflower.ParseXSD(strings.NewReader(src))
+	fmt.Println(trees[0])
+	// Output: contact(name,email)
+}
+
+// Infer a schema tree from an instance document: repeated siblings merge.
+func ExampleInferSchema() {
+	doc := `<lib><book isbn="1"><title>A</title></book><book isbn="2"><author>B</author></book></lib>`
+	tree, _ := bellflower.InferSchema(strings.NewReader(doc))
+	fmt.Println(tree)
+	// Output: lib(book(isbn@,title,author))
+}

@@ -1,0 +1,104 @@
+// Personalquery demonstrates the full personal-schema-querying workflow the
+// paper's introduction motivates: the user writes a personal schema and an
+// XPath query against it; the system matches the schema against the
+// repository and rewrites the query over the best mappings, ready for
+// evaluation against the real data sources.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"bellflower"
+)
+
+// Repository schemas as they might be harvested from the web — note none of
+// them matches the personal schema exactly.
+var librarySchemas = []string{
+	`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="library">
+	    <xs:complexType><xs:sequence>
+	      <xs:element name="address" type="xs:string"/>
+	      <xs:element name="book">
+	        <xs:complexType><xs:sequence>
+	          <xs:element name="authorName" type="xs:string"/>
+	          <xs:element name="data">
+	            <xs:complexType><xs:sequence>
+	              <xs:element name="title" type="xs:string"/>
+	            </xs:sequence></xs:complexType>
+	          </xs:element>
+	          <xs:element name="shelf" type="xs:token"/>
+	        </xs:sequence></xs:complexType>
+	      </xs:element>
+	    </xs:sequence></xs:complexType>
+	  </xs:element>
+	</xs:schema>`,
+	`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="bookstore">
+	    <xs:complexType><xs:sequence>
+	      <xs:element name="book">
+	        <xs:complexType><xs:sequence>
+	          <xs:element name="titel" type="xs:string"/>
+	          <xs:element name="autor" type="xs:string"/>
+	          <xs:element name="price" type="xs:decimal"/>
+	        </xs:sequence></xs:complexType>
+	      </xs:element>
+	    </xs:sequence></xs:complexType>
+	  </xs:element>
+	</xs:schema>`,
+}
+
+const libraryDTD = `
+<!ELEMENT publications (publication*)>
+<!ELEMENT publication (title, author, year)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+`
+
+func main() {
+	repo := bellflower.NewRepository()
+	for _, src := range librarySchemas {
+		trees, err := bellflower.ParseXSD(strings.NewReader(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range trees {
+			repo.MustAdd(t)
+		}
+	}
+	dtdTrees, err := bellflower.ParseDTD(strings.NewReader(libraryDTD))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range dtdTrees {
+		repo.MustAdd(t)
+	}
+
+	// The user's virtual view of the data, and a query in its terms.
+	personal := bellflower.MustParseSchema("book(title,author)")
+	userQuery := `/book[title="Iliad"]/author`
+
+	opts := bellflower.DefaultOptions()
+	opts.Variant = bellflower.VariantTree
+	opts.Threshold = 0.55
+	opts.MinSim = 0.4
+	opts.TopN = 3
+
+	m := bellflower.NewMatcher(repo)
+	report, err := m.Match(personal, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("user query over the personal schema: %s\n\n", userQuery)
+	fmt.Println("ranked mapping choices and their query rewrites:")
+	for i, mp := range report.Mappings {
+		rewritten, err := m.RewriteQuery(userQuery, personal, mp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d. %s\n   -> %s\n", i+1, bellflower.FormatMapping(personal, mp), rewritten)
+	}
+}

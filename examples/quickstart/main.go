@@ -1,0 +1,50 @@
+// Quickstart: match a small personal schema against a hand-built repository
+// and print the ranked schema mappings — the paper's Fig. 1 scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bellflower"
+)
+
+func main() {
+	// The repository fragment of the paper's Fig. 1, plus two more trees
+	// for competition.
+	repo := bellflower.NewRepository()
+	for _, spec := range []string{
+		"lib(address,book(authorName,data(title),shelf))",
+		"store(books(book(title,author(name))))",
+		"zoo(animal(species,cage))",
+	} {
+		tree, err := bellflower.ParseSchema(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		repo.MustAdd(tree)
+	}
+
+	// The user's personal schema: a book with a title and an author.
+	personal := bellflower.MustParseSchema("book(title,author)")
+
+	// Match with the non-clustered baseline (the repository is tiny;
+	// clustering pays off on large repositories — see examples/largescale).
+	opts := bellflower.DefaultOptions()
+	opts.Variant = bellflower.VariantTree
+	opts.Threshold = 0.5
+	opts.MinSim = 0.4
+	opts.TopN = 5
+
+	m := bellflower.NewMatcher(repo)
+	report, err := m.Match(personal, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("personal schema:\n%s\n", bellflower.FormatSchema(personal))
+	fmt.Printf("top mappings (of %d found):\n", len(report.Mappings))
+	for i, mp := range report.Mappings {
+		fmt.Printf("%2d. %s\n", i+1, bellflower.FormatMapping(personal, mp))
+	}
+}

@@ -1,0 +1,119 @@
+// Xsdimport shows repository ingestion from schema files on disk: it writes
+// a handful of .xsd and .dtd files to a temporary directory, loads them all
+// into one repository, and matches a personal schema against it — the
+// workflow for building a repository from harvested web schemas.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"bellflower"
+)
+
+var files = map[string]string{
+	"orders.xsd": `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:complexType name="AddressType">
+	    <xs:sequence>
+	      <xs:element name="street" type="xs:string"/>
+	      <xs:element name="city" type="xs:string"/>
+	      <xs:element name="zip" type="xs:token"/>
+	    </xs:sequence>
+	  </xs:complexType>
+	  <xs:element name="order">
+	    <xs:complexType><xs:sequence>
+	      <xs:element name="customer">
+	        <xs:complexType><xs:sequence>
+	          <xs:element name="name" type="xs:string"/>
+	          <xs:element name="email" type="xs:string"/>
+	          <xs:element name="address" type="AddressType"/>
+	        </xs:sequence></xs:complexType>
+	      </xs:element>
+	      <xs:element name="total" type="xs:decimal"/>
+	    </xs:sequence></xs:complexType>
+	  </xs:element>
+	</xs:schema>`,
+	"contacts.dtd": `
+	<!ELEMENT contacts (person*)>
+	<!ELEMENT person (fullName, emailAddr, addr)>
+	<!ELEMENT fullName (#PCDATA)>
+	<!ELEMENT emailAddr (#PCDATA)>
+	<!ELEMENT addr (street, city)>
+	<!ELEMENT street (#PCDATA)>
+	<!ELEMENT city (#PCDATA)>
+	<!ATTLIST person id ID #REQUIRED>`,
+	"staff.xsd": `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="staff">
+	    <xs:complexType><xs:sequence>
+	      <xs:element name="employee">
+	        <xs:complexType><xs:sequence>
+	          <xs:element name="nome" type="xs:string"/>
+	          <xs:element name="mail" type="xs:string"/>
+	        </xs:sequence></xs:complexType>
+	      </xs:element>
+	    </xs:sequence></xs:complexType>
+	  </xs:element>
+	</xs:schema>`,
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "bellflower-import")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o600); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Load every schema file in the directory.
+	repo := bellflower.NewRepository()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var trees []*bellflower.Tree
+		if strings.HasSuffix(name, ".xsd") {
+			trees, err = bellflower.ParseXSD(f)
+		} else {
+			trees, err = bellflower.ParseDTD(f)
+		}
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		for _, t := range trees {
+			fmt.Printf("loaded %s -> %s\n", name, t)
+			repo.MustAdd(t)
+		}
+	}
+
+	personal := bellflower.MustParseSchema("person(name,email)")
+	opts := bellflower.DefaultOptions()
+	opts.Variant = bellflower.VariantTree
+	opts.Threshold = 0.45
+	opts.MinSim = 0.3
+	opts.TopN = 5
+
+	m := bellflower.NewMatcher(repo)
+	report, err := m.Match(personal, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmatches for %s:\n", personal)
+	for i, mp := range report.Mappings {
+		fmt.Printf("%d. %s\n", i+1, bellflower.FormatMapping(personal, mp))
+	}
+}

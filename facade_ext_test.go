@@ -1,0 +1,157 @@
+package bellflower
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRepositoryFacade(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.TargetNodes = 600
+	repo, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatalf("Synthetic: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := SaveRepository(&buf, repo); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := LoadRepository(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.Len() != repo.Len() || back.NumTrees() != repo.NumTrees() {
+		t.Errorf("round trip lost data: %d/%d nodes", back.Len(), repo.Len())
+	}
+	// A loaded repository must be fully matchable.
+	m := NewMatcher(back)
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	rep, err := m.Match(MustParseSchema("address(name,email)"), opts)
+	if err != nil {
+		t.Fatalf("Match on loaded repo: %v", err)
+	}
+	if rep.MappingElements == 0 {
+		t.Errorf("loaded repository yields no candidates")
+	}
+}
+
+func TestInferSchemaFacade(t *testing.T) {
+	tr, err := InferSchema(strings.NewReader(
+		`<contacts><person id="1"><name>A</name><email>a@x</email></person>
+		 <person id="2"><name>B</name><phone>5</phone></person></contacts>`))
+	if err != nil {
+		t.Fatalf("InferSchema: %v", err)
+	}
+	if tr.String() != "contacts(person(id@,name,email,phone))" {
+		t.Errorf("inferred = %q", tr.String())
+	}
+	// Use the inferred tree as a repository schema.
+	repo := NewRepository()
+	repo.MustAdd(tr)
+	m := NewMatcher(repo)
+	opts := DefaultOptions()
+	opts.Variant = VariantTree
+	opts.Threshold = 0.5
+	opts.MinSim = 0.4
+	rep, err := m.Match(MustParseSchema("person(name,email)"), opts)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if len(rep.Mappings) == 0 {
+		t.Errorf("no mappings against inferred schema")
+	}
+}
+
+func TestNewStructureMatcherFacade(t *testing.T) {
+	for _, kind := range []string{"path", "child", "leaf"} {
+		sm, err := NewStructureMatcher(kind)
+		if err != nil {
+			t.Fatalf("NewStructureMatcher(%q): %v", kind, err)
+		}
+		if sm == nil {
+			t.Fatalf("nil matcher for %q", kind)
+		}
+	}
+	if _, err := NewStructureMatcher("bogus"); err == nil {
+		t.Errorf("bogus kind accepted")
+	}
+
+	// Two-phase matching through the facade.
+	repo := NewRepository()
+	repo.MustAdd(MustParseSchema("lib(book(title,author))"))
+	repo.MustAdd(MustParseSchema("misc(title,junk(author))"))
+	m := NewMatcher(repo)
+	sm, _ := NewStructureMatcher("path")
+	opts := DefaultOptions()
+	opts.Variant = VariantTree
+	opts.Threshold = 0.4
+	opts.MinSim = 0.4
+	opts.StructureMatcher = sm
+	opts.StructureWeight = 0.5
+	rep, err := m.Match(MustParseSchema("book(title,author)"), opts)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if len(rep.Mappings) == 0 || rep.Mappings[0].Images[0].Tree().ID != 0 {
+		t.Errorf("two-phase matching did not prefer the structurally faithful tree")
+	}
+}
+
+func TestAgglomerativeFacade(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.TargetNodes = 1200
+	repo, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(repo)
+	personal := MustParseSchema("address(name,email)")
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	opts.Agglomerative = true
+	rep, err := m.Match(personal, opts)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if rep.Clusters == 0 {
+		t.Errorf("agglomerative produced no clusters")
+	}
+	// Still a valid matching run.
+	for _, mp := range rep.Mappings {
+		if mp.Score.Delta < opts.Threshold {
+			t.Errorf("mapping below threshold")
+		}
+	}
+}
+
+func TestCostModelFacade(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.TargetNodes = 1500
+	repo, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(repo)
+	personal := MustParseSchema("address(name,email)")
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	rep, err := m.Match(personal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters.PartialMappings == 0 {
+		t.Skip("no partial mappings to calibrate from")
+	}
+	model, err := CalibrateCostModel(
+		rep.ClusterTime.Seconds(), float64(rep.Clusters*rep.Iterations*rep.MappingElements),
+		rep.GenTime.Seconds(), float64(rep.Counters.PartialMappings),
+	)
+	if err != nil {
+		t.Fatalf("CalibrateCostModel: %v", err)
+	}
+	if model.SecondsPerPartial <= 0 {
+		t.Errorf("model = %+v", model)
+	}
+}

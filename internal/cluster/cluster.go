@@ -1,0 +1,607 @@
+// Package cluster implements the paper's contribution: the clustering step
+// inserted between element matching and mapping generation (Fig. 3, Alg. 1).
+//
+// Mapping elements (repository nodes that are a candidate for at least one
+// personal-schema node) are partitioned into clusters with an adapted
+// k-means algorithm:
+//
+//   - centroids are medoids — actual mapping elements at the cluster's
+//     center of weight;
+//   - the distance measure is the tree distance (path length), computed in
+//     O(1) via the labeling package;
+//   - centroids are seeded from MEmin, the smallest candidate set, so that
+//     every initial centroid marks a region that can possibly deliver a
+//     useful cluster;
+//   - a reclustering step runs inside each iteration: join merges clusters
+//     whose medoids are within a distance threshold, remove deletes tiny
+//     clusters (their elements are free to join neighbours in the next
+//     iteration), and split (an extension, Sec. 4 "huge clusters") breaks
+//     up oversized clusters;
+//   - the algorithm terminates when fewer than a stability fraction of
+//     elements switch clusters and the cluster count is stable, or after
+//     MaxIterations.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bellflower/internal/labeling"
+	"bellflower/internal/matcher"
+	"bellflower/internal/schema"
+)
+
+// Element is one mapping element to be clustered.
+type Element struct {
+	// Node is the repository node.
+	Node *schema.Node
+
+	// Mask has bit i set when the node is a candidate for the personal
+	// node with preorder rank i.
+	Mask uint64
+
+	// BestSim is the node's best element similarity across the personal
+	// nodes it serves; used only by the hybrid distance extension.
+	BestSim float64
+}
+
+// BuildElements flattens candidate sets into the deduplicated element
+// universe the clusterer partitions.
+func BuildElements(cands *matcher.Candidates) []Element {
+	if cands.Personal.Len() > 64 {
+		panic("cluster: personal schemas with more than 64 nodes not supported")
+	}
+	byID := make(map[int]int)
+	var out []Element
+	for i := range cands.Sets {
+		for _, c := range cands.Sets[i].Elems {
+			j, ok := byID[c.Node.ID]
+			if !ok {
+				j = len(out)
+				byID[c.Node.ID] = j
+				out = append(out, Element{Node: c.Node})
+			}
+			out[j].Mask |= 1 << uint(i)
+			if c.Sim > out[j].BestSim {
+				out[j].BestSim = c.Sim
+			}
+		}
+	}
+	return out
+}
+
+// Cluster is a group of mapping elements from a single repository tree.
+type Cluster struct {
+	// ID is the cluster's index in the result.
+	ID int
+
+	// Medoid is the mapping element at the cluster's center of weight.
+	Medoid *schema.Node
+
+	// Elements are the member mapping elements.
+	Elements []Element
+
+	// TreeID is the repository tree all members belong to.
+	TreeID int
+}
+
+// Mask returns the union of the member masks: which personal nodes this
+// cluster can supply a mapping element for.
+func (c *Cluster) Mask() uint64 {
+	var m uint64
+	for _, e := range c.Elements {
+		m |= e.Mask
+	}
+	return m
+}
+
+// Useful reports whether the cluster holds at least one mapping element for
+// every personal node (full = bitmask of all personal preorder ranks).
+// Only useful clusters can produce complete schema mappings (Sec. 2.3).
+func (c *Cluster) Useful(full uint64) bool { return c.Mask()&full == full }
+
+// Len returns the number of member elements.
+func (c *Cluster) Len() int { return len(c.Elements) }
+
+// Seeding selects the initial centroids.
+type Seeding int
+
+const (
+	// SeedMEmin declares every element of the smallest candidate set a
+	// centroid — the paper's heuristic: each useful cluster needs at least
+	// one element from MEmin, so MEmin members mark all viable regions.
+	SeedMEmin Seeding = iota
+
+	// SeedEveryKth spreads centroids uniformly over the element universe
+	// (every k-th element in node-ID order, which follows document order).
+	// A deterministic baseline used by the seeding ablation benchmark.
+	SeedEveryKth
+)
+
+// Config controls the clustering run. The zero value is not valid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// JoinThreshold merges clusters whose medoids are at tree distance
+	// <= JoinThreshold during reclustering; 0 disables joining. The
+	// paper's variants: 2 = "small clusters", 3 = "medium", 4 = "large".
+	JoinThreshold int
+
+	// RemoveBelow deletes clusters with fewer elements during
+	// reclustering; 0 disables removal. Freed elements may join
+	// neighbouring clusters in the next iteration.
+	RemoveBelow int
+
+	// SplitAbove breaks clusters larger than this into two around their
+	// farthest element pair; 0 disables splitting. An extension for the
+	// paper's "huge clusters" problem.
+	SplitAbove int
+
+	// MaxIterations bounds the k-means loop.
+	MaxIterations int
+
+	// Stability is the convergence fraction: the loop stops when fewer
+	// than Stability × #elements switch clusters and the cluster count
+	// changes by less than Stability × #clusters (the paper uses 5%).
+	Stability float64
+
+	// Seeding selects the centroid initialization strategy.
+	Seeding Seeding
+
+	// SeedStride is the k of SeedEveryKth (ignored otherwise; minimum 1).
+	SeedStride int
+
+	// SimBias is the hybrid-distance extension: the effective assignment
+	// distance is pathDist × (1 + SimBias × (1 − BestSim)), pulling
+	// high-similarity elements toward centroids. 0 = pure path distance
+	// (the paper's measure).
+	SimBias float64
+}
+
+// DefaultConfig returns the paper's "medium clusters" configuration.
+// SplitAbove implements the huge-cluster handling the paper performed
+// manually ("huge clusters ... are removed 'manually' if necessary"):
+// without it, the few very large repository trees keep their candidate
+// regions in single oversized clusters and dominate the search space.
+func DefaultConfig() Config {
+	return Config{
+		JoinThreshold: 3,
+		RemoveBelow:   2,
+		SplitAbove:    60,
+		MaxIterations: 12,
+		Stability:     0.05,
+		Seeding:       SeedMEmin,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MaxIterations < 1 {
+		return fmt.Errorf("cluster: MaxIterations %d < 1", c.MaxIterations)
+	}
+	if c.Stability < 0 || c.Stability > 1 {
+		return fmt.Errorf("cluster: Stability %v outside [0,1]", c.Stability)
+	}
+	if c.JoinThreshold < 0 || c.RemoveBelow < 0 || c.SplitAbove < 0 {
+		return fmt.Errorf("cluster: negative threshold")
+	}
+	if c.SimBias < 0 {
+		return fmt.Errorf("cluster: negative SimBias")
+	}
+	if c.Seeding == SeedEveryKth && c.SeedStride < 1 {
+		return fmt.Errorf("cluster: SeedEveryKth requires SeedStride >= 1")
+	}
+	return nil
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Clusters are the final clusters, ID-ordered.
+	Clusters []*Cluster
+
+	// Iterations is the number of k-means iterations executed.
+	Iterations int
+
+	// Moves[i] is the number of elements that switched clusters in
+	// iteration i; used to study convergence behaviour.
+	Moves []int
+
+	// Unassigned counts elements that ended up in no cluster (their tree
+	// holds no centroid, or their cluster was removed in the final
+	// iteration).
+	Unassigned int
+}
+
+// UsefulClusters returns the clusters able to produce complete mappings for
+// a personal schema with n nodes.
+func (r *Result) UsefulClusters(n int) []*Cluster {
+	full := fullMask(n)
+	var out []*Cluster
+	for _, c := range r.Clusters {
+		if c.Useful(full) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func fullMask(n int) uint64 {
+	if n >= 64 {
+		panic("cluster: personal schema too large for bitmask")
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// KMeans runs the adapted k-means algorithm (Alg. 1 of the paper) over the
+// mapping elements of cands.
+func KMeans(ix *labeling.Index, cands *matcher.Candidates, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	elems := BuildElements(cands)
+	st := &state{ix: ix, cfg: cfg, elems: elems}
+	st.seed(cands)
+	res := &Result{}
+	prevClusters := len(st.medoids)
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		moves := st.assign()
+		st.rebuild()
+		st.recomputeMedoids()
+		st.join()
+		st.remove()
+		st.split()
+		res.Iterations++
+		res.Moves = append(res.Moves, moves)
+		// Convergence: element moves and cluster-count change both below
+		// the stability fraction.
+		stableMoves := float64(moves) <= cfg.Stability*float64(len(elems))
+		dc := len(st.medoids) - prevClusters
+		if dc < 0 {
+			dc = -dc
+		}
+		stableCount := float64(dc) <= cfg.Stability*math.Max(1, float64(prevClusters))
+		prevClusters = len(st.medoids)
+		if iter > 0 && stableMoves && stableCount {
+			break
+		}
+	}
+	res.Clusters, res.Unassigned = st.emit()
+	return res, nil
+}
+
+// TreeClusters returns the non-clustered baseline: every repository tree
+// that holds at least one mapping element becomes one cluster (the paper's
+// "tree clusters" rows).
+func TreeClusters(ix *labeling.Index, cands *matcher.Candidates) *Result {
+	elems := BuildElements(cands)
+	byTree := make(map[int][]Element)
+	for _, e := range elems {
+		tid := ix.TreeID(e.Node)
+		byTree[tid] = append(byTree[tid], e)
+	}
+	tids := make([]int, 0, len(byTree))
+	for tid := range byTree {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	res := &Result{}
+	for _, tid := range tids {
+		members := byTree[tid]
+		c := &Cluster{ID: len(res.Clusters), Elements: members, TreeID: tid}
+		c.Medoid = medoidOf(ix, members)
+		res.Clusters = append(res.Clusters, c)
+	}
+	return res
+}
+
+// state is the per-run mutable bookkeeping of the k-means loop.
+type state struct {
+	ix    *labeling.Index
+	cfg   Config
+	elems []Element
+
+	// medoids holds the current centroid element indices.
+	medoids []int
+
+	// assignTo[i] is the cluster index of element i, or -1.
+	assignTo []int
+
+	// prevMedoidNode[i] is the medoid node ID element i was assigned to in
+	// the previous iteration (-1 initially); used to count moves.
+	prevMedoidNode []int
+
+	// members[c] lists element indices of cluster c.
+	members [][]int
+
+	// centroidsByTree groups current medoid indices by tree for fast
+	// assignment.
+	centroidsByTree map[int][]int
+}
+
+func (st *state) seed(cands *matcher.Candidates) {
+	switch st.cfg.Seeding {
+	case SeedEveryKth:
+		for i := 0; i < len(st.elems); i += st.cfg.SeedStride {
+			st.medoids = append(st.medoids, i)
+		}
+	default: // SeedMEmin
+		min := cands.MinSet()
+		if min < 0 {
+			return
+		}
+		bit := uint64(1) << uint(min)
+		for i, e := range st.elems {
+			if e.Mask&bit != 0 {
+				st.medoids = append(st.medoids, i)
+			}
+		}
+	}
+	st.assignTo = make([]int, len(st.elems))
+	st.prevMedoidNode = make([]int, len(st.elems))
+	for i := range st.prevMedoidNode {
+		st.prevMedoidNode[i] = -1
+	}
+}
+
+func (st *state) groupCentroids() {
+	st.centroidsByTree = make(map[int][]int)
+	for c, ei := range st.medoids {
+		tid := st.ix.TreeID(st.elems[ei].Node)
+		st.centroidsByTree[tid] = append(st.centroidsByTree[tid], c)
+	}
+}
+
+// assign gives every element to its nearest centroid (same tree only) and
+// returns the number of elements whose cluster identity (medoid node)
+// changed since the last iteration.
+func (st *state) assign() int {
+	st.groupCentroids()
+	moves := 0
+	for i := range st.elems {
+		e := &st.elems[i]
+		tid := st.ix.TreeID(e.Node)
+		best, bestC := math.Inf(1), -1
+		for _, c := range st.centroidsByTree[tid] {
+			m := st.elems[st.medoids[c]].Node
+			d := st.ix.DistanceID(e.Node.ID, m.ID)
+			eff := float64(d)
+			if st.cfg.SimBias > 0 {
+				eff *= 1 + st.cfg.SimBias*(1-e.BestSim)
+			}
+			if eff < best || (eff == best && bestC >= 0 && m.ID < st.elems[st.medoids[bestC]].Node.ID) {
+				best, bestC = eff, c
+			}
+		}
+		st.assignTo[i] = bestC
+		newMedoid := -1
+		if bestC >= 0 {
+			newMedoid = st.elems[st.medoids[bestC]].Node.ID
+		}
+		if newMedoid != st.prevMedoidNode[i] {
+			moves++
+		}
+		st.prevMedoidNode[i] = newMedoid
+	}
+	return moves
+}
+
+// rebuild regenerates member lists from assignments and drops empty
+// clusters.
+func (st *state) rebuild() {
+	st.members = make([][]int, len(st.medoids))
+	for i, c := range st.assignTo {
+		if c >= 0 {
+			st.members[c] = append(st.members[c], i)
+		}
+	}
+	st.compact()
+}
+
+// compact removes clusters with no members, renumbering the rest.
+func (st *state) compact() {
+	var med []int
+	var mem [][]int
+	for c := range st.medoids {
+		if len(st.members[c]) == 0 {
+			continue
+		}
+		med = append(med, st.medoids[c])
+		mem = append(mem, st.members[c])
+	}
+	st.medoids, st.members = med, mem
+}
+
+// recomputeMedoids sets each cluster's centroid to the member minimizing
+// the sum of path distances to the other members (the center of weight).
+func (st *state) recomputeMedoids() {
+	for c, mem := range st.members {
+		st.medoids[c] = st.medoidIndex(mem)
+	}
+}
+
+func (st *state) medoidIndex(mem []int) int {
+	if len(mem) == 1 {
+		return mem[0]
+	}
+	best, bestSum := mem[0], math.MaxInt
+	for _, i := range mem {
+		sum := 0
+		for _, j := range mem {
+			sum += st.ix.DistanceID(st.elems[i].Node.ID, st.elems[j].Node.ID)
+			if sum >= bestSum {
+				break
+			}
+		}
+		if sum < bestSum || (sum == bestSum && st.elems[i].Node.ID < st.elems[best].Node.ID) {
+			best, bestSum = i, sum
+		}
+	}
+	return best
+}
+
+func medoidOf(ix *labeling.Index, elems []Element) *schema.Node {
+	best, bestSum := 0, math.MaxInt
+	for i := range elems {
+		sum := 0
+		for j := range elems {
+			sum += ix.DistanceID(elems[i].Node.ID, elems[j].Node.ID)
+			if sum >= bestSum {
+				break
+			}
+		}
+		if sum < bestSum || (sum == bestSum && elems[i].Node.ID < elems[best].Node.ID) {
+			best, bestSum = i, sum
+		}
+	}
+	return elems[best].Node
+}
+
+// join merges clusters whose medoids lie within JoinThreshold of each other
+// (within the same tree), using union-find, then recomputes the medoids of
+// merged clusters.
+func (st *state) join() {
+	if st.cfg.JoinThreshold <= 0 || len(st.medoids) < 2 {
+		return
+	}
+	parent := make([]int, len(st.medoids))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	byTree := make(map[int][]int)
+	for c, ei := range st.medoids {
+		tid := st.ix.TreeID(st.elems[ei].Node)
+		byTree[tid] = append(byTree[tid], c)
+	}
+	for _, cs := range byTree {
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				a, b := cs[i], cs[j]
+				d := st.ix.DistanceID(st.elems[st.medoids[a]].Node.ID, st.elems[st.medoids[b]].Node.ID)
+				if d >= 0 && d <= st.cfg.JoinThreshold {
+					ra, rb := find(a), find(b)
+					if ra != rb {
+						parent[rb] = ra
+					}
+				}
+			}
+		}
+	}
+	merged := make(map[int][]int) // root -> member element indices
+	var order []int
+	for c := range st.medoids {
+		r := find(c)
+		if _, ok := merged[r]; !ok {
+			order = append(order, r)
+		}
+		merged[r] = append(merged[r], st.members[c]...)
+	}
+	if len(order) == len(st.medoids) {
+		return // nothing merged
+	}
+	var med []int
+	var mem [][]int
+	for _, r := range order {
+		m := merged[r]
+		med = append(med, st.medoidIndex(m))
+		mem = append(mem, m)
+	}
+	st.medoids, st.members = med, mem
+}
+
+// remove deletes clusters smaller than RemoveBelow; their elements become
+// free (unassigned) until the next iteration's assignment step.
+func (st *state) remove() {
+	if st.cfg.RemoveBelow <= 0 {
+		return
+	}
+	var med []int
+	var mem [][]int
+	for c := range st.medoids {
+		if len(st.members[c]) < st.cfg.RemoveBelow {
+			continue
+		}
+		med = append(med, st.medoids[c])
+		mem = append(mem, st.members[c])
+	}
+	st.medoids, st.members = med, mem
+}
+
+// split breaks clusters larger than SplitAbove around their (approximate)
+// farthest element pair: a double sweep finds two mutually distant members
+// which become the medoids of the halves.
+func (st *state) split() {
+	if st.cfg.SplitAbove <= 0 {
+		return
+	}
+	var med []int
+	var mem [][]int
+	for c := range st.medoids {
+		m := st.members[c]
+		if len(m) <= st.cfg.SplitAbove {
+			med = append(med, st.medoids[c])
+			mem = append(mem, m)
+			continue
+		}
+		a := st.farthestFrom(m, m[0])
+		b := st.farthestFrom(m, a)
+		var ma, mb []int
+		for _, i := range m {
+			da := st.ix.DistanceID(st.elems[i].Node.ID, st.elems[a].Node.ID)
+			db := st.ix.DistanceID(st.elems[i].Node.ID, st.elems[b].Node.ID)
+			if da <= db {
+				ma = append(ma, i)
+			} else {
+				mb = append(mb, i)
+			}
+		}
+		if len(ma) == 0 || len(mb) == 0 {
+			med = append(med, st.medoids[c])
+			mem = append(mem, m)
+			continue
+		}
+		med = append(med, st.medoidIndex(ma))
+		mem = append(mem, ma)
+		med = append(med, st.medoidIndex(mb))
+		mem = append(mem, mb)
+	}
+	st.medoids, st.members = med, mem
+}
+
+func (st *state) farthestFrom(mem []int, from int) int {
+	best, bestD := from, -1
+	for _, i := range mem {
+		d := st.ix.DistanceID(st.elems[i].Node.ID, st.elems[from].Node.ID)
+		if d > bestD || (d == bestD && st.elems[i].Node.ID < st.elems[best].Node.ID) {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// emit converts the final state into exported clusters.
+func (st *state) emit() ([]*Cluster, int) {
+	assigned := 0
+	out := make([]*Cluster, 0, len(st.medoids))
+	for c, mem := range st.members {
+		cl := &Cluster{
+			ID:       len(out),
+			Medoid:   st.elems[st.medoids[c]].Node,
+			TreeID:   st.ix.TreeID(st.elems[st.medoids[c]].Node),
+			Elements: make([]Element, 0, len(mem)),
+		}
+		for _, i := range mem {
+			cl.Elements = append(cl.Elements, st.elems[i])
+			assigned++
+		}
+		out = append(out, cl)
+	}
+	return out, len(st.elems) - assigned
+}

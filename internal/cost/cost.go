@@ -1,0 +1,202 @@
+// Package cost is an analytic cost model for clustered schema matching —
+// the paper's closing future-work item ("A creation of an elaborate cost
+// model for the whole clustered schema matching technique is future
+// research").
+//
+// It turns the paper's complexity expressions into a calibrated predictor:
+//
+//	non-clustered search space  = Π_n |MEn|                  (Sec. 2.2)
+//	clustered search space      ≈ c · Π_n (|MEn|/c)          (Sec. 2.3)
+//	space reduction             = c^(|Ns|−1)
+//	clustering cost             = c · i · |ME|               (Sec. 4)
+//	generation cost             ≈ bnbFraction · search space (Tab. 1b)
+//
+// Calibrating the two unit costs (one distance computation, one partial
+// mapping test) against a measured run lets the model answer the planning
+// question the paper leaves open: for a given problem size, how many
+// clusters make clustering worthwhile, and where is the break-even?
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Problem describes one matching problem's size parameters.
+type Problem struct {
+	// CandidatesPerNode is |MEn| for each personal-schema node.
+	CandidatesPerNode []float64
+
+	// Clusters is c, the number of clusters formed.
+	Clusters float64
+
+	// Iterations is i, the number of k-means iterations.
+	Iterations float64
+
+	// BnBFraction is the fraction of the search space the Branch & Bound
+	// generator actually tests (Tab. 1b: 386 817 / 11 962 741 ≈ 0.032 for
+	// the paper's tree baseline). Use Calibrate to fit it from a run.
+	BnBFraction float64
+}
+
+// Validate checks the parameters.
+func (p Problem) Validate() error {
+	if len(p.CandidatesPerNode) == 0 {
+		return fmt.Errorf("cost: no candidate counts")
+	}
+	for _, m := range p.CandidatesPerNode {
+		if m <= 0 {
+			return fmt.Errorf("cost: non-positive candidate count %v", m)
+		}
+	}
+	if p.Clusters < 1 {
+		return fmt.Errorf("cost: clusters %v < 1", p.Clusters)
+	}
+	if p.Iterations < 0 {
+		return fmt.Errorf("cost: negative iterations")
+	}
+	if p.BnBFraction <= 0 || p.BnBFraction > 1 {
+		return fmt.Errorf("cost: BnBFraction %v outside (0,1]", p.BnBFraction)
+	}
+	return nil
+}
+
+// TotalCandidates returns |ME| = Σ |MEn|.
+func (p Problem) TotalCandidates() float64 {
+	total := 0.0
+	for _, m := range p.CandidatesPerNode {
+		total += m
+	}
+	return total
+}
+
+// NonClusteredSpace returns Π |MEn|.
+func (p Problem) NonClusteredSpace() float64 {
+	space := 1.0
+	for _, m := range p.CandidatesPerNode {
+		space *= m
+	}
+	return space
+}
+
+// ClusteredSpace returns c · Π (|MEn|/c): the paper's idealized model in
+// which clustering splits every candidate set evenly over the clusters.
+func (p Problem) ClusteredSpace() float64 {
+	space := p.Clusters
+	for _, m := range p.CandidatesPerNode {
+		space *= m / p.Clusters
+	}
+	return space
+}
+
+// SpaceReduction returns the paper's c^(|Ns|−1) reduction factor.
+func (p Problem) SpaceReduction() float64 {
+	return math.Pow(p.Clusters, float64(len(p.CandidatesPerNode)-1))
+}
+
+// ClusteringOps returns c · i · |ME|, the number of distance computations
+// of the k-means loop.
+func (p Problem) ClusteringOps() float64 {
+	return p.Clusters * p.Iterations * p.TotalCandidates()
+}
+
+// Estimate is a predicted cost breakdown in seconds.
+type Estimate struct {
+	ClusteringSeconds float64
+	GenerationSeconds float64
+}
+
+// Total returns the end-to-end prediction.
+func (e Estimate) Total() float64 { return e.ClusteringSeconds + e.GenerationSeconds }
+
+// Model holds the calibrated unit costs.
+type Model struct {
+	// SecondsPerDistance is the cost of one element–centroid distance
+	// computation in the clustering loop.
+	SecondsPerDistance float64
+
+	// SecondsPerPartial is the cost of one partial mapping generated and
+	// tested by the B&B generator.
+	SecondsPerPartial float64
+}
+
+// Calibrate fits the unit costs from one measured run: the clustering time
+// of a run that performed ops distance computations and the generation
+// time of a run that tested partials partial mappings.
+func Calibrate(clusterSeconds, clusterOps, genSeconds, partials float64) (Model, error) {
+	if clusterOps <= 0 || partials <= 0 {
+		return Model{}, fmt.Errorf("cost: cannot calibrate from zero work")
+	}
+	if clusterSeconds < 0 || genSeconds < 0 {
+		return Model{}, fmt.Errorf("cost: negative measured time")
+	}
+	return Model{
+		SecondsPerDistance: clusterSeconds / clusterOps,
+		SecondsPerPartial:  genSeconds / partials,
+	}, nil
+}
+
+// Predict estimates the clustered matching cost of a problem.
+func (m Model) Predict(p Problem) (Estimate, error) {
+	if err := p.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{
+		ClusteringSeconds: m.SecondsPerDistance * p.ClusteringOps(),
+		GenerationSeconds: m.SecondsPerPartial * p.BnBFraction * p.ClusteredSpace(),
+	}, nil
+}
+
+// PredictNonClustered estimates the non-clustered baseline cost.
+func (m Model) PredictNonClustered(p Problem) (Estimate, error) {
+	if err := p.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{
+		GenerationSeconds: m.SecondsPerPartial * p.BnBFraction * p.NonClusteredSpace(),
+	}, nil
+}
+
+// OptimalClusters searches c ∈ [1, maxClusters] for the cluster count
+// minimizing the predicted total cost of the problem. It captures the
+// trade-off the paper describes: more clusters shrink the generator's
+// search space by c^(n−1) but grow the clustering overhead linearly in c.
+func (m Model) OptimalClusters(p Problem, maxClusters int) (bestC float64, best Estimate, err error) {
+	if maxClusters < 1 {
+		return 0, Estimate{}, fmt.Errorf("cost: maxClusters %d < 1", maxClusters)
+	}
+	for c := 1; c <= maxClusters; c++ {
+		q := p
+		q.Clusters = float64(c)
+		est, err := m.Predict(q)
+		if err != nil {
+			return 0, Estimate{}, err
+		}
+		if c == 1 || est.Total() < best.Total() {
+			bestC, best = float64(c), est
+		}
+	}
+	return bestC, best, nil
+}
+
+// BreakEvenClusters returns the smallest c at which the predicted
+// clustered total beats the non-clustered baseline, or 0 if clustering
+// never pays off within maxClusters.
+func (m Model) BreakEvenClusters(p Problem, maxClusters int) (int, error) {
+	base, err := m.PredictNonClustered(p)
+	if err != nil {
+		return 0, err
+	}
+	for c := 1; c <= maxClusters; c++ {
+		q := p
+		q.Clusters = float64(c)
+		est, err := m.Predict(q)
+		if err != nil {
+			return 0, err
+		}
+		if est.Total() < base.Total() {
+			return c, nil
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,169 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func paperProblem() Problem {
+	// Rough shape of the paper's reference experiment: three candidate
+	// sets totalling ~4500 elements, 235 clusters, 4 iterations, B&B
+	// tests ~3.2% of the space.
+	return Problem{
+		CandidatesPerNode: []float64{1500, 1800, 1200},
+		Clusters:          235,
+		Iterations:        4,
+		BnBFraction:       0.032,
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	if err := paperProblem().Validate(); err != nil {
+		t.Fatalf("paper problem invalid: %v", err)
+	}
+	bad := []Problem{
+		{},
+		{CandidatesPerNode: []float64{0}, Clusters: 1, BnBFraction: 0.5},
+		{CandidatesPerNode: []float64{10}, Clusters: 0, BnBFraction: 0.5},
+		{CandidatesPerNode: []float64{10}, Clusters: 1, BnBFraction: 0},
+		{CandidatesPerNode: []float64{10}, Clusters: 1, BnBFraction: 2},
+		{CandidatesPerNode: []float64{10}, Clusters: 1, Iterations: -1, BnBFraction: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("problem %d should be invalid", i)
+		}
+	}
+}
+
+func TestSpaceFormulas(t *testing.T) {
+	p := Problem{CandidatesPerNode: []float64{10, 20, 30}, Clusters: 5, Iterations: 4, BnBFraction: 0.1}
+	if got := p.NonClusteredSpace(); got != 6000 {
+		t.Errorf("NonClusteredSpace = %v", got)
+	}
+	// c * (10/5)(20/5)(30/5) = 5*2*4*6 = 240
+	if got := p.ClusteredSpace(); got != 240 {
+		t.Errorf("ClusteredSpace = %v", got)
+	}
+	// reduction factor = c^(n-1) = 25
+	if got := p.SpaceReduction(); got != 25 {
+		t.Errorf("SpaceReduction = %v", got)
+	}
+	if got := p.NonClusteredSpace() / p.ClusteredSpace(); math.Abs(got-25) > 1e-9 {
+		t.Errorf("actual reduction %v != c^(n-1)", got)
+	}
+	if got := p.TotalCandidates(); got != 60 {
+		t.Errorf("TotalCandidates = %v", got)
+	}
+	if got := p.ClusteringOps(); got != 5*4*60 {
+		t.Errorf("ClusteringOps = %v", got)
+	}
+}
+
+func TestCalibrateAndPredict(t *testing.T) {
+	// Calibrate against the paper's own numbers: clustering 12.0s for
+	// c·i·|ME| ops; generation 23.8s for 56 965 partial mappings.
+	p := paperProblem()
+	m, err := Calibrate(12.0, p.ClusteringOps(), 23.8, 56965)
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	est, err := m.Predict(p)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	// The model must reproduce the clustering time it was calibrated on.
+	if math.Abs(est.ClusteringSeconds-12.0) > 1e-9 {
+		t.Errorf("clustering seconds = %v, want 12.0", est.ClusteringSeconds)
+	}
+	if est.Total() <= est.ClusteringSeconds {
+		t.Errorf("generation time missing: %+v", est)
+	}
+	base, err := m.PredictNonClustered(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Total() <= est.Total() {
+		t.Errorf("at paper scale clustering should win: clustered %v vs base %v",
+			est.Total(), base.Total())
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := Calibrate(1, 0, 1, 10); err == nil {
+		t.Errorf("zero ops accepted")
+	}
+	if _, err := Calibrate(-1, 10, 1, 10); err == nil {
+		t.Errorf("negative time accepted")
+	}
+}
+
+func TestOptimalClusters(t *testing.T) {
+	p := paperProblem()
+	m, _ := Calibrate(12.0, p.ClusteringOps(), 23.8, 56965)
+	bestC, best, err := m.OptimalClusters(p, 2000)
+	if err != nil {
+		t.Fatalf("OptimalClusters: %v", err)
+	}
+	if bestC <= 1 {
+		t.Errorf("optimum at c=%v; clustering should pay off", bestC)
+	}
+	// The optimum must be at least as good as the fitted configuration.
+	fitted, _ := m.Predict(p)
+	if best.Total() > fitted.Total()+1e-9 {
+		t.Errorf("optimum %v worse than fitted %v", best.Total(), fitted.Total())
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	p := paperProblem()
+	m, _ := Calibrate(12.0, p.ClusteringOps(), 23.8, 56965)
+	c, err := m.BreakEvenClusters(p, 1000)
+	if err != nil {
+		t.Fatalf("BreakEvenClusters: %v", err)
+	}
+	if c < 1 {
+		t.Errorf("break-even not found; clustering should pay off at paper scale")
+	}
+
+	// A tiny problem where clustering cannot pay off: huge per-distance
+	// cost, trivial search space.
+	tiny := Problem{CandidatesPerNode: []float64{2, 2}, Clusters: 2, Iterations: 10, BnBFraction: 1}
+	expensive := Model{SecondsPerDistance: 1, SecondsPerPartial: 1e-9}
+	c2, err := expensive.BreakEvenClusters(tiny, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != 0 {
+		t.Errorf("break-even %d found where clustering cannot pay off", c2)
+	}
+}
+
+// Property: clustered space decreases monotonically in c and the reduction
+// factor formula matches the ratio exactly.
+func TestClusteredSpaceMonotoneProperty(t *testing.T) {
+	f := func(m1, m2, m3 uint8) bool {
+		p := Problem{
+			CandidatesPerNode: []float64{float64(m1%50 + 10), float64(m2%50 + 10), float64(m3%50 + 10)},
+			Iterations:        4,
+			BnBFraction:       0.1,
+		}
+		prev := math.Inf(1)
+		for c := 1.0; c <= 64; c *= 2 {
+			p.Clusters = c
+			s := p.ClusteredSpace()
+			if s > prev+1e-9 {
+				return false
+			}
+			prev = s
+			if math.Abs(p.NonClusteredSpace()/s-p.SpaceReduction()) > 1e-6*p.SpaceReduction() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,348 @@
+// Package dtd parses XML Document Type Definitions into schema trees — the
+// second repository ingestion path (the paper's harvested collection mixed
+// "non-recursive DTDs and XML schemas").
+//
+// Supported declarations:
+//
+//   - <!ELEMENT name content> — content models with sequences (a, b),
+//     choices (a | b), occurrence markers (* + ?), #PCDATA, EMPTY and ANY.
+//     Occurrence markers are ignored (schema trees model structure, not
+//     cardinality); a child mentioned several times in one content model
+//     contributes one child per mention.
+//   - <!ATTLIST name attr type default ...> — each attribute becomes an
+//     attribute leaf; the DTD attribute type (CDATA, ID, NMTOKEN, ...) is
+//     recorded as the node's datatype.
+//   - comments and processing instructions are skipped; <!ENTITY ...> and
+//     <!NOTATION ...> declarations are skipped.
+//
+// Every element that is never referenced inside another element's content
+// model becomes a tree root, so one DTD may produce several trees (the
+// paper: "one schema can have multiple roots, each represented with one
+// tree"). Recursive content models are rejected — the paper's collection
+// was explicitly non-recursive.
+package dtd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"unicode"
+
+	"bellflower/internal/schema"
+)
+
+// MaxDepth bounds tree expansion depth.
+const MaxDepth = 64
+
+// Parse reads a DTD document and returns its trees.
+func Parse(r io.Reader) ([]*schema.Tree, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("dtd: %w", err)
+	}
+	return ParseString(string(src))
+}
+
+// ParseString parses a DTD from a string.
+func ParseString(src string) ([]*schema.Tree, error) {
+	d := &doc{
+		children: map[string][]string{},
+		attrs:    map[string][]attr{},
+	}
+	if err := d.scan(src); err != nil {
+		return nil, err
+	}
+	if len(d.order) == 0 {
+		return nil, fmt.Errorf("dtd: no element declarations found")
+	}
+	// Roots: declared elements never referenced as children.
+	referenced := map[string]bool{}
+	for _, kids := range d.children {
+		for _, k := range kids {
+			referenced[k] = true
+		}
+	}
+	var rootNames []string
+	for _, name := range d.order {
+		if !referenced[name] {
+			rootNames = append(rootNames, name)
+		}
+	}
+	if len(rootNames) == 0 {
+		// Everything is referenced — necessarily cyclic.
+		return nil, fmt.Errorf("dtd: recursive content models (no root element)")
+	}
+	sort.Strings(rootNames)
+	var trees []*schema.Tree
+	for _, rn := range rootNames {
+		b := schema.NewBuilder(rn)
+		root := b.Root(rn)
+		if err := d.expand(b, root, rn, 0, map[string]bool{rn: true}); err != nil {
+			return nil, err
+		}
+		t, err := b.Tree()
+		if err != nil {
+			return nil, err
+		}
+		trees = append(trees, t)
+	}
+	return trees, nil
+}
+
+type attr struct{ name, typ string }
+
+type doc struct {
+	children map[string][]string
+	attrs    map[string][]attr
+	order    []string // declaration order of elements
+}
+
+func (d *doc) expand(b *schema.Builder, node *schema.Node, name string, depth int, active map[string]bool) error {
+	if depth > MaxDepth {
+		return fmt.Errorf("dtd: element %q exceeds maximum depth %d", name, MaxDepth)
+	}
+	for _, a := range d.attrs[name] {
+		b.TypedAttribute(node, a.name, a.typ)
+	}
+	for _, childName := range d.children[name] {
+		if active[childName] {
+			return fmt.Errorf("dtd: recursive content model at %q", childName)
+		}
+		child := b.Element(node, childName)
+		if _, declared := d.children[childName]; declared || len(d.attrs[childName]) > 0 {
+			active[childName] = true
+			if err := d.expand(b, child, childName, depth+1, active); err != nil {
+				return err
+			}
+			delete(active, childName)
+		}
+	}
+	return nil
+}
+
+// scan tokenizes the DTD source into declarations.
+func (d *doc) scan(src string) error {
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case strings.HasPrefix(src[i:], "<!--"):
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				return fmt.Errorf("dtd: unterminated comment at offset %d", i)
+			}
+			i += 4 + end + 3
+		case strings.HasPrefix(src[i:], "<?"):
+			end := strings.Index(src[i:], "?>")
+			if end < 0 {
+				return fmt.Errorf("dtd: unterminated processing instruction at offset %d", i)
+			}
+			i += end + 2
+		case strings.HasPrefix(src[i:], "<!"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				return fmt.Errorf("dtd: unterminated declaration at offset %d", i)
+			}
+			decl := src[i+2 : i+end]
+			if err := d.declaration(decl); err != nil {
+				return err
+			}
+			i += end + 1
+		default:
+			return fmt.Errorf("dtd: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return nil
+}
+
+func (d *doc) declaration(decl string) error {
+	fields := strings.Fields(decl)
+	if len(fields) == 0 {
+		return fmt.Errorf("dtd: empty declaration")
+	}
+	switch fields[0] {
+	case "ELEMENT":
+		return d.elementDecl(decl)
+	case "ATTLIST":
+		return d.attlistDecl(decl)
+	case "ENTITY", "NOTATION", "DOCTYPE":
+		return nil // skipped
+	default:
+		return fmt.Errorf("dtd: unknown declaration %q", fields[0])
+	}
+}
+
+// elementDecl parses "ELEMENT name content".
+func (d *doc) elementDecl(decl string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(decl, "ELEMENT"))
+	sp := strings.IndexFunc(rest, unicode.IsSpace)
+	if sp < 0 {
+		return fmt.Errorf("dtd: ELEMENT declaration without content model: %q", decl)
+	}
+	name := rest[:sp]
+	if !validName(name) {
+		return fmt.Errorf("dtd: invalid element name %q", name)
+	}
+	content := strings.TrimSpace(rest[sp:])
+	if _, dup := d.children[name]; dup {
+		return fmt.Errorf("dtd: duplicate element declaration %q", name)
+	}
+	kids, err := contentChildren(content)
+	if err != nil {
+		return fmt.Errorf("dtd: element %q: %w", name, err)
+	}
+	d.children[name] = kids
+	d.order = append(d.order, name)
+	return nil
+}
+
+// contentChildren extracts the child element names from a content model,
+// in order of first appearance of each mention. "(a, (b | c)*, a)" yields
+// [a b c a].
+func contentChildren(content string) ([]string, error) {
+	switch content {
+	case "EMPTY", "ANY":
+		return nil, nil
+	}
+	if !strings.HasPrefix(content, "(") {
+		return nil, fmt.Errorf("invalid content model %q", content)
+	}
+	var kids []string
+	cur := strings.Builder{}
+	depth := 0
+	flush := func() {
+		tok := cur.String()
+		cur.Reset()
+		if tok == "" || tok == "#PCDATA" {
+			return
+		}
+		kids = append(kids, tok)
+	}
+	for _, r := range content {
+		switch {
+		case r == '(':
+			depth++
+			flush()
+		case r == ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced parentheses in %q", content)
+			}
+			flush()
+		case r == ',' || r == '|' || r == '*' || r == '+' || r == '?' || unicode.IsSpace(r):
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced parentheses in %q", content)
+	}
+	return kids, nil
+}
+
+// attlistDecl parses "ATTLIST element attr type default [attr type default ...]".
+// Tokenization is paren- and quote-aware: an enumeration type "(a | b)" and
+// a quoted default value are single tokens.
+func (d *doc) attlistDecl(decl string) error {
+	fields, err := attlistTokens(decl)
+	if err != nil {
+		return err
+	}
+	if len(fields) < 2 {
+		return fmt.Errorf("dtd: ATTLIST without element name")
+	}
+	elem := fields[1]
+	rest := fields[2:]
+	for len(rest) > 0 {
+		if len(rest) < 3 {
+			return fmt.Errorf("dtd: incomplete ATTLIST entry for %q", elem)
+		}
+		name, typ := rest[0], rest[1]
+		if !validName(name) {
+			return fmt.Errorf("dtd: invalid attribute name %q", name)
+		}
+		// The type may be an enumeration "(a|b|c)"; record it as "enum".
+		if strings.HasPrefix(typ, "(") {
+			typ = "enum"
+		}
+		d.attrs[elem] = append(d.attrs[elem], attr{name: name, typ: strings.ToLower(typ)})
+		// Default: #REQUIRED / #IMPLIED, or #FIXED "v", or a literal "v".
+		consumed := 3
+		if rest[2] == "#FIXED" {
+			if len(rest) < 4 {
+				return fmt.Errorf("dtd: #FIXED without value for %q", name)
+			}
+			consumed = 4
+		}
+		rest = rest[consumed:]
+	}
+	return nil
+}
+
+// attlistTokens splits an ATTLIST declaration into tokens, keeping
+// parenthesized enumerations and quoted literals whole.
+func attlistTokens(decl string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(decl) {
+		c := decl[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '(':
+			depth := 0
+			j := i
+			for ; j < len(decl); j++ {
+				if decl[j] == '(' {
+					depth++
+				} else if decl[j] == ')' {
+					depth--
+					if depth == 0 {
+						j++
+						break
+					}
+				}
+			}
+			if depth != 0 {
+				return nil, fmt.Errorf("dtd: unbalanced parentheses in ATTLIST: %q", decl)
+			}
+			out = append(out, decl[i:j])
+			i = j
+		case c == '"' || c == '\'':
+			j := strings.IndexByte(decl[i+1:], c)
+			if j < 0 {
+				return nil, fmt.Errorf("dtd: unterminated literal in ATTLIST: %q", decl)
+			}
+			out = append(out, decl[i:i+j+2])
+			i += j + 2
+		default:
+			j := i
+			for j < len(decl) && !unicode.IsSpace(rune(decl[j])) && decl[j] != '(' {
+				j++
+			}
+			out = append(out, decl[i:j])
+			i = j
+		}
+	}
+	return out, nil
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case unicode.IsLetter(r) || r == '_':
+		case i > 0 && (unicode.IsDigit(r) || r == '-' || r == '.' || r == ':'):
+		default:
+			return false
+		}
+	}
+	return true
+}

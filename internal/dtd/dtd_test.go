@@ -1,0 +1,213 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimple(t *testing.T) {
+	trees, err := ParseString(`
+<!ELEMENT book (title, author+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (first, last?)>
+<!ELEMENT first (#PCDATA)>
+<!ELEMENT last (#PCDATA)>
+<!ATTLIST book isbn CDATA #REQUIRED>
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(trees) != 1 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	tr := trees[0]
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := tr.String(); got != "book(isbn@,title,author(first,last))" {
+		t.Errorf("tree = %q", got)
+	}
+	if got := tr.Find("isbn").Type; got != "cdata" {
+		t.Errorf("isbn type = %q", got)
+	}
+}
+
+func TestParseMultipleRoots(t *testing.T) {
+	trees, err := ParseString(`
+<!ELEMENT order (item*)>
+<!ELEMENT item (#PCDATA)>
+<!ELEMENT invoice (total)>
+<!ELEMENT total (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("trees = %d, want 2 roots", len(trees))
+	}
+	// roots sorted alphabetically
+	if trees[0].Root().Name != "invoice" || trees[1].Root().Name != "order" {
+		t.Errorf("roots = %s, %s", trees[0].Root().Name, trees[1].Root().Name)
+	}
+}
+
+func TestParseChoiceAndNesting(t *testing.T) {
+	trees, err := ParseString(`
+<!ELEMENT doc ((head | meta), body)>
+<!ELEMENT head (#PCDATA)>
+<!ELEMENT meta (#PCDATA)>
+<!ELEMENT body (p)*>
+<!ELEMENT p (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got := trees[0].String()
+	if got != "doc(head,meta,body(p))" {
+		t.Errorf("tree = %q", got)
+	}
+}
+
+func TestParseRepeatedMention(t *testing.T) {
+	trees, err := ParseString(`
+<!ELEMENT pair (point, point)>
+<!ELEMENT point (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := trees[0].String(); got != "pair(point,point)" {
+		t.Errorf("tree = %q", got)
+	}
+}
+
+func TestParseUndeclaredChildIsLeaf(t *testing.T) {
+	trees, err := ParseString(`<!ELEMENT a (b, c)>`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := trees[0].String(); got != "a(b,c)" {
+		t.Errorf("tree = %q", got)
+	}
+}
+
+func TestParseAttlistVariants(t *testing.T) {
+	trees, err := ParseString(`
+<!ELEMENT e (#PCDATA)>
+<!ATTLIST e
+  id    ID            #REQUIRED
+  kind  (big | small) "big"
+  note  CDATA         #IMPLIED
+  ver   CDATA         #FIXED "1.0">
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	tr := trees[0]
+	if tr.Len() != 5 {
+		t.Fatalf("tree = %q", tr.String())
+	}
+	if got := tr.Find("kind").Type; got != "enum" {
+		t.Errorf("kind type = %q", got)
+	}
+	if got := tr.Find("id").Type; got != "id" {
+		t.Errorf("id type = %q", got)
+	}
+}
+
+func TestParseCommentsAndEntities(t *testing.T) {
+	trees, err := ParseString(`
+<!-- library DTD -->
+<!ENTITY % common "title">
+<?pi target?>
+<!ELEMENT lib (book)>
+<!-- another comment -->
+<!ELEMENT book (title)>
+<!ELEMENT title (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := trees[0].String(); got != "lib(book(title))" {
+		t.Errorf("tree = %q", got)
+	}
+}
+
+func TestParseEmptyAndAny(t *testing.T) {
+	trees, err := ParseString(`
+<!ELEMENT root (hr, blob)>
+<!ELEMENT hr EMPTY>
+<!ELEMENT blob ANY>
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := trees[0].String(); got != "root(hr,blob)" {
+		t.Errorf("tree = %q", got)
+	}
+}
+
+func TestParseRecursionRejected(t *testing.T) {
+	cases := []string{
+		// direct recursion
+		`<!ELEMENT a (a)>`,
+		// mutual recursion with a root
+		`<!ELEMENT r (a)> <!ELEMENT a (b)> <!ELEMENT b (a)>`,
+		// fully cyclic: no root at all
+		`<!ELEMENT a (b)> <!ELEMENT b (a)>`,
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("recursion accepted: %q", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           ``,
+		"garbage":         `hello`,
+		"unclosed decl":   `<!ELEMENT a (b)`,
+		"unclosed comm":   `<!-- nope`,
+		"dup element":     `<!ELEMENT a (b)> <!ELEMENT a (c)>`,
+		"no content":      `<!ELEMENT a>`,
+		"bad content":     `<!ELEMENT a b>`,
+		"bad parens":      `<!ELEMENT a (b))>`,
+		"bad name":        `<!ELEMENT 1a (b)>`,
+		"short attlist":   `<!ELEMENT a (#PCDATA)> <!ATTLIST a x>`,
+		"unknown decl":    `<!WHATEVER a>`,
+		"fixed w/o value": `<!ELEMENT a (#PCDATA)> <!ATTLIST a x CDATA #FIXED>`,
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("%s: error expected", name)
+		}
+	}
+}
+
+func TestParseReader(t *testing.T) {
+	trees, err := Parse(strings.NewReader(`<!ELEMENT a (b)> <!ELEMENT b (#PCDATA)>`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if trees[0].String() != "a(b)" {
+		t.Errorf("tree = %q", trees[0])
+	}
+}
+
+func TestSharedSubtreeExpandsInBothRoots(t *testing.T) {
+	// 'addr' is shared by two parents within one tree structure.
+	trees, err := ParseString(`
+<!ELEMENT org (person, office)>
+<!ELEMENT person (addr)>
+<!ELEMENT office (addr)>
+<!ELEMENT addr (street, city)>
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got := trees[0].String()
+	if got != "org(person(addr(street,city)),office(addr(street,city)))" {
+		t.Errorf("tree = %q", got)
+	}
+}

@@ -1,0 +1,47 @@
+package dtd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Fuzz-style robustness: ParseString must return errors, never panic, on
+// arbitrary input, and any tree it accepts must validate.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	alphabet := "<>!ELMNT AIS()|,*+?#PCDAabc\"'-%;&"
+	valid := `<!ELEMENT a (b, c)> <!ELEMENT b (#PCDATA)> <!ATTLIST a x CDATA #IMPLIED>`
+	for i := 0; i < 2000; i++ {
+		var src string
+		if rng.Intn(2) == 0 {
+			src = randBytes(rng, alphabet, rng.Intn(60))
+		} else {
+			// mutate the valid document
+			src = valid[:rng.Intn(len(valid)+1)]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ParseString(%q) panicked: %v", src, r)
+				}
+			}()
+			trees, err := ParseString(src)
+			if err == nil {
+				for _, tr := range trees {
+					if vErr := tr.Validate(); vErr != nil {
+						t.Fatalf("accepted invalid tree from %q: %v", src, vErr)
+					}
+				}
+			}
+		}()
+	}
+}
+
+func randBytes(rng *rand.Rand, alphabet string, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+	}
+	return b.String()
+}

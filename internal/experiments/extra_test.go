@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunScaleShape(t *testing.T) {
+	s := DefaultSetup()
+	s.RepoConfig.Seed = 7
+	res, err := RunScale(s, []int{1500, 3000})
+	if err != nil {
+		t.Fatalf("RunScale: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	small, big := res.Rows[0], res.Rows[1]
+	// More nodes -> more mapping elements and larger spaces.
+	if big.MappingElements <= small.MappingElements {
+		t.Errorf("mapping elements did not grow: %d -> %d",
+			small.MappingElements, big.MappingElements)
+	}
+	if big.TreeSpace <= small.TreeSpace {
+		t.Errorf("tree space did not grow: %v -> %v", small.TreeSpace, big.TreeSpace)
+	}
+	// Clustering always at or below the baseline space, at both sizes.
+	for i, row := range res.Rows {
+		if row.MediumSpace > row.TreeSpace {
+			t.Errorf("row %d: medium space %v > tree space %v", i, row.MediumSpace, row.TreeSpace)
+		}
+		if row.MediumMappings > row.TreeMappings {
+			t.Errorf("row %d: medium found more mappings than tree", i)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "tree-space") {
+		t.Errorf("Render:\n%s", out)
+	}
+}
+
+func TestRunConvergenceShape(t *testing.T) {
+	e := testEnv(t)
+	res, err := RunConvergence(e, []float64{0, 0.05, 0.5})
+	if err != nil {
+		t.Fatalf("RunConvergence: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Looser stability never needs more iterations than stricter.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Iterations > res.Rows[i-1].Iterations {
+			t.Errorf("iterations grew with looser stability: %+v", res.Rows)
+		}
+	}
+	// All settings still discover mappings.
+	for _, row := range res.Rows {
+		if row.Mappings == 0 {
+			t.Errorf("stability %v found no mappings", row.Stability)
+		}
+		if row.Iterations < 1 {
+			t.Errorf("stability %v ran %d iterations", row.Stability, row.Iterations)
+		}
+	}
+	if !strings.Contains(res.Render(), "stability") {
+		t.Errorf("Render:\n%s", res.Render())
+	}
+}
+
+func TestRunOrdering(t *testing.T) {
+	e := testEnv(t)
+	res, err := RunOrdering(e)
+	if err != nil {
+		t.Fatalf("RunOrdering: %v", err)
+	}
+	if res.OrderedFirstGood < 1 {
+		t.Fatalf("ordered run found no mapping")
+	}
+	// Quality ordering must reach the first mapping at least as early as
+	// the default order.
+	if res.UnorderedFirstGood > 0 && res.OrderedFirstGood > res.UnorderedFirstGood {
+		t.Errorf("ordering made first mapping later: %d vs %d",
+			res.OrderedFirstGood, res.UnorderedFirstGood)
+	}
+	if !strings.Contains(res.Render(), "first mapping") {
+		t.Errorf("Render: %s", res.Render())
+	}
+}

@@ -1,0 +1,216 @@
+package mapgen
+
+import (
+	"math"
+
+	"bellflower/internal/cluster"
+	"bellflower/internal/matcher"
+	"bellflower/internal/objective"
+	"bellflower/internal/schema"
+)
+
+// PartialMapping is a schema mapping restricted to the personal nodes a
+// non-useful cluster can cover (the extension sketched in Sec. 2.3 of the
+// paper: "the definition of a schema mapping should be extended with a
+// notion of partial schema mapping ... Such partial mappings might,
+// nevertheless, be valuable to the user").
+//
+// Semantics: only personal nodes present in CoveredMask are mapped. The
+// personal tree is contracted onto the covered nodes — each covered
+// non-root node connects to its nearest covered ancestor — and Δpath is
+// computed over the contracted edges. Δsim averages over all |Ns| personal
+// nodes, counting missing nodes as similarity 0, so partial mappings never
+// outscore a complete mapping with the same per-node similarities.
+type PartialMapping struct {
+	// Images[i] is the image of personal preorder rank i, or nil when the
+	// node is not covered.
+	Images []*schema.Node
+
+	// Sims[i] is the element similarity of the pair (0 when uncovered).
+	Sims []float64
+
+	// CoveredMask has bit i set when personal preorder rank i is mapped.
+	CoveredMask uint64
+
+	// Covered is the number of mapped personal nodes.
+	Covered int
+
+	// Score is the decomposed objective value under the contracted-tree
+	// semantics above.
+	Score objective.Score
+
+	// ClusterID identifies the source cluster.
+	ClusterID int
+}
+
+// GeneratePartialInCluster searches a (typically non-useful) cluster for
+// partial mappings over exactly the personal nodes that have candidates in
+// the cluster. Returns nil when fewer than two personal nodes are covered
+// or when the covered set does not include the personal root's nearest
+// covered representative (a single mapped node is not an informative
+// partial mapping). Counters are accumulated like in GenerateInCluster.
+func (g *Generator) GeneratePartialInCluster(cl *cluster.Cluster) ([]PartialMapping, Counters) {
+	sets, _ := g.restricted(cl)
+	n := g.cands.Personal.Len()
+
+	covered := make([]bool, n)
+	numCovered := 0
+	var mask uint64
+	for i := 0; i < n; i++ {
+		if len(sets[i]) > 0 {
+			covered[i] = true
+			numCovered++
+			mask |= 1 << uint(i)
+		}
+	}
+	if numCovered < 2 {
+		return nil, Counters{}
+	}
+
+	// Contract the personal tree: for each covered non-"local root" node,
+	// find the nearest covered proper ancestor.
+	var edges []contractedEdge
+	for _, node := range g.cands.Personal.Nodes() {
+		if !covered[node.Pre] {
+			continue
+		}
+		for p := node.Parent(); p != nil; p = p.Parent() {
+			if covered[p.Pre] {
+				edges = append(edges, contractedEdge{p.Pre, node.Pre})
+				break
+			}
+		}
+	}
+
+	order := make([]int, 0, numCovered)
+	for i := 0; i < n; i++ {
+		if covered[i] {
+			order = append(order, i)
+		}
+	}
+	// Preorder over covered nodes keeps contracted parents before children.
+	es := len(edges)
+	ctr := Counters{}
+	space := 1.0
+	for _, i := range order {
+		space *= float64(len(sets[i]))
+	}
+	ctr.SearchSpace = space
+
+	ps := &partialSearch{
+		g: g, cl: cl, sets: sets, order: order, edges: edges, es: es,
+		images: make([]*schema.Node, n),
+		sims:   make([]float64, n),
+		used:   make(map[int]bool),
+		union:  objective.NewEdgeUnion(g.ix),
+		ctr:    &ctr,
+		n:      n, mask: mask, numCovered: numCovered,
+	}
+	ps.suffixBest = make([]float64, len(order)+1)
+	for k := len(order) - 1; k >= 0; k-- {
+		best := 0.0
+		for _, c := range sets[order[k]] {
+			if c.Sim > best {
+				best = c.Sim
+			}
+		}
+		ps.suffixBest[k] = ps.suffixBest[k+1] + best
+	}
+	ps.run(0, 0)
+	ctr.Found = int64(len(ps.out))
+	return ps.out, ctr
+}
+
+// contractedEdge is an edge of the personal tree contracted onto the
+// covered nodes; parent and child are personal preorder ranks.
+type contractedEdge struct{ parent, child int }
+
+type partialSearch struct {
+	g          *Generator
+	cl         *cluster.Cluster
+	sets       [][]matcher.Candidate
+	order      []int // covered preorder ranks, ascending
+	edges      []contractedEdge
+	es         int
+	images     []*schema.Node
+	sims       []float64
+	used       map[int]bool
+	union      *objective.EdgeUnion
+	suffixBest []float64
+	ctr        *Counters
+	out        []PartialMapping
+	n          int
+	mask       uint64
+	numCovered int
+}
+
+// deltaPath applies Eq. 2 over the contracted edge count.
+func (ps *partialSearch) deltaPath(et int) float64 {
+	if ps.es == 0 {
+		return 1
+	}
+	d := 1 - float64(et-ps.es)/(float64(ps.es)*ps.g.ev.Params().K)
+	return math.Max(0, math.Min(1, d))
+}
+
+func (ps *partialSearch) run(k int, simSum float64) {
+	if k == len(ps.order) {
+		ps.ctr.CompleteMappings++
+		dsim := simSum / float64(ps.n) // missing nodes count as 0
+		dpath := ps.deltaPath(ps.union.Size())
+		delta := ps.g.ev.Combine(dsim, dpath)
+		if delta >= ps.g.cfg.Threshold {
+			pm := PartialMapping{
+				Images:      append([]*schema.Node(nil), ps.images...),
+				Sims:        append([]float64(nil), ps.sims...),
+				CoveredMask: ps.mask,
+				Covered:     ps.numCovered,
+				ClusterID:   ps.cl.ID,
+				Score: objective.Score{
+					Delta: delta, Sim: dsim, Path: dpath, Et: ps.union.Size(),
+				},
+			}
+			ps.out = append(ps.out, pm)
+		}
+		return
+	}
+	i := ps.order[k]
+	// contracted parent of i, if any
+	parent := -1
+	for _, e := range ps.edges {
+		if e.child == i {
+			parent = e.parent
+			break
+		}
+	}
+	for _, c := range ps.sets[i] {
+		if ps.used[c.Node.ID] {
+			continue
+		}
+		ps.ctr.PartialMappings++
+		var touched []int
+		if parent >= 0 {
+			touched = ps.union.Push(ps.images[parent], c.Node)
+		}
+		prune := false
+		if ps.g.cfg.Algorithm == BranchAndBound {
+			bound := ps.g.ev.Combine(
+				(simSum+c.Sim+ps.suffixBest[k+1])/float64(ps.n),
+				ps.deltaPath(ps.union.Size()),
+			)
+			prune = bound < ps.g.cfg.Threshold
+		}
+		if !prune {
+			ps.images[i] = c.Node
+			ps.sims[i] = c.Sim
+			ps.used[c.Node.ID] = true
+			ps.run(k+1, simSum+c.Sim)
+			delete(ps.used, c.Node.ID)
+			ps.images[i] = nil
+			ps.sims[i] = 0
+		}
+		if parent >= 0 {
+			ps.union.Pop(touched)
+		}
+	}
+}

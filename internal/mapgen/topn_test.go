@@ -1,0 +1,108 @@
+package mapgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bellflower/internal/cluster"
+	"bellflower/internal/labeling"
+	"bellflower/internal/matcher"
+	"bellflower/internal/objective"
+	"bellflower/internal/schema"
+)
+
+func TestGenerateTopNMatchesTruncation(t *testing.T) {
+	f := newFix(t, objective.DefaultParams(), 0.3,
+		"book(title,author)",
+		"lib(book(title,author),book(titel,autor),paper(title,author))",
+		"store(dept(book(title,author(name))))")
+	clusters := f.treeClusters()
+	for _, n := range []int{1, 3, 5, 100} {
+		full, _ := f.gen(Config{Threshold: 0.5}).Generate(clusters)
+		top, _ := f.gen(Config{Threshold: 0.5}).GenerateTopN(clusters, n)
+		want := len(full)
+		if want > n {
+			want = n
+		}
+		if len(top) != want {
+			t.Fatalf("n=%d: got %d mappings, want %d", n, len(top), want)
+		}
+		for i := range top {
+			if math.Abs(top[i].Score.Delta-full[i].Score.Delta) > 1e-12 {
+				t.Errorf("n=%d rank %d: Δ %v vs %v", n, i, top[i].Score.Delta, full[i].Score.Delta)
+			}
+		}
+	}
+}
+
+func TestGenerateTopNPrunesMore(t *testing.T) {
+	f := newFix(t, objective.DefaultParams(), 0.3,
+		"book(title,author)",
+		"lib(book(title,author),book(titel,autor),paper(title,author),bok(ttl,athr))",
+		"store(dept(book(title,author(name))),book(title,author))")
+	clusters := f.treeClusters()
+	_, fullCtr := f.gen(Config{Threshold: 0.3}).Generate(clusters)
+	_, topCtr := f.gen(Config{Threshold: 0.3}).GenerateTopN(clusters, 1)
+	if topCtr.PartialMappings >= fullCtr.PartialMappings {
+		t.Errorf("top-1 search should prune harder: %d vs %d partials",
+			topCtr.PartialMappings, fullCtr.PartialMappings)
+	}
+}
+
+func TestGenerateTopNZeroFallsBack(t *testing.T) {
+	f := newFix(t, objective.DefaultParams(), 0.4,
+		"book(title)", "lib(book(title))")
+	clusters := f.treeClusters()
+	all, _ := f.gen(Config{Threshold: 0.5}).Generate(clusters)
+	zero, _ := f.gen(Config{Threshold: 0.5}).GenerateTopN(clusters, 0)
+	if len(zero) != len(all) {
+		t.Errorf("n=0 should return everything: %d vs %d", len(zero), len(all))
+	}
+}
+
+// Property: the top-N Δ list equals the first N entries of the full ranked
+// Δ list on random repositories.
+func TestGenerateTopNProperty(t *testing.T) {
+	words := []string{"book", "title", "author", "name", "data"}
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		repo := schema.NewRepository()
+		for tr := 0; tr < 1+rng.Intn(3); tr++ {
+			b := schema.NewBuilder("t")
+			nodes := []*schema.Node{b.Root(words[rng.Intn(len(words))])}
+			for i := 1; i < 3+rng.Intn(12); i++ {
+				p := nodes[rng.Intn(len(nodes))]
+				nodes = append(nodes, b.Element(p, words[rng.Intn(len(words))]))
+			}
+			repo.MustAdd(b.MustTree())
+		}
+		personal := schema.MustParseSpec("book(title,author)")
+		ix := labeling.NewIndex(repo)
+		cands := matcher.FindCandidates(personal, repo, matcher.NameMatcher{}, matcher.Config{MinSim: 0.4})
+		ev := objective.NewEvaluator(objective.DefaultParams(), ix, personal)
+		clusters := cluster.TreeClusters(ix, cands).Clusters
+		n := 1 + int(nRaw)%8
+
+		full, _ := New(Config{Threshold: 0.5}, ix, ev, cands).Generate(clusters)
+		top, topCtr := New(Config{Threshold: 0.5}, ix, ev, cands).GenerateTopN(clusters, n)
+		want := len(full)
+		if want > n {
+			want = n
+		}
+		if len(top) != want {
+			return false
+		}
+		for i := range top {
+			if math.Abs(top[i].Score.Delta-full[i].Score.Delta) > 1e-12 {
+				return false
+			}
+		}
+		_, fullCtr := New(Config{Threshold: 0.5}, ix, ev, cands).Generate(clusters)
+		return topCtr.PartialMappings <= fullCtr.PartialMappings
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,287 @@
+package matcher
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bellflower/internal/schema"
+)
+
+func node(name, typ string) *schema.Node {
+	b := schema.NewBuilder("t")
+	r := b.Root("root")
+	n := b.TypedElement(r, name, typ)
+	b.MustTree()
+	return n
+}
+
+func TestNameMatcher(t *testing.T) {
+	m := NameMatcher{}
+	if got := m.Similarity(node("book", ""), node("book", "")); got != 1 {
+		t.Errorf("identical names = %v", got)
+	}
+	if got := m.Similarity(node("book", ""), node("Book", "")); got != 1 {
+		t.Errorf("case-folded names = %v", got)
+	}
+	exact := m.Similarity(node("author", ""), node("author", ""))
+	near := m.Similarity(node("author", ""), node("authors", ""))
+	far := m.Similarity(node("author", ""), node("zzzzz", ""))
+	if !(exact > near && near > far) {
+		t.Errorf("ordering wrong: %v %v %v", exact, near, far)
+	}
+
+	ta := NameMatcher{TokenAware: true}
+	plain := m.Similarity(node("authorName", ""), node("name_author", ""))
+	token := ta.Similarity(node("authorName", ""), node("name_author", ""))
+	if token <= plain {
+		t.Errorf("token-aware should beat plain on reordered compounds: %v <= %v", token, plain)
+	}
+}
+
+func TestSynonymMatcher(t *testing.T) {
+	m := DefaultSynonyms()
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"author", "writer", 1},
+		{"Writer", "CREATOR", 1},
+		{"email", "e-mail", 1},
+		{"book", "author", 0},
+		{"same", "same", 1}, // identical always 1
+	}
+	for _, tc := range cases {
+		if got := m.Similarity(node(tc.a, ""), node(tc.b, "")); got != tc.want {
+			t.Errorf("synonym(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSynonymMatcherAddGroup(t *testing.T) {
+	m := NewSynonymMatcher()
+	m.AddGroup("isbn", "identifier")
+	if got := m.Similarity(node("ISBN", ""), node("Identifier", "")); got != 1 {
+		t.Errorf("added group not matched: %v", got)
+	}
+	// symmetry
+	if got := m.Similarity(node("identifier", ""), node("isbn", "")); got != 1 {
+		t.Errorf("synonym not symmetric: %v", got)
+	}
+}
+
+func TestTypeMatcher(t *testing.T) {
+	m := TypeMatcher{}
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"string", "string", 1},
+		{"string", "token", 0.75},  // same family
+		{"int", "decimal", 0.75},   // numeric family
+		{"string", "integer", 0},   // different families
+		{"", "string", 0.5},        // unknown
+		{"string", "", 0.5},        // unknown
+		{"date", "dateTime", 0.75}, // time family
+	}
+	for _, tc := range cases {
+		if got := m.Similarity(node("x", tc.a), node("y", tc.b)); got != tc.want {
+			t.Errorf("type(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCombined(t *testing.T) {
+	c := NewCombined(
+		Weighted{NameMatcher{}, 2},
+		Weighted{TypeMatcher{}, 1},
+	)
+	// name sim 1, type sim 1 -> 1
+	if got := c.Similarity(node("a", "string"), node("a", "string")); got != 1 {
+		t.Errorf("combined identical = %v", got)
+	}
+	// name sim 0 (totally different), type 0 -> 0
+	if got := c.Similarity(node("aaaa", "string"), node("zzzz", "integer")); got != 0 {
+		t.Errorf("combined disjoint = %v", got)
+	}
+	// weighted: name=1 (w2), type=0 (w1) -> 2/3
+	got := c.Similarity(node("a", "string"), node("a", "integer"))
+	if got < 0.66 || got > 0.67 {
+		t.Errorf("combined weighting = %v, want 2/3", got)
+	}
+	if c.Name() != "combined(name(fuzzy)+datatype)" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestCombinedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("zero-weight combined should panic")
+		}
+	}()
+	NewCombined()
+}
+
+func buildRepo(specs ...string) *schema.Repository {
+	r := schema.NewRepository()
+	for _, s := range specs {
+		r.MustAdd(schema.MustParseSpec(s))
+	}
+	return r
+}
+
+func TestFindCandidates(t *testing.T) {
+	personal := schema.MustParseSpec("book(title,author)")
+	repo := buildRepo(
+		"lib(address,book(authorName,data(title),shelf))",
+		"store(books(book(title,author)))",
+		"zoo(animal(cage))",
+	)
+	cands := FindCandidates(personal, repo, NameMatcher{}, Config{MinSim: 0.55})
+	if len(cands.Sets) != 3 {
+		t.Fatalf("want 3 candidate sets, got %d", len(cands.Sets))
+	}
+	bookSet := cands.Set(personal.Find("book"))
+	if len(bookSet.Elems) < 2 {
+		t.Fatalf("book should match at least the two 'book' nodes, got %d", len(bookSet.Elems))
+	}
+	// exact matches first
+	if bookSet.Elems[0].Sim != 1 {
+		t.Errorf("best book candidate sim = %v", bookSet.Elems[0].Sim)
+	}
+	// sorted descending
+	for i := 1; i < len(bookSet.Elems); i++ {
+		if bookSet.Elems[i].Sim > bookSet.Elems[i-1].Sim {
+			t.Errorf("candidates not sorted at %d", i)
+		}
+	}
+	// author set should include authorName and author
+	authorSet := cands.Set(personal.Find("author"))
+	foundAuthor, foundAuthorName := false, false
+	for _, c := range authorSet.Elems {
+		switch c.Node.Name {
+		case "author":
+			foundAuthor = true
+		case "authorName":
+			foundAuthorName = true
+		}
+	}
+	if !foundAuthor {
+		t.Errorf("author candidate missing exact match")
+	}
+	if !foundAuthorName {
+		t.Errorf("author candidate missing authorName (fuzzy)")
+	}
+	if cands.TotalMappingElements() == 0 {
+		t.Errorf("no mapping elements found")
+	}
+}
+
+func TestCandidatesMinSet(t *testing.T) {
+	personal := schema.MustParseSpec("book(title,qqqqzw)")
+	repo := buildRepo("lib(book(title),book(title))")
+	cands := FindCandidates(personal, repo, NameMatcher{}, Config{MinSim: 0.5})
+	// qqqqzw matches nothing; MinSet must skip empty sets.
+	min := cands.MinSet()
+	if min == -1 {
+		t.Fatalf("MinSet = -1, want a non-empty set")
+	}
+	if len(cands.Sets[min].Elems) == 0 {
+		t.Errorf("MinSet returned an empty set")
+	}
+
+	// All-empty case.
+	p2 := schema.MustParseSpec("qqqq(wwww)")
+	c2 := FindCandidates(p2, repo, NameMatcher{}, Config{MinSim: 0.9})
+	if got := c2.MinSet(); got != -1 {
+		t.Errorf("MinSet on empty candidates = %d, want -1", got)
+	}
+}
+
+func TestMaxPerNode(t *testing.T) {
+	personal := schema.MustParseSpec("book")
+	repo := buildRepo("lib(book,book,book,book,book)")
+	cands := FindCandidates(personal, repo, NameMatcher{}, Config{MinSim: 0.1, MaxPerNode: 2})
+	if got := len(cands.Set(personal.Root()).Elems); got != 2 {
+		t.Errorf("MaxPerNode not applied: %d", got)
+	}
+}
+
+func TestMappingElementNodes(t *testing.T) {
+	personal := schema.MustParseSpec("book(title)")
+	repo := buildRepo("lib(book(title),title)")
+	cands := FindCandidates(personal, repo, NameMatcher{}, Config{MinSim: 0.9})
+	nodes, masks := cands.MappingElementNodes()
+	if len(nodes) != len(masks) {
+		t.Fatalf("nodes/masks length mismatch")
+	}
+	// repo has one 'book' (candidate for personal book = bit 0) and two
+	// 'title' nodes (bit 1).
+	var bookMask, titleMask uint64
+	for i, n := range nodes {
+		switch n.Name {
+		case "book":
+			bookMask |= masks[i]
+		case "title":
+			titleMask |= masks[i]
+		}
+	}
+	if bookMask != 1 {
+		t.Errorf("book mask = %b, want 1", bookMask)
+	}
+	if titleMask != 2 {
+		t.Errorf("title mask = %b, want 10", titleMask)
+	}
+}
+
+func TestSimLookup(t *testing.T) {
+	personal := schema.MustParseSpec("book")
+	repo := buildRepo("lib(book,zebra)")
+	cands := FindCandidates(personal, repo, NameMatcher{}, Config{MinSim: 0.5})
+	p := personal.Root()
+	book := repo.Tree(0).Find("book")
+	zebra := repo.Tree(0).Find("zebra")
+	if got := cands.Sim(p, book); got != 1 {
+		t.Errorf("Sim(book,book) = %v", got)
+	}
+	if got := cands.Sim(p, zebra); got != 0 {
+		t.Errorf("Sim(book,zebra) = %v, want 0 (not a candidate)", got)
+	}
+}
+
+// Property: every candidate respects the MinSim threshold and sets are
+// sorted descending; the similarity stored equals the matcher's output.
+func TestFindCandidatesProperty(t *testing.T) {
+	m := NameMatcher{}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		words := []string{"book", "title", "author", "bok", "autor", "name", "addr", "zzz"}
+		pick := func() string { return words[rng.Intn(len(words))] }
+		personal := schema.MustParseSpec(pick() + "(" + pick() + "," + pick() + ")")
+		repo := buildRepo(
+			pick()+"("+pick()+","+pick()+"("+pick()+"))",
+			pick()+"("+pick()+")",
+		)
+		minSim := float64(rng.Intn(10)) / 10
+		cands := FindCandidates(personal, repo, m, Config{MinSim: minSim})
+		for i := range cands.Sets {
+			set := &cands.Sets[i]
+			for j, c := range set.Elems {
+				if c.Sim <= minSim {
+					return false
+				}
+				if j > 0 && set.Elems[j-1].Sim < c.Sim {
+					return false
+				}
+				if m.Similarity(set.Personal, c.Node) != c.Sim {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,446 @@
+// Package pipeline wires the full clustered schema matching architecture of
+// Fig. 3: element matching (matcher) → clustering (cluster) → per-cluster
+// mapping generation (mapgen) → one merged ranked list. It also exposes the
+// non-clustered baseline (tree clusters) and collects the timing and counter
+// instrumentation the experiments report.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bellflower/internal/cluster"
+	"bellflower/internal/labeling"
+	"bellflower/internal/mapgen"
+	"bellflower/internal/matcher"
+	"bellflower/internal/objective"
+	"bellflower/internal/schema"
+)
+
+// Variant selects one of the paper's clustering configurations (Sec. 5):
+// the join-reclustering distance threshold produces small (2), medium (3)
+// or large (4) clusters; VariantTree is the non-clustered baseline in which
+// every repository tree is one cluster.
+type Variant int
+
+const (
+	// VariantTree is the non-clustered baseline ("tree clusters").
+	VariantTree Variant = iota
+	// VariantSmall uses join distance threshold 2.
+	VariantSmall
+	// VariantMedium uses join distance threshold 3.
+	VariantMedium
+	// VariantLarge uses join distance threshold 4.
+	VariantLarge
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantTree:
+		return "tree"
+	case VariantSmall:
+		return "small"
+	case VariantMedium:
+		return "medium"
+	case VariantLarge:
+		return "large"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// ClusterConfig returns the k-means configuration of the variant;
+// ok is false for VariantTree, which does not run k-means.
+func (v Variant) ClusterConfig() (cfg cluster.Config, ok bool) {
+	cfg = cluster.DefaultConfig()
+	switch v {
+	case VariantSmall:
+		cfg.JoinThreshold = 2
+	case VariantMedium:
+		cfg.JoinThreshold = 3
+	case VariantLarge:
+		cfg.JoinThreshold = 4
+	default:
+		return cluster.Config{}, false
+	}
+	return cfg, true
+}
+
+// Variants lists all variants in the order the paper's tables use.
+func Variants() []Variant {
+	return []Variant{VariantSmall, VariantMedium, VariantLarge, VariantTree}
+}
+
+// Options configures one matching run.
+type Options struct {
+	// Objective holds α and K of the objective function.
+	Objective objective.Params
+
+	// Threshold is δ: only mappings with Δ ≥ δ are reported.
+	Threshold float64
+
+	// MinSim is the element-matching candidate threshold.
+	MinSim float64
+
+	// TopN truncates the ranked mapping list (0 = all).
+	TopN int
+
+	// Variant selects the clustering configuration.
+	Variant Variant
+
+	// ClusterConfig overrides the variant's k-means configuration when
+	// non-nil (ignored for VariantTree).
+	ClusterConfig *cluster.Config
+
+	// Matcher overrides the element matcher (default: paper-faithful
+	// fuzzy name matcher).
+	Matcher matcher.Matcher
+
+	// Algorithm selects the mapping generator search (default B&B).
+	Algorithm mapgen.Algorithm
+
+	// IncludePartials also collects partial mappings from non-useful
+	// clusters (the Sec. 2.3 extension).
+	IncludePartials bool
+
+	// OrderClusters processes useful clusters in descending quality order
+	// (the Sec. 7 "ordering the clusters" extension); affects
+	// Report.FirstGoodAfter instrumentation and the order mappings are
+	// discovered, not the final ranking.
+	OrderClusters bool
+
+	// StructureMatcher enables the paper's two-phase technique (Sec. 2.3,
+	// alternative clustered matching): localized matchers produce the
+	// preliminary candidates, clustering partitions them, and this
+	// structure matcher rescores candidates inside each useful cluster
+	// before mapping generation. StructureWeight in [0,1] blends the
+	// localized and structural scores (sim' = (1−w)·sim + w·struct).
+	StructureMatcher matcher.Matcher
+
+	// StructureWeight is the blend weight of StructureMatcher (default
+	// 0.5 when a StructureMatcher is set).
+	StructureWeight float64
+
+	// Parallelism runs mapping generation over useful clusters with this
+	// many goroutines (0 or 1 = sequential). Results are deterministic:
+	// the final ranking is independent of completion order.
+	Parallelism int
+
+	// Agglomerative replaces the adapted k-means with single-linkage
+	// threshold clustering (the variant's join threshold becomes the
+	// merge threshold). Ignored for VariantTree.
+	Agglomerative bool
+
+	// AdaptiveTopN uses the adaptive top-N Branch & Bound (the pruning
+	// threshold rises to the N-th best Δ found so far) instead of
+	// generating everything and truncating. Requires TopN > 0; it returns
+	// the same top-N list with less work. Ignored when a StructureMatcher
+	// or Parallelism is configured (the adaptive bound is sequential).
+	AdaptiveTopN bool
+}
+
+// DefaultOptions mirrors the paper's reference experiment: δ = 0.75,
+// α = 0.5, medium clusters.
+func DefaultOptions() Options {
+	return Options{
+		Objective: objective.DefaultParams(),
+		Threshold: 0.75,
+		MinSim:    0.45,
+		Variant:   VariantMedium,
+	}
+}
+
+// Report is the instrumented result of one run.
+type Report struct {
+	// Variant echoes the clustering variant used.
+	Variant Variant
+
+	// MappingElements is the total number of (personal node, repository
+	// node) candidate pairs produced by element matching.
+	MappingElements int
+
+	// Clusters is the number of clusters formed (all, useful or not).
+	Clusters int
+
+	// UsefulClusters can produce complete mappings (Tab. 1a col 1).
+	UsefulClusters int
+
+	// AvgElementsPerUsefulCluster is Tab. 1a col 2.
+	AvgElementsPerUsefulCluster float64
+
+	// ClusterSizes lists the element count of every cluster (Fig. 4).
+	ClusterSizes []int
+
+	// Iterations is the number of k-means iterations (0 for tree
+	// clusters).
+	Iterations int
+
+	// Counters aggregates the mapping-generator indicators (Tab. 1a col 3
+	// = SearchSpace, Tab. 1b).
+	Counters mapgen.Counters
+
+	// Mappings is the final ranked list (step ⑤).
+	Mappings []mapgen.Mapping
+
+	// Partials holds partial mappings from non-useful clusters when
+	// requested.
+	Partials []mapgen.PartialMapping
+
+	// MatchTime, ClusterTime and GenTime are the wall-clock durations of
+	// the three stages.
+	MatchTime   time.Duration
+	ClusterTime time.Duration
+	GenTime     time.Duration
+
+	// FirstGoodAfter is the number of useful clusters processed before
+	// the first mapping with Δ ≥ δ appeared (1-based; 0 when none found).
+	// With OrderClusters it measures the cluster-ordering extension's
+	// time-to-first-mapping benefit.
+	FirstGoodAfter int
+}
+
+// TotalTime returns the end-to-end duration of the run.
+func (r *Report) TotalTime() time.Duration { return r.MatchTime + r.ClusterTime + r.GenTime }
+
+// Deltas returns the similarity indexes of the ranked mappings, used to
+// build preservation curves.
+func (r *Report) Deltas() []float64 {
+	out := make([]float64, len(r.Mappings))
+	for i, m := range r.Mappings {
+		out[i] = m.Score.Delta
+	}
+	return out
+}
+
+// Runner executes matching runs against a fixed repository, reusing the
+// labelling index across runs.
+type Runner struct {
+	repo *schema.Repository
+	ix   *labeling.Index
+}
+
+// NewRunner builds the labelling index for the repository.
+func NewRunner(repo *schema.Repository) *Runner {
+	return &Runner{repo: repo, ix: labeling.NewIndex(repo)}
+}
+
+// Repository returns the runner's repository.
+func (r *Runner) Repository() *schema.Repository { return r.repo }
+
+// Index returns the runner's labelling index.
+func (r *Runner) Index() *labeling.Index { return r.ix }
+
+// Run executes the full pipeline for one personal schema.
+func (r *Runner) Run(personal *schema.Tree, opts Options) (*Report, error) {
+	if err := opts.Objective.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Threshold < 0 || opts.Threshold > 1 {
+		return nil, fmt.Errorf("pipeline: threshold %v outside [0,1]", opts.Threshold)
+	}
+	m := opts.Matcher
+	if m == nil {
+		m = matcher.NameMatcher{}
+	}
+	rep := &Report{Variant: opts.Variant}
+
+	// Stage 1: element matching (steps ② and ③).
+	t0 := time.Now()
+	cands := matcher.FindCandidates(personal, r.repo, m, matcher.Config{MinSim: opts.MinSim})
+	rep.MatchTime = time.Since(t0)
+	rep.MappingElements = cands.TotalMappingElements()
+
+	// Stage 2: clustering (step c).
+	t1 := time.Now()
+	var clusters []*cluster.Cluster
+	if cfg, ok := opts.Variant.ClusterConfig(); ok {
+		if opts.ClusterConfig != nil {
+			cfg = *opts.ClusterConfig
+		}
+		var res *cluster.Result
+		var err error
+		if opts.Agglomerative {
+			res, err = cluster.Agglomerative(r.ix, cands, cluster.AgglomerativeConfig{
+				MergeThreshold: cfg.JoinThreshold,
+				MaxClusterSize: cfg.SplitAbove,
+			})
+		} else {
+			res, err = cluster.KMeans(r.ix, cands, cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		clusters = res.Clusters
+		rep.Iterations = res.Iterations
+	} else {
+		clusters = cluster.TreeClusters(r.ix, cands).Clusters
+	}
+	rep.ClusterTime = time.Since(t1)
+	rep.Clusters = len(clusters)
+	for _, cl := range clusters {
+		rep.ClusterSizes = append(rep.ClusterSizes, cl.Len())
+	}
+
+	// Stage 3: mapping generation per cluster (steps ④ and ⑤).
+	t2 := time.Now()
+	ev := objective.NewEvaluator(opts.Objective, r.ix, personal)
+	genCfg := mapgen.Config{
+		Threshold: opts.Threshold,
+		Algorithm: opts.Algorithm,
+	}
+	gen := mapgen.New(genCfg, r.ix, ev, cands)
+
+	useful, nonUseful := splitUseful(clusters, personal.Len())
+	if opts.OrderClusters {
+		sortByQuality(useful, cands)
+	}
+	sizeSum := 0
+	for _, cl := range useful {
+		sizeSum += cl.Len()
+	}
+	rep.UsefulClusters = len(useful)
+	if len(useful) > 0 {
+		rep.AvgElementsPerUsefulCluster = float64(sizeSum) / float64(len(useful))
+	}
+
+	// generateIn searches one useful cluster, applying the two-phase
+	// structural rescoring when configured.
+	generateIn := func(cl *cluster.Cluster) ([]mapgen.Mapping, mapgen.Counters) {
+		if opts.StructureMatcher == nil {
+			return gen.GenerateInCluster(cl)
+		}
+		w := opts.StructureWeight
+		if w == 0 {
+			w = 0.5
+		}
+		member := make(map[int]bool, len(cl.Elements))
+		for _, e := range cl.Elements {
+			member[e.Node.ID] = true
+		}
+		rescored := matcher.Rescore(cands, opts.StructureMatcher, w,
+			func(n *schema.Node) bool { return member[n.ID] })
+		return mapgen.New(genCfg, r.ix, ev, rescored).GenerateInCluster(cl)
+	}
+
+	if opts.AdaptiveTopN && opts.TopN > 0 && opts.StructureMatcher == nil && opts.Parallelism <= 1 {
+		ms, ctr := gen.GenerateTopN(useful, opts.TopN)
+		rep.Counters = ctr
+		rep.Mappings = ms
+		if len(ms) > 0 {
+			rep.FirstGoodAfter = 1 // not meaningful under the global bound
+		}
+		if opts.IncludePartials {
+			collectPartials(rep, gen, nonUseful)
+		}
+		rep.GenTime = time.Since(t2)
+		return rep, nil
+	}
+
+	perCluster := make([][]mapgen.Mapping, len(useful))
+	perCounter := make([]mapgen.Counters, len(useful))
+	if opts.Parallelism > 1 && len(useful) > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, opts.Parallelism)
+		for i, cl := range useful {
+			wg.Add(1)
+			go func(i int, cl *cluster.Cluster) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				perCluster[i], perCounter[i] = generateIn(cl)
+			}(i, cl)
+		}
+		wg.Wait()
+	} else {
+		for i, cl := range useful {
+			perCluster[i], perCounter[i] = generateIn(cl)
+		}
+	}
+	var all []mapgen.Mapping
+	for i := range useful {
+		rep.Counters.Add(perCounter[i])
+		if len(perCluster[i]) > 0 && rep.FirstGoodAfter == 0 {
+			rep.FirstGoodAfter = i + 1
+		}
+		all = append(all, perCluster[i]...)
+	}
+	mapgen.Rank(all)
+	if opts.TopN > 0 && len(all) > opts.TopN {
+		all = all[:opts.TopN]
+	}
+	rep.Mappings = all
+
+	if opts.IncludePartials {
+		collectPartials(rep, gen, nonUseful)
+	}
+	rep.GenTime = time.Since(t2)
+	return rep, nil
+}
+
+// collectPartials gathers ranked partial mappings from non-useful clusters.
+func collectPartials(rep *Report, gen *mapgen.Generator, nonUseful []*cluster.Cluster) {
+	for _, cl := range nonUseful {
+		pms, ctr := gen.GeneratePartialInCluster(cl)
+		_ = ctr // partial counters are not part of the paper's tables
+		rep.Partials = append(rep.Partials, pms...)
+	}
+	sort.Slice(rep.Partials, func(i, j int) bool {
+		return rep.Partials[i].Score.Delta > rep.Partials[j].Score.Delta
+	})
+}
+
+// splitUseful partitions clusters by usefulness for an n-node personal
+// schema.
+func splitUseful(clusters []*cluster.Cluster, n int) (useful, nonUseful []*cluster.Cluster) {
+	full := uint64(1)<<uint(n) - 1
+	for _, cl := range clusters {
+		if cl.Useful(full) {
+			useful = append(useful, cl)
+		} else {
+			nonUseful = append(nonUseful, cl)
+		}
+	}
+	return useful, nonUseful
+}
+
+// ClusterQuality scores a cluster's potential to deliver good mappings: the
+// average, over personal nodes, of the best element similarity the cluster
+// offers for that node — an upper bound on any mapping's Δsim within the
+// cluster. (The Sec. 7 "ordering the clusters" future-work item.)
+func ClusterQuality(cl *cluster.Cluster, cands *matcher.Candidates) float64 {
+	n := cands.Personal.Len()
+	member := make(map[int]bool, len(cl.Elements))
+	for _, e := range cl.Elements {
+		member[e.Node.ID] = true
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		best := 0.0
+		for _, c := range cands.Sets[i].Elems {
+			if member[c.Node.ID] && c.Sim > best {
+				best = c.Sim
+				break // sets are sorted by descending sim
+			}
+		}
+		sum += best
+	}
+	return sum / float64(n)
+}
+
+func sortByQuality(clusters []*cluster.Cluster, cands *matcher.Candidates) {
+	type scored struct {
+		cl *cluster.Cluster
+		q  float64
+	}
+	ss := make([]scored, len(clusters))
+	for i, cl := range clusters {
+		ss[i] = scored{cl, ClusterQuality(cl, cands)}
+	}
+	sort.SliceStable(ss, func(i, j int) bool { return ss[i].q > ss[j].q })
+	for i := range ss {
+		clusters[i] = ss[i].cl
+	}
+}

@@ -1,0 +1,313 @@
+package pipeline
+
+import (
+	"testing"
+
+	"bellflower/internal/cluster"
+	"bellflower/internal/mapgen"
+	"bellflower/internal/matcher"
+	"bellflower/internal/objective"
+	"bellflower/internal/repogen"
+	"bellflower/internal/schema"
+)
+
+func smallRepo() *schema.Repository {
+	cfg := repogen.DefaultConfig()
+	cfg.TargetNodes = 2500
+	cfg.Seed = 42
+	return repogen.MustGenerate(cfg)
+}
+
+// personBooks is the paper's canonical personal schema: three nodes named
+// name, address, email in the shape of Fig. 1's s.
+func personBooks() *schema.Tree {
+	return schema.MustParseSpec("address(name,email)")
+}
+
+func TestVariantString(t *testing.T) {
+	want := map[Variant]string{
+		VariantTree: "tree", VariantSmall: "small",
+		VariantMedium: "medium", VariantLarge: "large",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), s)
+		}
+	}
+}
+
+func TestVariantClusterConfig(t *testing.T) {
+	if _, ok := VariantTree.ClusterConfig(); ok {
+		t.Errorf("tree variant should not have a cluster config")
+	}
+	wantJoin := map[Variant]int{VariantSmall: 2, VariantMedium: 3, VariantLarge: 4}
+	for v, j := range wantJoin {
+		cfg, ok := v.ClusterConfig()
+		if !ok || cfg.JoinThreshold != j {
+			t.Errorf("%v cluster config = %+v ok=%v, want join %d", v, cfg, ok, j)
+		}
+	}
+}
+
+func TestRunTreeBaseline(t *testing.T) {
+	r := NewRunner(smallRepo())
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	opts.Variant = VariantTree
+	rep, err := r.Run(personBooks(), opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.MappingElements == 0 {
+		t.Fatalf("no mapping elements")
+	}
+	if rep.Clusters == 0 || rep.UsefulClusters == 0 {
+		t.Fatalf("clusters=%d useful=%d", rep.Clusters, rep.UsefulClusters)
+	}
+	if rep.Iterations != 0 {
+		t.Errorf("tree baseline should not iterate, got %d", rep.Iterations)
+	}
+	if len(rep.Mappings) == 0 {
+		t.Fatalf("no mappings found")
+	}
+	for i := 1; i < len(rep.Mappings); i++ {
+		if rep.Mappings[i].Score.Delta > rep.Mappings[i-1].Score.Delta {
+			t.Errorf("ranking violated at %d", i)
+		}
+	}
+	for _, m := range rep.Mappings {
+		if m.Score.Delta < opts.Threshold {
+			t.Errorf("mapping below threshold: %v", m.Score.Delta)
+		}
+	}
+}
+
+func TestRunClusteredReducesSearchSpace(t *testing.T) {
+	r := NewRunner(smallRepo())
+	base := DefaultOptions()
+	base.MinSim = 0.3
+	base.Variant = VariantTree
+	treeRep, err := r.Run(personBooks(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := DefaultOptions()
+	med.MinSim = 0.3
+	med.Variant = VariantMedium
+	medRep, err := r.Run(personBooks(), med)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if medRep.Counters.SearchSpace >= treeRep.Counters.SearchSpace {
+		t.Errorf("clustering did not reduce search space: %v >= %v",
+			medRep.Counters.SearchSpace, treeRep.Counters.SearchSpace)
+	}
+	if medRep.Counters.PartialMappings >= treeRep.Counters.PartialMappings {
+		t.Errorf("clustering did not reduce partial mappings: %d >= %d",
+			medRep.Counters.PartialMappings, treeRep.Counters.PartialMappings)
+	}
+	// Clustered mappings are a subset in count.
+	if len(medRep.Mappings) > len(treeRep.Mappings) {
+		t.Errorf("clustered found more mappings (%d) than exhaustive (%d)",
+			len(medRep.Mappings), len(treeRep.Mappings))
+	}
+	if rep := medRep; rep.Iterations == 0 {
+		t.Errorf("clustered run should iterate")
+	}
+}
+
+func TestClusteredMappingsAreSubsetOfBaseline(t *testing.T) {
+	r := NewRunner(smallRepo())
+	key := func(m mapgen.Mapping) string {
+		out := ""
+		for _, img := range m.Images {
+			out += "," + img.String()
+		}
+		return out
+	}
+	base := DefaultOptions()
+	base.MinSim = 0.3
+	base.Variant = VariantTree
+	treeRep, err := r.Run(personBooks(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := map[string]bool{}
+	for _, m := range treeRep.Mappings {
+		baseline[key(m)] = true
+	}
+	for _, v := range []Variant{VariantSmall, VariantMedium, VariantLarge} {
+		opts := DefaultOptions()
+		opts.MinSim = 0.3
+		opts.Variant = v
+		rep, err := r.Run(personBooks(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range rep.Mappings {
+			if !baseline[key(m)] {
+				t.Errorf("%v found mapping not in baseline: %s (Δ=%v)", v, key(m), m.Score.Delta)
+			}
+		}
+	}
+}
+
+func TestRunTopN(t *testing.T) {
+	r := NewRunner(smallRepo())
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	opts.Variant = VariantTree
+	opts.TopN = 3
+	rep, err := r.Run(personBooks(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mappings) > 3 {
+		t.Errorf("TopN=3 returned %d mappings", len(rep.Mappings))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	r := NewRunner(smallRepo())
+	bad := DefaultOptions()
+	bad.Threshold = 1.5
+	if _, err := r.Run(personBooks(), bad); err == nil {
+		t.Errorf("bad threshold accepted")
+	}
+	bad2 := DefaultOptions()
+	bad2.Objective.Alpha = 7
+	if _, err := r.Run(personBooks(), bad2); err == nil {
+		t.Errorf("bad alpha accepted")
+	}
+}
+
+func TestRunWithCustomMatcherAndConfig(t *testing.T) {
+	r := NewRunner(smallRepo())
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	opts.Matcher = matcher.NewCombined(
+		matcher.Weighted{Matcher: matcher.NameMatcher{TokenAware: true}, Weight: 3},
+		matcher.Weighted{Matcher: matcher.DefaultSynonyms(), Weight: 1},
+	)
+	cc := cluster.DefaultConfig()
+	cc.JoinThreshold = 5
+	opts.ClusterConfig = &cc
+	rep, err := r.Run(personBooks(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MappingElements == 0 {
+		t.Errorf("custom matcher found nothing")
+	}
+}
+
+func TestRunIncludePartials(t *testing.T) {
+	// Personal schema with a node that matches nowhere: complete mappings
+	// are impossible but partials should surface.
+	repo := schema.NewRepository()
+	repo.MustAdd(schema.MustParseSpec("contact(name,address)"))
+	r := NewRunner(repo)
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	opts.Variant = VariantTree
+	opts.Threshold = 0.2
+	opts.IncludePartials = true
+	rep, err := r.Run(schema.MustParseSpec("person(name,address,zzzqqy)"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mappings) != 0 {
+		t.Errorf("impossible complete mappings found: %d", len(rep.Mappings))
+	}
+	if len(rep.Partials) == 0 {
+		t.Errorf("no partial mappings surfaced")
+	}
+	for i := 1; i < len(rep.Partials); i++ {
+		if rep.Partials[i].Score.Delta > rep.Partials[i-1].Score.Delta {
+			t.Errorf("partials not ranked at %d", i)
+		}
+	}
+}
+
+func TestClusterQualityOrdering(t *testing.T) {
+	repo := schema.NewRepository()
+	// Tree 0: perfect match; tree 1: noisy match.
+	repo.MustAdd(schema.MustParseSpec("person(name,address,email)"))
+	repo.MustAdd(schema.MustParseSpec("persn(nam,adress,emall)"))
+	r := NewRunner(repo)
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	opts.Variant = VariantTree
+	opts.Threshold = 0.5
+	opts.MinSim = 0.4
+	opts.OrderClusters = true
+	rep, err := r.Run(personBooks(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FirstGoodAfter != 1 {
+		t.Errorf("with quality ordering the first cluster should yield a mapping, got FirstGoodAfter=%d", rep.FirstGoodAfter)
+	}
+	if len(rep.Mappings) == 0 || rep.Mappings[0].Images[0].Tree().ID != 0 {
+		t.Errorf("best mapping should come from the perfect tree")
+	}
+}
+
+func TestClusterQualityValue(t *testing.T) {
+	repo := schema.NewRepository()
+	repo.MustAdd(schema.MustParseSpec("person(name,address,email)"))
+	r := NewRunner(repo)
+	personal := personBooks()
+	cands := matcher.FindCandidates(personal, repo, matcher.NameMatcher{}, matcher.Config{MinSim: 0.5})
+	cl := cluster.TreeClusters(r.Index(), cands).Clusters[0]
+	q := ClusterQuality(cl, cands)
+	if q < 0.9 {
+		t.Errorf("perfect-match cluster quality = %v, want ~1", q)
+	}
+}
+
+func TestExhaustiveAlgorithmOption(t *testing.T) {
+	r := NewRunner(smallRepo())
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	opts.Variant = VariantTree
+	bb, err := r.Run(personBooks(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Algorithm = mapgen.Exhaustive
+	ex, err := r.Run(personBooks(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bb.Mappings) != len(ex.Mappings) {
+		t.Errorf("B&B (%d) and exhaustive (%d) disagree", len(bb.Mappings), len(ex.Mappings))
+	}
+	if bb.Counters.PartialMappings >= ex.Counters.PartialMappings {
+		t.Errorf("B&B should generate fewer partials: %d vs %d",
+			bb.Counters.PartialMappings, ex.Counters.PartialMappings)
+	}
+}
+
+func TestReportDerived(t *testing.T) {
+	r := NewRunner(smallRepo())
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	rep, err := r.Run(personBooks(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.TotalTime(); got != rep.MatchTime+rep.ClusterTime+rep.GenTime {
+		t.Errorf("TotalTime = %v", got)
+	}
+	ds := rep.Deltas()
+	if len(ds) != len(rep.Mappings) {
+		t.Errorf("Deltas length = %d", len(ds))
+	}
+	for i, d := range ds {
+		if d != rep.Mappings[i].Score.Delta {
+			t.Errorf("Deltas[%d] mismatch", i)
+		}
+	}
+	var _ = objective.DefaultParams()
+}

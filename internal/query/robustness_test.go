@@ -1,0 +1,40 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Fuzz-style robustness: Parse must never panic, and parse→String→parse
+// must be stable for accepted queries.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	alphabet := `/ab[]="',.@*`
+	for i := 0; i < 3000; i++ {
+		var b strings.Builder
+		for j := 0; j < rng.Intn(30); j++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			q, err := Parse(src)
+			if err != nil {
+				return
+			}
+			// Accepted queries must round-trip through String.
+			again, err := Parse(q.String())
+			if err != nil {
+				t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", src, q.String(), err)
+			}
+			if again.String() != q.String() {
+				t.Fatalf("String not stable: %q -> %q", q.String(), again.String())
+			}
+		}()
+	}
+}

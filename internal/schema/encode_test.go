@@ -1,0 +1,125 @@
+package schema
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRepositoryRoundTrip(t *testing.T) {
+	r := NewRepository()
+	r.MustAdd(MustParseSpec("lib(address,book(authorName,data(title),shelf))"))
+	r.MustAdd(MustParseSpec("person(name:string,age:integer,id@:token)"))
+	r.MustAdd(MustParseSpec("solo"))
+
+	var buf bytes.Buffer
+	if err := WriteRepository(&buf, r); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := ReadRepository(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if back.NumTrees() != r.NumTrees() || back.Len() != r.Len() {
+		t.Fatalf("size mismatch: %d/%d trees, %d/%d nodes",
+			back.NumTrees(), r.NumTrees(), back.Len(), r.Len())
+	}
+	for i := range r.Nodes() {
+		a, b := r.Node(i), back.Node(i)
+		if a.Name != b.Name || a.Kind != b.Kind || a.Type != b.Type || a.Depth != b.Depth {
+			t.Errorf("node %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	for i, tr := range r.Trees() {
+		if back.Tree(i).Name != tr.Name {
+			t.Errorf("tree %d name %q != %q", i, back.Tree(i).Name, tr.Name)
+		}
+		if back.Tree(i).String() != tr.String() {
+			t.Errorf("tree %d structure differs", i)
+		}
+	}
+}
+
+func TestRepositoryRoundTripSpecialCharacters(t *testing.T) {
+	r := NewRepository()
+	b := NewBuilder(`tricky "name" with spaces`)
+	root := b.Root(`we"ird`)
+	b.TypedElement(root, "tab\there", `ty"pe`)
+	r.MustAdd(b.MustTree())
+
+	var buf bytes.Buffer
+	if err := WriteRepository(&buf, r); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := ReadRepository(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if back.Tree(0).Name != `tricky "name" with spaces` {
+		t.Errorf("tree name = %q", back.Tree(0).Name)
+	}
+	if back.Node(0).Name != `we"ird` || back.Node(1).Name != "tab\there" {
+		t.Errorf("node names = %q, %q", back.Node(0).Name, back.Node(1).Name)
+	}
+	if back.Node(1).Type != `ty"pe` {
+		t.Errorf("node type = %q", back.Node(1).Type)
+	}
+}
+
+func TestReadRepositoryErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "not-a-repo\n",
+		"node first":    "bellflower-repository 1\n0 e \"a\"\n",
+		"bad depth":     "bellflower-repository 1\ntree \"t\"\nx e \"a\"\n",
+		"bad kind":      "bellflower-repository 1\ntree \"t\"\n0 q \"a\"\n",
+		"skip depth":    "bellflower-repository 1\ntree \"t\"\n0 e \"a\"\n2 e \"b\"\n",
+		"attr root":     "bellflower-repository 1\ntree \"t\"\n0 a \"a\"\n",
+		"unquoted":      "bellflower-repository 1\ntree \"t\"\n0 e a\n",
+		"no trees":      "bellflower-repository 1\n",
+		"second root":   "bellflower-repository 1\ntree \"t\"\n0 e \"a\"\n0 e \"b\"\n",
+		"bad tree name": "bellflower-repository 1\ntree noquotes\n",
+		"trailing junk": "bellflower-repository 1\ntree \"t\"\n0 e \"a\" \"ty\" extra\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadRepository(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: error expected", name)
+		}
+	}
+}
+
+// Property: write→read is the identity on structure for random forests.
+func TestRepositoryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRepository()
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			r.MustAdd(randomTree(rng, 1+rng.Intn(40)))
+		}
+		var buf bytes.Buffer
+		if err := WriteRepository(&buf, r); err != nil {
+			return false
+		}
+		back, err := ReadRepository(&buf)
+		if err != nil || back.Validate() != nil {
+			return false
+		}
+		if back.Len() != r.Len() || back.NumTrees() != r.NumTrees() {
+			return false
+		}
+		for i, tr := range r.Trees() {
+			if back.Tree(i).String() != tr.String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package schema
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Robustness: the parsers must return errors, never panic, on arbitrary
+// malformed input. These are fuzz-style smoke tests over random byte
+// strings and mutated valid inputs.
+
+func randBytes(rng *rand.Rand, alphabet string, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+func TestParseSpecNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alphabet := "ab,()@: \t\\\"'1-_."
+	for i := 0; i < 2000; i++ {
+		src := randBytes(rng, alphabet, rng.Intn(40))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ParseSpec(%q) panicked: %v", src, r)
+				}
+			}()
+			tree, err := ParseSpec(src)
+			if err == nil {
+				if vErr := tree.Validate(); vErr != nil {
+					t.Fatalf("ParseSpec(%q) returned invalid tree: %v", src, vErr)
+				}
+			}
+		}()
+	}
+}
+
+func TestReadRepositoryNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Mutate a valid serialization: truncations, byte flips, junk lines.
+	r := NewRepository()
+	r.MustAdd(MustParseSpec("lib(book(title,author),member(name))"))
+	var base strings.Builder
+	if err := WriteRepository(&base, r); err != nil {
+		t.Fatal(err)
+	}
+	valid := base.String()
+	for i := 0; i < 1500; i++ {
+		src := valid
+		switch rng.Intn(3) {
+		case 0: // truncate
+			src = src[:rng.Intn(len(src)+1)]
+		case 1: // flip a byte
+			if len(src) > 0 {
+				pos := rng.Intn(len(src))
+				src = src[:pos] + string(rune('!'+rng.Intn(90))) + src[pos+1:]
+			}
+		case 2: // inject a junk line
+			lines := strings.Split(src, "\n")
+			pos := rng.Intn(len(lines))
+			lines[pos] = randBytes(rng, "0123456789 ea\"\\tree", rng.Intn(20))
+			src = strings.Join(lines, "\n")
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ReadRepository panicked on %q: %v", src, r)
+				}
+			}()
+			repo, err := ReadRepository(strings.NewReader(src))
+			if err == nil {
+				if vErr := repo.Validate(); vErr != nil {
+					t.Fatalf("ReadRepository accepted invalid repo: %v", vErr)
+				}
+			}
+		}()
+	}
+}

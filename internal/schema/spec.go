@@ -1,0 +1,164 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseSpec builds a tree from a compact textual specification:
+//
+//	book(title,author(first,last),isbn@)
+//
+// Parentheses nest children; a trailing '@' marks an attribute; an optional
+// ':type' suffix declares a datatype, e.g. "price:decimal". Whitespace
+// between tokens is ignored. The syntax round-trips with Tree.String (minus
+// types).
+func ParseSpec(spec string) (*Tree, error) {
+	p := &specParser{src: spec}
+	b := NewBuilder(spec)
+	if err := p.parseNode(b, nil); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("schema: trailing input at offset %d in %q", p.pos, spec)
+	}
+	return b.Tree()
+}
+
+// MustParseSpec is ParseSpec but panics on error; for tests and fixtures.
+func MustParseSpec(spec string) *Tree {
+	t, err := ParseSpec(spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type specParser struct {
+	src string
+	pos int
+}
+
+func (p *specParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *specParser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (p *specParser) name() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("schema: expected name at offset %d in %q", p.pos, p.src)
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parseNode parses name[@][:type][(child,...)] and attaches it under parent
+// (nil parent = root).
+func (p *specParser) parseNode(b *Builder, parent *Node) error {
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	kind := KindElement
+	if p.peek() == '@' {
+		kind = KindAttribute
+		p.pos++
+	}
+	typ := ""
+	if p.peek() == ':' {
+		p.pos++
+		typ, err = p.name()
+		if err != nil {
+			return err
+		}
+	}
+	var n *Node
+	switch kind {
+	case KindAttribute:
+		if parent == nil {
+			return fmt.Errorf("schema: root cannot be an attribute in %q", p.src)
+		}
+		n = b.TypedAttribute(parent, name, typ)
+	default:
+		if parent == nil {
+			n = b.Root(name)
+			n.Type = typ
+		} else {
+			n = b.TypedElement(parent, name, typ)
+		}
+	}
+	p.skipSpace()
+	if p.peek() != '(' {
+		return nil
+	}
+	if kind == KindAttribute {
+		return fmt.Errorf("schema: attribute %q cannot have children", name)
+	}
+	p.pos++ // consume '('
+	for {
+		if err := p.parseNode(b, n); err != nil {
+			return err
+		}
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return nil
+		default:
+			return fmt.Errorf("schema: expected ',' or ')' at offset %d in %q", p.pos, p.src)
+		}
+	}
+}
+
+// FormatIndented renders the tree as an indented outline, one node per line,
+// for human inspection:
+//
+//	book
+//	  title
+//	  author
+//	    first
+//	    last
+func FormatIndented(t *Tree) string {
+	var b strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if n.Kind == KindAttribute {
+			b.WriteString("@")
+		}
+		b.WriteString(n.Name)
+		if n.Type != "" {
+			b.WriteString(":")
+			b.WriteString(n.Type)
+		}
+		b.WriteString("\n")
+		for _, c := range n.Children() {
+			rec(c, depth+1)
+		}
+	}
+	if t.Root() != nil {
+		rec(t.Root(), 0)
+	}
+	return b.String()
+}

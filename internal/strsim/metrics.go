@@ -1,0 +1,177 @@
+package strsim
+
+import (
+	"math"
+	"strings"
+)
+
+// Additional name-similarity metrics. The paper's Bellflower uses a single
+// fuzzy edit-distance matcher; real systems (COMA, Cupid) offer several
+// metrics and combine them. These implementations back the NameMatcher's
+// pluggable metric option and the metric-comparison benchmark.
+
+// JaroSimilarity returns the Jaro similarity of a and b in [0,1]
+// (case-folded): the classic record-linkage measure built from matching
+// characters within a sliding window and transposition counts.
+func JaroSimilarity(a, b string) float64 {
+	ra, rb := foldRunes(a), foldRunes(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, la)
+	matchedB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if matchedB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchedA[i] = true
+			matchedB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(transpositions)/2)/m) / 3
+}
+
+// JaroWinklerSimilarity boosts the Jaro similarity for strings sharing a
+// common prefix (up to 4 runes), with the standard scaling factor 0.1.
+func JaroWinklerSimilarity(a, b string) float64 {
+	j := JaroSimilarity(a, b)
+	ra, rb := foldRunes(a), foldRunes(b)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// NGramCosineSimilarity returns the cosine similarity of the character
+// n-gram frequency vectors of a and b (case-folded, padded). n must be at
+// least 1; 2 or 3 are the usual choices.
+func NGramCosineSimilarity(a, b string, n int) float64 {
+	if n < 1 {
+		panic("strsim: n-gram size must be >= 1")
+	}
+	ga, gb := ngramCounts(a, n), ngramCounts(b, n)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	dot := 0.0
+	for g, ca := range ga {
+		if cb, ok := gb[g]; ok {
+			dot += float64(ca) * float64(cb)
+		}
+	}
+	return dot / (norm(ga) * norm(gb))
+}
+
+func ngramCounts(s string, n int) map[string]int {
+	folded := strings.ToLower(strings.TrimSpace(s))
+	if folded == "" {
+		return nil
+	}
+	pad := strings.Repeat("^", n-1)
+	runes := []rune(pad + folded + pad)
+	out := make(map[string]int)
+	for i := 0; i+n <= len(runes); i++ {
+		out[string(runes[i:i+n])]++
+	}
+	return out
+}
+
+func norm(m map[string]int) float64 {
+	sum := 0.0
+	for _, c := range m {
+		sum += float64(c) * float64(c)
+	}
+	return math.Sqrt(sum)
+}
+
+// Metric identifies a name-similarity metric for the pluggable
+// NameMatcher.
+type Metric int
+
+const (
+	// MetricFuzzy is the paper-faithful CompareStringFuzzy (default).
+	MetricFuzzy Metric = iota
+	// MetricJaroWinkler uses Jaro–Winkler similarity.
+	MetricJaroWinkler
+	// MetricTrigramJaccard uses trigram-set Jaccard similarity.
+	MetricTrigramJaccard
+	// MetricBigramCosine uses bigram-frequency cosine similarity.
+	MetricBigramCosine
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MetricFuzzy:
+		return "fuzzy"
+	case MetricJaroWinkler:
+		return "jaro-winkler"
+	case MetricTrigramJaccard:
+		return "trigram-jaccard"
+	case MetricBigramCosine:
+		return "bigram-cosine"
+	default:
+		return "unknown"
+	}
+}
+
+// Similarity evaluates the metric.
+func (m Metric) Similarity(a, b string) float64 {
+	switch m {
+	case MetricJaroWinkler:
+		return JaroWinklerSimilarity(a, b)
+	case MetricTrigramJaccard:
+		return TrigramSimilarity(a, b)
+	case MetricBigramCosine:
+		return NGramCosineSimilarity(a, b, 2)
+	default:
+		return CompareStringFuzzy(a, b)
+	}
+}

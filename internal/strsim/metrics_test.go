@@ -1,0 +1,119 @@
+package strsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJaroSimilarity(t *testing.T) {
+	cases := []struct {
+		a, b   string
+		lo, hi float64
+	}{
+		{"", "", 1, 1},
+		{"a", "", 0, 0},
+		{"martha", "marhta", 0.94, 0.95}, // classic example: 0.9444
+		{"dixon", "dicksonx", 0.76, 0.77},
+		{"same", "same", 1, 1},
+		{"Same", "sAME", 1, 1}, // case-folded
+		{"abc", "xyz", 0, 0},
+	}
+	for _, tc := range cases {
+		got := JaroSimilarity(tc.a, tc.b)
+		if got < tc.lo-1e-9 || got > tc.hi+1e-9 {
+			t.Errorf("Jaro(%q,%q) = %v, want [%v,%v]", tc.a, tc.b, got, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	// Winkler boosts shared prefixes: MARTHA/MARHTA goes 0.944 -> 0.961.
+	jw := JaroWinklerSimilarity("martha", "marhta")
+	if jw < 0.96 || jw > 0.97 {
+		t.Errorf("JaroWinkler(martha,marhta) = %v, want ~0.961", jw)
+	}
+	// Prefix boost only helps when there IS a shared prefix.
+	a := JaroWinklerSimilarity("author", "zuthor")
+	b := JaroWinklerSimilarity("author", "authoz")
+	if b <= a {
+		t.Errorf("prefix match should score higher: %v vs %v", a, b)
+	}
+}
+
+func TestNGramCosine(t *testing.T) {
+	if got := NGramCosineSimilarity("book", "book", 2); got < 1-1e-9 {
+		t.Errorf("identical = %v", got)
+	}
+	if got := NGramCosineSimilarity("", "", 2); got != 1 {
+		t.Errorf("both empty = %v", got)
+	}
+	if got := NGramCosineSimilarity("book", "", 2); got != 0 {
+		t.Errorf("one empty = %v", got)
+	}
+	near := NGramCosineSimilarity("address", "addresses", 2)
+	far := NGramCosineSimilarity("address", "quantum", 2)
+	if near <= far {
+		t.Errorf("cosine ordering: near=%v far=%v", near, far)
+	}
+}
+
+func TestNGramCosinePanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("n=0 should panic")
+		}
+	}()
+	NGramCosineSimilarity("a", "b", 0)
+}
+
+func TestMetricDispatch(t *testing.T) {
+	metrics := []Metric{MetricFuzzy, MetricJaroWinkler, MetricTrigramJaccard, MetricBigramCosine}
+	names := map[Metric]string{
+		MetricFuzzy: "fuzzy", MetricJaroWinkler: "jaro-winkler",
+		MetricTrigramJaccard: "trigram-jaccard", MetricBigramCosine: "bigram-cosine",
+	}
+	for _, m := range metrics {
+		if m.String() != names[m] {
+			t.Errorf("Metric(%d).String() = %q", m, m.String())
+		}
+		if got := m.Similarity("book", "book"); got < 1-1e-9 {
+			t.Errorf("%v identical = %v", m, got)
+		}
+		exact := m.Similarity("author", "author")
+		near := m.Similarity("author", "authors")
+		far := m.Similarity("author", "zzzzzz")
+		if !(exact >= near && near > far) {
+			t.Errorf("%v ordering violated: %v %v %v", m, exact, near, far)
+		}
+	}
+	if Metric(99).String() != "unknown" {
+		t.Errorf("unknown metric name")
+	}
+}
+
+// Property: all metrics are symmetric and bounded in [0,1].
+func TestMetricProperties(t *testing.T) {
+	metrics := []Metric{MetricFuzzy, MetricJaroWinkler, MetricTrigramJaccard, MetricBigramCosine}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randString(rng, rng.Intn(12))
+		b := randString(rng, rng.Intn(12))
+		for _, m := range metrics {
+			sab := m.Similarity(a, b)
+			if sab < -1e-12 || sab > 1+1e-12 {
+				return false
+			}
+			if diff := sab - m.Similarity(b, a); diff > 1e-12 || diff < -1e-12 {
+				return false
+			}
+			if m.Similarity(a, a) < 1-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

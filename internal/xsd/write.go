@@ -1,0 +1,103 @@
+package xsd
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"bellflower/internal/schema"
+)
+
+// Write serializes schema trees as one XML Schema document with a
+// top-level xs:element per tree and inline anonymous complex types — the
+// inverse of Parse for the supported subset. Exporting lets a repository
+// built from DTDs, instance documents or the synthetic generator be
+// consumed by standard XSD tooling.
+//
+// XSD cannot interleave attributes with child elements (attributes follow
+// the content model), so on round trip attributes sort before element
+// children; everything else is preserved.
+func Write(w io.Writer, trees ...*schema.Tree) error {
+	if len(trees) == 0 {
+		return fmt.Errorf("xsd: no trees to write")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">`)
+	for _, t := range trees {
+		if t.Root() == nil {
+			return fmt.Errorf("xsd: cannot write empty tree %q", t.Name)
+		}
+		if err := writeElement(bw, t.Root(), 1); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(bw, `</xs:schema>`)
+	return bw.Flush()
+}
+
+func writeElement(w *bufio.Writer, n *schema.Node, depth int) error {
+	ind := strings.Repeat("  ", depth)
+	name, err := escape(n.Name)
+	if err != nil {
+		return err
+	}
+	if n.IsLeaf() {
+		if n.Type != "" {
+			typ, err := escape(n.Type)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s<xs:element name=\"%s\" type=\"xs:%s\"/>\n", ind, name, typ)
+		} else {
+			fmt.Fprintf(w, "%s<xs:element name=\"%s\"/>\n", ind, name)
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "%s<xs:element name=\"%s\">\n", ind, name)
+	fmt.Fprintf(w, "%s  <xs:complexType>\n", ind)
+	var attrs, elems []*schema.Node
+	for _, c := range n.Children() {
+		if c.Kind == schema.KindAttribute {
+			attrs = append(attrs, c)
+		} else {
+			elems = append(elems, c)
+		}
+	}
+	if len(elems) > 0 {
+		fmt.Fprintf(w, "%s    <xs:sequence>\n", ind)
+		for _, c := range elems {
+			if err := writeElement(w, c, depth+3); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "%s    </xs:sequence>\n", ind)
+	}
+	for _, a := range attrs {
+		an, err := escape(a.Name)
+		if err != nil {
+			return err
+		}
+		if a.Type != "" {
+			at, err := escape(a.Type)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s    <xs:attribute name=\"%s\" type=\"xs:%s\"/>\n", ind, an, at)
+		} else {
+			fmt.Fprintf(w, "%s    <xs:attribute name=\"%s\"/>\n", ind, an)
+		}
+	}
+	fmt.Fprintf(w, "%s  </xs:complexType>\n", ind)
+	fmt.Fprintf(w, "%s</xs:element>\n", ind)
+	return nil
+}
+
+func escape(s string) (string, error) {
+	var b strings.Builder
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return "", fmt.Errorf("xsd: %w", err)
+	}
+	return b.String(), nil
+}
