@@ -30,9 +30,32 @@
 // (Synthetic). Discovered mappings can rewrite personal-schema XPath
 // queries into repository queries (Matcher.RewriteQuery), completing the
 // personal-schema-querying workflow the paper's introduction motivates.
+//
+// # Serving
+//
+// For many users sharing one indexed repository, NewService wraps a
+// Matcher's pipeline in a long-lived concurrent matching service: match
+// requests flow through a bounded worker pool, identical in-flight
+// requests are deduplicated into one pipeline run, and completed reports
+// are cached in an LRU keyed by the canonical request signature. Requests
+// honour context deadlines and cancellation end to end.
+//
+//	svc := bellflower.NewService(repo, bellflower.ServiceConfig{Workers: 8})
+//	defer svc.Close()
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	report, err := svc.Match(ctx, personal, bellflower.DefaultOptions())
+//	stats := svc.Stats() // cache hits, dedupe, queue depth, latency histogram
+//
+// The same service backs the bellflower-server HTTP daemon
+// (cmd/bellflower-server), which exposes /v1/match, /v1/match/batch,
+// /v1/rewrite, /v1/repository, /v1/stats and /healthz as JSON endpoints;
+// examples/server is a client for it.
 package bellflower
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -47,6 +70,7 @@ import (
 	"bellflower/internal/query"
 	"bellflower/internal/repogen"
 	"bellflower/internal/schema"
+	"bellflower/internal/serve"
 	"bellflower/internal/xmldoc"
 	"bellflower/internal/xsd"
 )
@@ -105,6 +129,35 @@ type (
 	// CostProblem describes a matching problem's size parameters for the
 	// cost model.
 	CostProblem = cost.Problem
+
+	// Service is a long-lived concurrent matching service over one
+	// indexed repository: bounded worker pool, in-flight request
+	// deduplication, LRU report cache; see NewService.
+	Service = serve.Service
+
+	// ServiceConfig sizes a Service (workers, queue depth, cache size,
+	// schema-size guard, default timeout).
+	ServiceConfig = serve.Config
+
+	// ServiceStats is a snapshot of a Service's instrumentation: cache
+	// hits, in-flight dedupe, queue depth and the latency histogram.
+	ServiceStats = serve.Stats
+
+	// MatchRequest is one entry of Service.MatchBatch.
+	MatchRequest = serve.Request
+
+	// MatchResult pairs a MatchBatch entry's report with its error.
+	MatchResult = serve.Result
+)
+
+// Service sentinel errors, for errors.Is.
+var (
+	// ErrServiceClosed is returned by Service.Match after Close.
+	ErrServiceClosed = serve.ErrClosed
+
+	// ErrSchemaTooLarge is wrapped in errors for personal schemas larger
+	// than ServiceConfig.MaxSchemaNodes.
+	ErrSchemaTooLarge = serve.ErrSchemaTooLarge
 )
 
 // Clustering variants (Sec. 5 of the paper).
@@ -227,8 +280,18 @@ func NewCombinedMatcher(matchers []ElementMatcher, weights []float64) (ElementMa
 	return matcher.NewCombined(parts...), nil
 }
 
+// NewService indexes the repository and starts a concurrent matching
+// service around it; see the Serving section of the package documentation.
+// Release it with Service.Close.
+func NewService(repo *Repository, cfg ServiceConfig) *Service {
+	return serve.NewFromRepository(repo, cfg)
+}
+
 // Matcher runs clustered schema matching against a fixed repository. It
 // precomputes the node-labelling index once; Match calls reuse it.
+//
+// A Matcher is safe for concurrent use: any number of goroutines may call
+// Match, MatchContext and RewriteQuery at once.
 type Matcher struct {
 	runner *pipeline.Runner
 }
@@ -246,6 +309,19 @@ func (m *Matcher) Repository() *Repository { return m.runner.Repository() }
 // with the ranked mappings.
 func (m *Matcher) Match(personal *Tree, opts Options) (*Report, error) {
 	return m.runner.Run(personal, opts)
+}
+
+// MatchContext is Match bounded by a context: the run honours ctx's
+// deadline and cancellation, stopping early between pipeline stages and
+// clusters.
+func (m *Matcher) MatchContext(ctx context.Context, personal *Tree, opts Options) (*Report, error) {
+	return m.runner.RunContext(ctx, personal, opts)
+}
+
+// Serve starts a concurrent matching service sharing this Matcher's
+// repository index (no re-indexing); see NewService.
+func (m *Matcher) Serve(cfg ServiceConfig) *Service {
+	return serve.New(m.runner, cfg)
 }
 
 // RewriteQuery translates an XPath query over the personal schema (e.g.

@@ -12,8 +12,11 @@ package bellflower
 // are visible straight from the benchmark output.
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"bellflower/internal/cluster"
 	"bellflower/internal/experiments"
@@ -23,6 +26,7 @@ import (
 	"bellflower/internal/objective"
 	"bellflower/internal/pipeline"
 	"bellflower/internal/schema"
+	"bellflower/internal/serve"
 )
 
 var (
@@ -322,6 +326,72 @@ func BenchmarkElementMatching(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		matcher.FindCandidates(e.Personal, e.Repo, matcher.NameMatcher{},
 			matcher.Config{MinSim: e.Setup.MinSim})
+	}
+}
+
+// BenchmarkServiceThroughput measures served matches/sec through the
+// concurrent matching service at paper scale, the baseline for future
+// serving-path optimisations. "warm" repeats one request (cache-hit path);
+// "cold" gives every request a unique signature (full pipeline run per
+// request). Requests issue from parallel clients, as a daemon would see.
+func BenchmarkServiceThroughput(b *testing.B) {
+	e := env(b)
+	for _, mode := range []string{"warm", "cold"} {
+		b.Run(mode, func(b *testing.B) {
+			svc := serve.New(e.Runner, serve.Config{})
+			defer svc.Close()
+			var uniq atomic.Int64
+			start := time.Now()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					opts := benchOptions(e, pipeline.VariantMedium)
+					if mode == "cold" {
+						// A unique huge TopN changes the request signature
+						// (busting cache and dedupe) without changing the
+						// work: the ranked list is never that long.
+						opts.TopN = int(1e9 + uniq.Add(1))
+					}
+					if _, err := svc.Match(context.Background(), e.Personal, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed, "matches/sec")
+			}
+			st := svc.Stats()
+			b.ReportMetric(float64(st.CacheHits), "cache-hits")
+			b.ReportMetric(float64(st.PipelineRuns), "pipeline-runs")
+		})
+	}
+}
+
+// BenchmarkServiceBatch measures MatchBatch with a mixed batch: one
+// duplicate pair (dedupe/cache) and distinct entries.
+func BenchmarkServiceBatch(b *testing.B) {
+	e := env(b)
+	svc := serve.New(e.Runner, serve.Config{})
+	defer svc.Close()
+	personals := []*schema.Tree{
+		e.Personal,
+		schema.MustParseSpec("customer(name,email,address)"),
+		e.Personal, // duplicate of entry 0
+		schema.MustParseSpec("order(id,item(name,price))"),
+	}
+	reqs := make([]serve.Request, len(personals))
+	for i, p := range personals {
+		reqs[i] = serve.Request{Personal: p, Opts: benchOptions(e, pipeline.VariantMedium)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, res := range svc.MatchBatch(context.Background(), reqs) {
+			if res.Err != nil {
+				b.Fatalf("entry %d: %v", j, res.Err)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,138 @@
+// Command bellflower-server is a long-lived HTTP matching daemon: it
+// indexes one schema repository and serves concurrent match requests from
+// many clients through the bellflower concurrent matching service
+// (bounded worker pool, in-flight deduplication, LRU report cache).
+//
+//	bellflower-server -synthetic 9759 -addr :8077
+//	bellflower-server -repo ./schemas -workers 8 -timeout 5s
+//
+// Endpoints (JSON unless noted):
+//
+//	POST /v1/match        {"personal":"book(title,author)","options":{"delta":0.75,"timeout_ms":2000}}
+//	POST /v1/match/batch  {"requests":[{...},{...}]}
+//	POST /v1/rewrite      {"personal":"...","query":"/book/title","mapping_rank":0}
+//	GET  /v1/repository   repository source and size
+//	POST /v1/repository   {"action":"synthetic","nodes":9759} | {"action":"load","path":...} | {"action":"save","path":...}
+//	                      mutation requires the -data-dir opt-in; load/save paths are relative to it
+//	GET  /v1/stats        cache hits, in-flight dedupe, queue depth, latency histogram
+//	GET  /healthz         liveness probe
+//
+// Per-request deadlines come from options.timeout_ms (or the -timeout
+// default); an expired deadline cancels the underlying pipeline run and
+// returns 504.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bellflower"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bellflower-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bellflower-server", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8077", "listen address")
+		repoFile  = fs.String("repo-file", "", "load a repository saved with bellflower -save-repo")
+		synthetic = fs.Int("synthetic", 0, "generate a synthetic repository with this many nodes")
+		seed      = fs.Int64("seed", 1, "seed for the synthetic repository")
+		workers   = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queue     = fs.Int("queue", 0, "request queue depth (0 = 4x workers)")
+		cacheSize = fs.Int("cache", 0, "report cache capacity (0 = 256, negative = disabled)")
+		maxNodes  = fs.Int("max-schema-nodes", 0, "reject personal schemas above this node count (0 = 64, negative = unlimited)")
+		timeout   = fs.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
+		dataDir   = fs.String("data-dir", "", "directory for /v1/repository load/save files; also enables repository mutation (empty = POST /v1/repository disabled)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	repo, desc, err := buildRepository(*repoFile, *synthetic, *seed)
+	if err != nil {
+		return err
+	}
+	svcCfg := bellflower.ServiceConfig{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		MaxSchemaNodes: *maxNodes,
+		DefaultTimeout: *timeout,
+	}
+	logger := log.New(os.Stderr, "bellflower-server: ", log.LstdFlags)
+	st := repo.Stats()
+	logger.Printf("serving %s: %d trees, %d nodes on %s", desc, st.Trees, st.Nodes, *addr)
+
+	srv := newServer(bellflower.NewService(repo, svcCfg), desc, svcCfg, *dataDir, logger)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		// Close the service first: in-flight matches (which may hold
+		// their handlers for up to the default timeout) fail fast with
+		// 503, letting Shutdown drain within its budget instead of
+		// timing out behind a slow pipeline run.
+		srv.service().Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+func buildRepository(repoFile string, synthetic int, seed int64) (*bellflower.Repository, string, error) {
+	switch {
+	case repoFile != "" && synthetic > 0:
+		return nil, "", fmt.Errorf("use either -repo-file or -synthetic, not both")
+	case repoFile != "":
+		f, err := os.Open(repoFile)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		repo, err := bellflower.LoadRepository(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return repo, repoFile, nil
+	case synthetic > 0:
+		cfg := bellflower.DefaultSyntheticConfig()
+		cfg.TargetNodes = synthetic
+		cfg.Seed = seed
+		repo, err := bellflower.Synthetic(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return repo, fmt.Sprintf("synthetic(%d,seed=%d)", synthetic, seed), nil
+	default:
+		return nil, "", fmt.Errorf("a repository is required (-repo-file FILE or -synthetic N)")
+	}
+}

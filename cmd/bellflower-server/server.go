@@ -1,0 +1,567 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bellflower"
+)
+
+// server routes HTTP traffic onto a bellflower.Service. The service is
+// held behind a read-write lock so POST /v1/repository can swap in a
+// freshly indexed repository while match traffic continues; requests that
+// already grabbed the old service finish against it (its workers are shut
+// down in the background once the swap happens, which may cancel their
+// in-flight runs — callers see 503 and retry against the new repository).
+type server struct {
+	mu       sync.RWMutex
+	svc      *bellflower.Service
+	repoDesc string
+
+	svcCfg  bellflower.ServiceConfig
+	dataDir string // sandbox for repository load/save; "" disables those actions
+	maxBody int64
+	logger  *log.Logger
+}
+
+const defaultMaxBody = 1 << 20 // 1 MiB of JSON is far beyond any sane schema spec
+
+func newServer(svc *bellflower.Service, repoDesc string, svcCfg bellflower.ServiceConfig, dataDir string, logger *log.Logger) *server {
+	if logger == nil {
+		logger = log.New(os.Stderr, "bellflower-server: ", log.LstdFlags)
+	}
+	return &server{
+		svc:      svc,
+		repoDesc: repoDesc,
+		svcCfg:   svcCfg,
+		dataDir:  dataDir,
+		maxBody:  defaultMaxBody,
+		logger:   logger,
+	}
+}
+
+// resolveDataPath confines a client-supplied repository path to the data
+// directory: clients never touch the filesystem outside it, and the
+// actions are off entirely unless the operator opted in with -data-dir.
+func (s *server) resolveDataPath(p string) (string, int, error) {
+	if s.dataDir == "" {
+		return "", http.StatusForbidden, errors.New("repository load/save disabled; start the server with -data-dir")
+	}
+	if p == "" || !filepath.IsLocal(p) {
+		return "", http.StatusBadRequest, fmt.Errorf("path %q must be relative and stay inside the data directory", p)
+	}
+	return filepath.Join(s.dataDir, p), 0, nil
+}
+
+func (s *server) service() *bellflower.Service {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.svc
+}
+
+// swap installs a new service and retires the old one in the background.
+func (s *server) swap(svc *bellflower.Service, desc string) {
+	s.mu.Lock()
+	old := s.svc
+	s.svc, s.repoDesc = svc, desc
+	s.mu.Unlock()
+	go old.Close()
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/match", s.handleMatch)
+	mux.HandleFunc("/v1/match/batch", s.handleMatchBatch)
+	mux.HandleFunc("/v1/rewrite", s.handleRewrite)
+	mux.HandleFunc("/v1/repository", s.handleRepository)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return s.logRequests(mux)
+}
+
+func (s *server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.logger.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// --- JSON wire types ---
+
+// matchOptionsJSON selects pipeline options over the wire; absent fields
+// keep the library defaults (DefaultOptions).
+type matchOptionsJSON struct {
+	Delta           *float64 `json:"delta,omitempty"`
+	Alpha           *float64 `json:"alpha,omitempty"`
+	K               *float64 `json:"k,omitempty"`
+	MinSim          *float64 `json:"min_sim,omitempty"`
+	TopN            int      `json:"top_n,omitempty"`
+	Variant         string   `json:"variant,omitempty"` // small|medium|large|tree
+	Matcher         string   `json:"matcher,omitempty"` // name|token|synonym|type
+	Structure       string   `json:"structure,omitempty"`
+	StructureWeight float64  `json:"structure_weight,omitempty"`
+	Parallelism     int      `json:"parallelism,omitempty"`
+	Agglomerative   bool     `json:"agglomerative,omitempty"`
+	AdaptiveTopN    bool     `json:"adaptive_top_n,omitempty"`
+	OrderClusters   bool     `json:"order_clusters,omitempty"`
+	IncludePartials bool     `json:"include_partials,omitempty"`
+	TimeoutMS       int      `json:"timeout_ms,omitempty"`
+}
+
+func (o *matchOptionsJSON) build() (bellflower.Options, error) {
+	opts := bellflower.DefaultOptions()
+	if o == nil {
+		return opts, nil
+	}
+	if o.Delta != nil {
+		opts.Threshold = *o.Delta
+	}
+	if o.Alpha != nil {
+		opts.Objective.Alpha = *o.Alpha
+	}
+	if o.K != nil {
+		opts.Objective.K = *o.K
+	}
+	if o.MinSim != nil {
+		opts.MinSim = *o.MinSim
+	}
+	opts.TopN = o.TopN
+	opts.Parallelism = o.Parallelism
+	opts.Agglomerative = o.Agglomerative
+	opts.AdaptiveTopN = o.AdaptiveTopN
+	opts.OrderClusters = o.OrderClusters
+	opts.IncludePartials = o.IncludePartials
+	switch o.Variant {
+	case "", "medium":
+		opts.Variant = bellflower.VariantMedium
+	case "small":
+		opts.Variant = bellflower.VariantSmall
+	case "large":
+		opts.Variant = bellflower.VariantLarge
+	case "tree":
+		opts.Variant = bellflower.VariantTree
+	default:
+		return opts, fmt.Errorf("unknown variant %q (want small|medium|large|tree)", o.Variant)
+	}
+	switch o.Matcher {
+	case "", "name":
+	case "token":
+		opts.Matcher = bellflower.NewNameMatcher(true)
+	case "synonym":
+		opts.Matcher = bellflower.NewSynonymMatcher()
+	case "type":
+		opts.Matcher = bellflower.NewTypeMatcher()
+	default:
+		return opts, fmt.Errorf("unknown matcher %q (want name|token|synonym|type)", o.Matcher)
+	}
+	if o.Structure != "" {
+		sm, err := bellflower.NewStructureMatcher(o.Structure)
+		if err != nil {
+			return opts, err
+		}
+		opts.StructureMatcher = sm
+		opts.StructureWeight = o.StructureWeight
+	}
+	// Validate here so malformed parameters are 400s, not pipeline 500s.
+	if err := opts.Objective.Validate(); err != nil {
+		return opts, err
+	}
+	if opts.Threshold < 0 || opts.Threshold > 1 {
+		return opts, fmt.Errorf("threshold (delta) %v outside [0,1]", opts.Threshold)
+	}
+	if opts.MinSim < 0 || opts.MinSim > 1 {
+		return opts, fmt.Errorf("min_sim %v outside [0,1]", opts.MinSim)
+	}
+	return opts, nil
+}
+
+// timeout returns the per-request deadline, 0 when unset.
+func (o *matchOptionsJSON) timeout() time.Duration {
+	if o == nil || o.TimeoutMS <= 0 {
+		return 0
+	}
+	return time.Duration(o.TimeoutMS) * time.Millisecond
+}
+
+type matchRequestJSON struct {
+	Personal string            `json:"personal"`
+	Options  *matchOptionsJSON `json:"options,omitempty"`
+}
+
+type pairJSON struct {
+	Personal   string `json:"personal"`
+	Repository string `json:"repository"`
+}
+
+type mappingJSON struct {
+	Delta   float64    `json:"delta"`
+	Sim     float64    `json:"sim"`
+	Path    float64    `json:"path"`
+	Cluster int        `json:"cluster"`
+	Pairs   []pairJSON `json:"pairs"`
+}
+
+type pipelineStatsJSON struct {
+	Variant         string  `json:"variant"`
+	MappingElements int     `json:"mapping_elements"`
+	Clusters        int     `json:"clusters"`
+	UsefulClusters  int     `json:"useful_clusters"`
+	SearchSpace     float64 `json:"search_space"`
+	PartialMappings int64   `json:"partial_mappings_generated"`
+	MatchMS         float64 `json:"match_ms"`
+	ClusterMS       float64 `json:"cluster_ms"`
+	GenMS           float64 `json:"gen_ms"`
+}
+
+type matchResponseJSON struct {
+	Mappings []mappingJSON     `json:"mappings"`
+	Partials int               `json:"partials,omitempty"`
+	Pipeline pipelineStatsJSON `json:"pipeline"`
+}
+
+func renderReport(personal *bellflower.Tree, rep *bellflower.Report) matchResponseJSON {
+	resp := matchResponseJSON{
+		Mappings: make([]mappingJSON, 0, len(rep.Mappings)),
+		Partials: len(rep.Partials),
+		Pipeline: pipelineStatsJSON{
+			Variant:         rep.Variant.String(),
+			MappingElements: rep.MappingElements,
+			Clusters:        rep.Clusters,
+			UsefulClusters:  rep.UsefulClusters,
+			SearchSpace:     rep.Counters.SearchSpace,
+			PartialMappings: rep.Counters.PartialMappings,
+			MatchMS:         float64(rep.MatchTime) / float64(time.Millisecond),
+			ClusterMS:       float64(rep.ClusterTime) / float64(time.Millisecond),
+			GenMS:           float64(rep.GenTime) / float64(time.Millisecond),
+		},
+	}
+	nodes := personal.Nodes()
+	for _, m := range rep.Mappings {
+		mj := mappingJSON{
+			Delta:   m.Score.Delta,
+			Sim:     m.Score.Sim,
+			Path:    m.Score.Path,
+			Cluster: m.ClusterID,
+			Pairs:   make([]pairJSON, 0, len(m.Images)),
+		}
+		for i, img := range m.Images {
+			mj.Pairs = append(mj.Pairs, pairJSON{
+				Personal:   nodes[i].PathString(),
+				Repository: img.PathString(),
+			})
+		}
+		resp.Mappings = append(resp.Mappings, mj)
+	}
+	return resp
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// matchStatus maps a service error to an HTTP status.
+func matchStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout // 504: the per-request deadline expired
+	case errors.Is(err, bellflower.ErrSchemaTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, bellflower.ErrServiceClosed), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// runMatch parses one wire request and serves it through svc. Handlers
+// resolve the service once per request (s.service()) and pass it down, so
+// a concurrent repository swap cannot mix state from two services within
+// one request.
+func (s *server) runMatch(ctx context.Context, svc *bellflower.Service, req matchRequestJSON) (*bellflower.Tree, *bellflower.Report, int, error) {
+	personal, err := bellflower.ParseSchema(req.Personal)
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	opts, err := req.Options.build()
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	if d := req.Options.timeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	rep, err := svc.Match(ctx, personal, opts)
+	if err != nil {
+		return nil, nil, matchStatus(err), err
+	}
+	return personal, rep, http.StatusOK, nil
+}
+
+func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST required"})
+		return
+	}
+	var req matchRequestJSON
+	if !s.decode(w, r, &req) {
+		return
+	}
+	personal, rep, status, err := s.runMatch(r.Context(), s.service(), req)
+	if err != nil {
+		writeJSON(w, status, errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, status, renderReport(personal, rep))
+}
+
+type batchRequestJSON struct {
+	Requests []matchRequestJSON `json:"requests"`
+}
+
+type batchEntryJSON struct {
+	Result *matchResponseJSON `json:"result,omitempty"`
+	Error  string             `json:"error,omitempty"`
+	Status int                `json:"status"`
+}
+
+func (s *server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST required"})
+		return
+	}
+	var req batchRequestJSON
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "empty batch"})
+		return
+	}
+	// Cap the per-request fan-out: the body limit alone still admits tens
+	// of thousands of tiny entries, each pinning a goroutine and a parsed
+	// schema behind the bounded worker pool.
+	const maxBatchEntries = 256
+	if len(req.Requests) > maxBatchEntries {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorJSON{Error: fmt.Sprintf("batch of %d entries exceeds limit %d", len(req.Requests), maxBatchEntries)})
+		return
+	}
+	// Entries run concurrently through the service, which bounds actual
+	// pipeline concurrency by its worker pool and deduplicates identical
+	// entries; per-entry failures don't fail the batch.
+	entries := make([]batchEntryJSON, len(req.Requests))
+	svc := s.service() // one service for the whole batch
+	var wg sync.WaitGroup
+	wg.Add(len(req.Requests))
+	for i, mr := range req.Requests {
+		go func(i int, mr matchRequestJSON) {
+			defer wg.Done()
+			personal, rep, status, err := s.runMatch(r.Context(), svc, mr)
+			entries[i].Status = status
+			if err != nil {
+				entries[i].Error = err.Error()
+				return
+			}
+			resp := renderReport(personal, rep)
+			entries[i].Result = &resp
+		}(i, mr)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, map[string]any{"results": entries})
+}
+
+type rewriteRequestJSON struct {
+	Personal    string            `json:"personal"`
+	Query       string            `json:"query"`
+	MappingRank int               `json:"mapping_rank,omitempty"` // 0 = best mapping
+	Options     *matchOptionsJSON `json:"options,omitempty"`
+}
+
+func (s *server) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST required"})
+		return
+	}
+	var req rewriteRequestJSON
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "query is required"})
+		return
+	}
+	svc := s.service() // the mapping's nodes must be rewritten by the same service's index
+	personal, rep, status, err := s.runMatch(r.Context(), svc, matchRequestJSON{Personal: req.Personal, Options: req.Options})
+	if err != nil {
+		writeJSON(w, status, errorJSON{Error: err.Error()})
+		return
+	}
+	if req.MappingRank < 0 || req.MappingRank >= len(rep.Mappings) {
+		writeJSON(w, http.StatusNotFound, errorJSON{
+			Error: fmt.Sprintf("mapping rank %d not available (%d mappings found)", req.MappingRank, len(rep.Mappings)),
+		})
+		return
+	}
+	mp := rep.Mappings[req.MappingRank]
+	rewritten, err := svc.RewriteQuery(req.Query, personal, mp)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query":        req.Query,
+		"rewritten":    rewritten,
+		"mapping_rank": req.MappingRank,
+		"delta":        mp.Score.Delta,
+	})
+}
+
+type repositoryRequestJSON struct {
+	Action string `json:"action"` // synthetic|load|save
+	Nodes  int    `json:"nodes,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	Path   string `json:"path,omitempty"`
+}
+
+func (s *server) repositoryInfo() map[string]any {
+	s.mu.RLock()
+	svc, desc := s.svc, s.repoDesc
+	s.mu.RUnlock()
+	st := svc.Repository().Stats()
+	return map[string]any{
+		"source": desc,
+		"trees":  st.Trees,
+		"nodes":  st.Nodes,
+	}
+}
+
+func (s *server) handleRepository(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.repositoryInfo())
+	case http.MethodPost:
+		// Every mutating action needs the -data-dir opt-in: without it,
+		// any client could silently replace the served repository (or
+		// force an enormous index build) with one unauthenticated POST.
+		if s.dataDir == "" {
+			writeJSON(w, http.StatusForbidden, errorJSON{Error: "repository mutation disabled; start the server with -data-dir"})
+			return
+		}
+		var req repositoryRequestJSON
+		if !s.decode(w, r, &req) {
+			return
+		}
+		switch req.Action {
+		case "synthetic":
+			const maxSyntheticNodes = 1_000_000
+			if req.Nodes < 0 || req.Nodes > maxSyntheticNodes {
+				writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("nodes %d outside [0,%d]", req.Nodes, maxSyntheticNodes)})
+				return
+			}
+			cfg := bellflower.DefaultSyntheticConfig()
+			if req.Nodes > 0 {
+				cfg.TargetNodes = req.Nodes
+			}
+			cfg.Seed = req.Seed
+			repo, err := bellflower.Synthetic(cfg)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+				return
+			}
+			s.swap(bellflower.NewService(repo, s.svcCfg), fmt.Sprintf("synthetic(%d,seed=%d)", cfg.TargetNodes, cfg.Seed))
+		case "load":
+			path, status, err := s.resolveDataPath(req.Path)
+			if err != nil {
+				writeJSON(w, status, errorJSON{Error: err.Error()})
+				return
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+				return
+			}
+			repo, err := bellflower.LoadRepository(f)
+			f.Close()
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+				return
+			}
+			s.swap(bellflower.NewService(repo, s.svcCfg), req.Path)
+		case "save":
+			path, status, err := s.resolveDataPath(req.Path)
+			if err != nil {
+				writeJSON(w, status, errorJSON{Error: err.Error()})
+				return
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+				return
+			}
+			err = bellflower.SaveRepository(f, s.service().Repository())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+				return
+			}
+		default:
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("unknown action %q (want synthetic|load|save)", req.Action)})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.repositoryInfo())
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "GET or POST required"})
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.service().Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,466 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bellflower"
+)
+
+func newQuietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+func testService(t *testing.T, cfg bellflower.ServiceConfig) (*server, *httptest.Server) {
+	t.Helper()
+	repo := bellflower.NewRepository()
+	for _, spec := range []string{
+		"lib(address,book(authorName,data(title),shelf))",
+		"store(book(title,author,isbn@),order(id,customer(name,email)))",
+		"catalog(item(name,price),publisher(name,address))",
+	} {
+		repo.MustAdd(bellflower.MustParseSchema(spec))
+	}
+	logger := newQuietLogger()
+	srv := newServer(bellflower.NewService(repo, cfg), "test", cfg, t.TempDir(), logger)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.service().Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestHandleMatchTable(t *testing.T) {
+	_, ts := testService(t, bellflower.ServiceConfig{MaxSchemaNodes: 8})
+
+	tests := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantInBody string
+	}{
+		{
+			name:       "valid match",
+			body:       `{"personal":"book(title,author)","options":{"delta":0.5}}`,
+			wantStatus: http.StatusOK,
+			wantInBody: `"mappings"`,
+		},
+		{
+			name:       "bad json",
+			body:       `{"personal":`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "bad request body",
+		},
+		{
+			name:       "unknown field",
+			body:       `{"personal":"a(b)","nonsense":1}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "bad request body",
+		},
+		{
+			name:       "bad spec",
+			body:       `{"personal":"book(title,"}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "error",
+		},
+		{
+			name:       "oversized schema",
+			body:       `{"personal":"a(b,c,d,e,f,g,h,i,j,k,l)"}`,
+			wantStatus: http.StatusRequestEntityTooLarge,
+			wantInBody: "too large",
+		},
+		{
+			name:       "bad variant",
+			body:       `{"personal":"a(b)","options":{"variant":"gigantic"}}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "unknown variant",
+		},
+		{
+			name:       "bad matcher",
+			body:       `{"personal":"a(b)","options":{"matcher":"psychic"}}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "unknown matcher",
+		},
+		{
+			name:       "bad threshold",
+			body:       `{"personal":"a(b)","options":{"delta":1.5}}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "threshold",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/match", tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("status = %d, want %d (body: %s)", resp.StatusCode, tc.wantStatus, body)
+			}
+			if !strings.Contains(string(body), tc.wantInBody) {
+				t.Errorf("body %q does not contain %q", body, tc.wantInBody)
+			}
+		})
+	}
+
+	t.Run("get rejected", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/match")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET status = %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+func TestHandleMatchBadOptionsSurfaceAs400(t *testing.T) {
+	// Validation errors from deep in the pipeline must not become 500s.
+	_, ts := testService(t, bellflower.ServiceConfig{})
+	resp, body := postJSON(t, ts.URL+"/v1/match", `{"personal":"a(b)","options":{"alpha":7}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400 (body: %s)", resp.StatusCode, body)
+	}
+}
+
+func TestDeadlineExceededReturns504(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a paper-scale repository")
+	}
+	cfg := bellflower.DefaultSyntheticConfig()
+	cfg.TargetNodes = 5000
+	repo, err := bellflower.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcCfg := bellflower.ServiceConfig{}
+	srv := newServer(bellflower.NewService(repo, svcCfg), "synthetic", svcCfg, "", newQuietLogger())
+	ts := httptest.NewServer(srv.routes())
+	defer func() {
+		ts.Close()
+		srv.service().Close()
+	}()
+
+	resp, body := postJSON(t, ts.URL+"/v1/match",
+		`{"personal":"book(title,author,publisher(name,address),isbn)","options":{"timeout_ms":1}}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body: %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Errorf("body %q should mention the deadline", body)
+	}
+}
+
+func TestCacheHitPathAndStats(t *testing.T) {
+	_, ts := testService(t, bellflower.ServiceConfig{})
+
+	const body = `{"personal":"book(title,author)","options":{"delta":0.5}}`
+	var first []byte
+	for i := 0; i < 3; i++ {
+		resp, data := postJSON(t, ts.URL+"/v1/match", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s)", i, resp.StatusCode, data)
+		}
+		if i == 0 {
+			first = data
+		} else if !bytes.Equal(first, data) {
+			t.Errorf("request %d: cached response differs from first", i)
+		}
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/stats", "")
+	_ = resp
+	var stats bellflower.ServiceStats
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatalf("stats decode: %v (%s)", err, data)
+	}
+	if stats.CacheHits < 2 {
+		t.Errorf("cache hits = %d, want >= 2 after repeated identical requests", stats.CacheHits)
+	}
+	if stats.PipelineRuns != 1 {
+		t.Errorf("pipeline runs = %d, want 1", stats.PipelineRuns)
+	}
+	if stats.Latency.Count < 3 {
+		t.Errorf("latency observations = %d, want >= 3", stats.Latency.Count)
+	}
+}
+
+func TestConcurrentMatches(t *testing.T) {
+	_, ts := testService(t, bellflower.ServiceConfig{Workers: 4})
+
+	specs := []string{
+		"book(title,author)",
+		"customer(name,email)",
+		"item(name,price)",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				body := fmt.Sprintf(`{"personal":%q,"options":{"delta":0.5}}`, specs[(g+i)%len(specs)])
+				resp, err := http.Post(ts.URL+"/v1/match", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("goroutine %d: status %d", g, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestHandleMatchBatch(t *testing.T) {
+	_, ts := testService(t, bellflower.ServiceConfig{})
+
+	body := `{"requests":[
+		{"personal":"book(title,author)","options":{"delta":0.5}},
+		{"personal":"not a spec ((","options":{}},
+		{"personal":"customer(name,email)","options":{"delta":0.5}}
+	]}`
+	resp, data := postJSON(t, ts.URL+"/v1/match/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, data)
+	}
+	var out struct {
+		Results []struct {
+			Result *matchResponseJSON `json:"result"`
+			Error  string             `json:"error"`
+			Status int                `json:"status"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(out.Results))
+	}
+	if out.Results[0].Status != http.StatusOK || out.Results[0].Result == nil {
+		t.Errorf("entry 0: status %d, result %v", out.Results[0].Status, out.Results[0].Result)
+	}
+	if out.Results[1].Status != http.StatusBadRequest || out.Results[1].Error == "" {
+		t.Errorf("entry 1 should fail parse: status %d", out.Results[1].Status)
+	}
+	if out.Results[2].Status != http.StatusOK {
+		t.Errorf("entry 2: status %d", out.Results[2].Status)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/match/batch", `{"requests":[]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+
+	var entries []string
+	for i := 0; i < 257; i++ {
+		entries = append(entries, `{"personal":"a(b)"}`)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/match/batch", `{"requests":[`+strings.Join(entries, ",")+`]}`)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("257-entry batch: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestHandleRewrite(t *testing.T) {
+	_, ts := testService(t, bellflower.ServiceConfig{})
+
+	body := `{"personal":"book(title,author)","query":"/book/title","options":{"delta":0.5}}`
+	resp, data := postJSON(t, ts.URL+"/v1/rewrite", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, data)
+	}
+	var out struct {
+		Rewritten string  `json:"rewritten"`
+		Delta     float64 `json:"delta"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Rewritten == "" || out.Rewritten[0] != '/' {
+		t.Errorf("rewritten = %q, want a repository XPath", out.Rewritten)
+	}
+	if out.Delta <= 0 {
+		t.Errorf("delta = %v, want > 0", out.Delta)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/rewrite",
+		`{"personal":"book(title,author)","query":"/book/title","mapping_rank":999,"options":{"delta":0.5}}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("out-of-range rank: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/rewrite", `{"personal":"book(title,author)"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing query: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHandleRepository(t *testing.T) {
+	srv, ts := testService(t, bellflower.ServiceConfig{})
+
+	resp, data := postJSON(t, ts.URL+"/v1/match", `{"personal":"book(title,author)","options":{"delta":0.5}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup match: %d (%s)", resp.StatusCode, data)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/repository")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Source string `json:"source"`
+		Trees  int    `json:"trees"`
+		Nodes  int    `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Trees != 3 || info.Nodes == 0 || info.Source != "test" {
+		t.Errorf("repository info = %+v", info)
+	}
+
+	// Save the current repository, swap to a synthetic one, then load the
+	// save back: a full round trip through all three actions. Paths are
+	// relative to the server's data directory.
+	resp, data = postJSON(t, ts.URL+"/v1/repository", `{"action":"save","path":"repo.txt"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("save: %d (%s)", resp.StatusCode, data)
+	}
+	if _, err := os.Stat(filepath.Join(srv.dataDir, "repo.txt")); err != nil {
+		t.Fatalf("saved file: %v", err)
+	}
+
+	resp, data = postJSON(t, ts.URL+"/v1/repository", `{"action":"synthetic","nodes":300,"seed":7}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthetic: %d (%s)", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes < 200 || info.Trees == 3 {
+		t.Errorf("synthetic swap not visible: %+v", info)
+	}
+	// The new service starts with fresh stats.
+	waitFor(t, func() bool {
+		_, data := postJSON(t, ts.URL+"/v1/stats", "")
+		var stats bellflower.ServiceStats
+		return json.Unmarshal(data, &stats) == nil && stats.PipelineRuns == 0
+	})
+
+	resp, data = postJSON(t, ts.URL+"/v1/repository", `{"action":"load","path":"repo.txt"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: %d (%s)", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Trees != 3 {
+		t.Errorf("loaded repository has %d trees, want 3", info.Trees)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/repository", `{"action":"explode"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown action: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/repository", `{"action":"load"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("load without path: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRepositoryPathSandbox(t *testing.T) {
+	srv, ts := testService(t, bellflower.ServiceConfig{})
+
+	// Absolute and escaping paths must be refused before touching the
+	// filesystem.
+	for _, path := range []string{"/etc/passwd", "../outside.txt", "a/../../outside.txt"} {
+		resp, body := postJSON(t, ts.URL+"/v1/repository", fmt.Sprintf(`{"action":"load","path":%q}`, path))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("load %q: status %d, want 400 (%s)", path, resp.StatusCode, body)
+		}
+		resp, _ = postJSON(t, ts.URL+"/v1/repository", fmt.Sprintf(`{"action":"save","path":%q}`, path))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("save %q: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+
+	// Absurd synthetic sizes are refused before generation.
+	resp, body := postJSON(t, ts.URL+"/v1/repository", `{"action":"synthetic","nodes":1000000000}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized synthetic: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+
+	// With no data directory configured, every mutating action is off.
+	srv2 := newServer(bellflower.NewService(srv.service().Repository(), bellflower.ServiceConfig{}), "test", bellflower.ServiceConfig{}, "", newQuietLogger())
+	ts2 := httptest.NewServer(srv2.routes())
+	defer func() {
+		ts2.Close()
+		srv2.service().Close()
+	}()
+	for _, action := range []string{`{"action":"save","path":"repo.txt"}`, `{"action":"synthetic","nodes":300}`} {
+		resp, body := postJSON(t, ts2.URL+"/v1/repository", action)
+		if resp.StatusCode != http.StatusForbidden {
+			t.Errorf("%s without -data-dir: status %d, want 403 (%s)", action, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testService(t, bellflower.ServiceConfig{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	_, ts := testService(t, bellflower.ServiceConfig{})
+	huge := `{"personal":"` + strings.Repeat("x", defaultMaxBody) + `"}`
+	resp, _ := postJSON(t, ts.URL+"/v1/match", huge)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,166 @@
+// Command server demonstrates the bellflower-server HTTP API from the
+// client side: match a personal schema, repeat the request to show the
+// report cache, rewrite a query over the best mapping, and read the
+// service stats.
+//
+// Start a daemon first, then run the client:
+//
+//	go run ./cmd/bellflower-server -synthetic 2500 -addr :8077
+//	go run ./examples/server -addr http://127.0.0.1:8077
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8077", "bellflower-server base URL")
+	personal := flag.String("personal", "book(title,author)", "personal schema spec")
+	flag.Parse()
+	if err := run(*addr, *personal); err != nil {
+		fmt.Fprintln(os.Stderr, "server example:", err)
+		fmt.Fprintln(os.Stderr, "hint: start the daemon with: go run ./cmd/bellflower-server -synthetic 2500")
+		os.Exit(1)
+	}
+}
+
+func run(addr, personal string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := getJSON(client, addr+"/healthz", &health); err != nil {
+		return fmt.Errorf("daemon not reachable at %s: %w", addr, err)
+	}
+	fmt.Printf("daemon healthy: %s\n", health.Status)
+
+	var repo struct {
+		Source string `json:"source"`
+		Trees  int    `json:"trees"`
+		Nodes  int    `json:"nodes"`
+	}
+	if err := getJSON(client, addr+"/v1/repository", &repo); err != nil {
+		return err
+	}
+	fmt.Printf("repository %s: %d trees, %d nodes\n", repo.Source, repo.Trees, repo.Nodes)
+
+	// Match twice: the second identical request is served from the cache.
+	matchReq := map[string]any{
+		"personal": personal,
+		"options":  map[string]any{"delta": 0.5, "top_n": 5, "timeout_ms": 10000},
+	}
+	var match struct {
+		Mappings []struct {
+			Delta float64 `json:"delta"`
+			Pairs []struct {
+				Personal   string `json:"personal"`
+				Repository string `json:"repository"`
+			} `json:"pairs"`
+		} `json:"mappings"`
+		Pipeline struct {
+			Clusters       int     `json:"clusters"`
+			UsefulClusters int     `json:"useful_clusters"`
+			MatchMS        float64 `json:"match_ms"`
+			GenMS          float64 `json:"gen_ms"`
+		} `json:"pipeline"`
+	}
+	for i := 1; i <= 2; i++ {
+		start := time.Now()
+		if err := postJSON(client, addr+"/v1/match", matchReq, &match); err != nil {
+			return err
+		}
+		fmt.Printf("match #%d: %d mappings in %v (%d clusters, %d useful)\n",
+			i, len(match.Mappings), time.Since(start).Round(time.Microsecond),
+			match.Pipeline.Clusters, match.Pipeline.UsefulClusters)
+	}
+	for i, m := range match.Mappings {
+		fmt.Printf("  %d. Δ=%.3f", i+1, m.Delta)
+		for _, p := range m.Pairs {
+			fmt.Printf("  %s→%s", p.Personal, p.Repository)
+		}
+		fmt.Println()
+	}
+
+	if len(match.Mappings) > 0 {
+		var rewrite struct {
+			Rewritten string  `json:"rewritten"`
+			Delta     float64 `json:"delta"`
+		}
+		q := "/" + firstName(personal) + "/title"
+		err := postJSON(client, addr+"/v1/rewrite", map[string]any{
+			"personal": personal,
+			"query":    q,
+			"options":  map[string]any{"delta": 0.5},
+		}, &rewrite)
+		if err == nil {
+			fmt.Printf("query rewrite (Δ=%.3f): %s -> %s\n", rewrite.Delta, q, rewrite.Rewritten)
+		}
+	}
+
+	var stats struct {
+		Requests     int64 `json:"requests"`
+		CacheHits    int64 `json:"cache_hits"`
+		PipelineRuns int64 `json:"pipeline_runs"`
+		Latency      struct {
+			Count  int64   `json:"count"`
+			MeanMS float64 `json:"mean_ms"`
+		} `json:"latency"`
+	}
+	if err := getJSON(client, addr+"/v1/stats", &stats); err != nil {
+		return err
+	}
+	fmt.Printf("stats: %d requests, %d cache hits, %d pipeline runs, mean latency %.2fms\n",
+		stats.Requests, stats.CacheHits, stats.PipelineRuns, stats.Latency.MeanMS)
+	return nil
+}
+
+// firstName extracts the root element name of a spec like "book(title,...)".
+func firstName(spec string) string {
+	for i := 0; i < len(spec); i++ {
+		if spec[i] == '(' {
+			return spec[:i]
+		}
+	}
+	return spec
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeJSON(resp, out)
+}
+
+func postJSON(client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeJSON(resp, out)
+}
+
+func decodeJSON(resp *http.Response, out any) error {
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,3 @@
+module bellflower
+
+go 1.22

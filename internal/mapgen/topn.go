@@ -21,14 +21,27 @@ import (
 // Δ ≥ the configured threshold. The returned list is ranked. Counters
 // reflect the adaptively pruned search.
 func (g *Generator) GenerateTopN(clusters []*cluster.Cluster, n int) ([]Mapping, Counters) {
+	return g.GenerateTopNStop(clusters, n, nil)
+}
+
+// GenerateTopNStop is GenerateTopN with a cooperative stop hook: stop is
+// consulted between clusters, and a true return abandons the search,
+// yielding whatever was found so far. A nil stop never stops. This is how
+// context cancellation reaches the adaptive search without mapgen
+// depending on context. n <= 0 falls back to the threshold-only search,
+// still honouring stop between clusters.
+func (g *Generator) GenerateTopNStop(clusters []*cluster.Cluster, n int, stop func() bool) ([]Mapping, Counters) {
 	if n <= 0 {
-		return g.Generate(clusters)
+		return g.generateStop(clusters, stop)
 	}
 	var total Counters
 	h := &mappingHeap{}
 	heap.Init(h)
 	floor := g.cfg.Threshold
 	for _, cl := range clusters {
+		if stop != nil && stop() {
+			break
+		}
 		sets, ok := g.restricted(cl)
 		if !ok {
 			continue

@@ -51,6 +51,32 @@ func TestGenerateTopNPrunesMore(t *testing.T) {
 	}
 }
 
+func TestGenerateTopNStop(t *testing.T) {
+	f := newFix(t, objective.DefaultParams(), 0.3,
+		"book(title,author)",
+		"lib(book(title,author),book(titel,autor))",
+		"store(dept(book(title,author(name))))")
+	clusters := f.treeClusters()
+
+	// An immediate stop searches no cluster.
+	ms, ctr := f.gen(Config{Threshold: 0.5}).GenerateTopNStop(clusters, 3, func() bool { return true })
+	if len(ms) != 0 || ctr.PartialMappings != 0 {
+		t.Errorf("immediate stop searched anyway: %d mappings, %d partials", len(ms), ctr.PartialMappings)
+	}
+
+	// A stop after the first cluster abandons the rest but keeps what was
+	// found so far.
+	calls := 0
+	ms, _ = f.gen(Config{Threshold: 0.5}).GenerateTopNStop(clusters, 100, func() bool {
+		calls++
+		return calls > 1
+	})
+	full, _ := f.gen(Config{Threshold: 0.5}).Generate(clusters[:1])
+	if len(ms) != len(full) {
+		t.Errorf("stop after first cluster: %d mappings, want %d (first cluster only)", len(ms), len(full))
+	}
+}
+
 func TestGenerateTopNZeroFallsBack(t *testing.T) {
 	f := newFix(t, objective.DefaultParams(), 0.4,
 		"book(title)", "lib(book(title))")

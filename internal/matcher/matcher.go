@@ -12,6 +12,7 @@ package matcher
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"bellflower/internal/schema"
 	"bellflower/internal/strsim"
@@ -196,6 +197,36 @@ func NewCombined(parts ...Weighted) *Combined {
 		panic("matcher: combined matcher has zero total weight")
 	}
 	return c
+}
+
+// Describe returns a canonical, address-free description of a matcher's
+// configuration, suitable for request cache keys: equal descriptions imply
+// identical scoring behaviour. Known matcher types render their full
+// configuration (recursing into Combined, whose parts hold interface
+// values that fmt would otherwise print as pointer addresses); unknown
+// implementations fall back to %T%+v, which is canonical for plain value
+// types.
+func Describe(m Matcher) string {
+	switch mm := m.(type) {
+	case nil:
+		return ""
+	case *Combined:
+		var b strings.Builder
+		b.WriteString("combined(")
+		for i, p := range mm.parts {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g*%s", p.Weight, Describe(p.Matcher))
+		}
+		b.WriteByte(')')
+		return b.String()
+	case *SynonymMatcher:
+		// fmt sorts map keys, so the dictionary renders deterministically.
+		return fmt.Sprintf("synonym%+v", mm.dict)
+	default:
+		return fmt.Sprintf("%T%+v", m, m)
+	}
 }
 
 // Name implements Matcher.

@@ -6,6 +6,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -217,6 +218,12 @@ func (r *Report) Deltas() []float64 {
 
 // Runner executes matching runs against a fixed repository, reusing the
 // labelling index across runs.
+//
+// A Runner is safe for concurrent use: the repository and labelling index
+// are built once by NewRunner and only read afterwards, and every Run /
+// RunContext call keeps its working state (candidates, clusters, report)
+// on its own stack. Many goroutines may call Run on one Runner at once —
+// the serve subsystem depends on this.
 type Runner struct {
 	repo *schema.Repository
 	ix   *labeling.Index
@@ -233,8 +240,18 @@ func (r *Runner) Repository() *schema.Repository { return r.repo }
 // Index returns the runner's labelling index.
 func (r *Runner) Index() *labeling.Index { return r.ix }
 
-// Run executes the full pipeline for one personal schema.
+// Run executes the full pipeline for one personal schema. It is equivalent
+// to RunContext with context.Background().
 func (r *Runner) Run(personal *schema.Tree, opts Options) (*Report, error) {
+	return r.RunContext(context.Background(), personal, opts)
+}
+
+// RunContext executes the full pipeline for one personal schema, honouring
+// the context's deadline and cancellation. Cancellation is checked between
+// pipeline stages, between useful clusters during mapping generation, and
+// inside the Parallelism fan-out, so a cancelled run stops early (within
+// one cluster's worth of work) and returns ctx.Err().
+func (r *Runner) RunContext(ctx context.Context, personal *schema.Tree, opts Options) (*Report, error) {
 	if err := opts.Objective.Validate(); err != nil {
 		return nil, err
 	}
@@ -248,12 +265,18 @@ func (r *Runner) Run(personal *schema.Tree, opts Options) (*Report, error) {
 	rep := &Report{Variant: opts.Variant}
 
 	// Stage 1: element matching (steps ② and ③).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	cands := matcher.FindCandidates(personal, r.repo, m, matcher.Config{MinSim: opts.MinSim})
 	rep.MatchTime = time.Since(t0)
 	rep.MappingElements = cands.TotalMappingElements()
 
 	// Stage 2: clustering (step c).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t1 := time.Now()
 	var clusters []*cluster.Cluster
 	if cfg, ok := opts.Variant.ClusterConfig(); ok {
@@ -285,6 +308,9 @@ func (r *Runner) Run(personal *schema.Tree, opts Options) (*Report, error) {
 	}
 
 	// Stage 3: mapping generation per cluster (steps ④ and ⑤).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t2 := time.Now()
 	ev := objective.NewEvaluator(opts.Objective, r.ix, personal)
 	genCfg := mapgen.Config{
@@ -326,14 +352,19 @@ func (r *Runner) Run(personal *schema.Tree, opts Options) (*Report, error) {
 	}
 
 	if opts.AdaptiveTopN && opts.TopN > 0 && opts.StructureMatcher == nil && opts.Parallelism <= 1 {
-		ms, ctr := gen.GenerateTopN(useful, opts.TopN)
+		ms, ctr := gen.GenerateTopNStop(useful, opts.TopN, func() bool { return ctx.Err() != nil })
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rep.Counters = ctr
 		rep.Mappings = ms
 		if len(ms) > 0 {
 			rep.FirstGoodAfter = 1 // not meaningful under the global bound
 		}
 		if opts.IncludePartials {
-			collectPartials(rep, gen, nonUseful)
+			if err := collectPartials(ctx, rep, gen, nonUseful); err != nil {
+				return nil, err
+			}
 		}
 		rep.GenTime = time.Since(t2)
 		return rep, nil
@@ -350,12 +381,23 @@ func (r *Runner) Run(personal *schema.Tree, opts Options) (*Report, error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				// A cancelled run skips the clusters still queued
+				// behind the semaphore.
+				if ctx.Err() != nil {
+					return
+				}
 				perCluster[i], perCounter[i] = generateIn(cl)
 			}(i, cl)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	} else {
 		for i, cl := range useful {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			perCluster[i], perCounter[i] = generateIn(cl)
 		}
 	}
@@ -374,15 +416,21 @@ func (r *Runner) Run(personal *schema.Tree, opts Options) (*Report, error) {
 	rep.Mappings = all
 
 	if opts.IncludePartials {
-		collectPartials(rep, gen, nonUseful)
+		if err := collectPartials(ctx, rep, gen, nonUseful); err != nil {
+			return nil, err
+		}
 	}
 	rep.GenTime = time.Since(t2)
 	return rep, nil
 }
 
-// collectPartials gathers ranked partial mappings from non-useful clusters.
-func collectPartials(rep *Report, gen *mapgen.Generator, nonUseful []*cluster.Cluster) {
+// collectPartials gathers ranked partial mappings from non-useful clusters,
+// checking for cancellation between clusters.
+func collectPartials(ctx context.Context, rep *Report, gen *mapgen.Generator, nonUseful []*cluster.Cluster) error {
 	for _, cl := range nonUseful {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		pms, ctr := gen.GeneratePartialInCluster(cl)
 		_ = ctr // partial counters are not part of the paper's tables
 		rep.Partials = append(rep.Partials, pms...)
@@ -390,6 +438,7 @@ func collectPartials(rep *Report, gen *mapgen.Generator, nonUseful []*cluster.Cl
 	sort.Slice(rep.Partials, func(i, j int) bool {
 		return rep.Partials[i].Score.Delta > rep.Partials[j].Score.Delta
 	})
+	return nil
 }
 
 // splitUseful partitions clusters by usefulness for an n-node personal

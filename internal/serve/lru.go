@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"bellflower/internal/pipeline"
+)
+
+// reportCache is a mutex-guarded LRU of completed reports keyed by request
+// signature. Cached *pipeline.Report values are shared between callers and
+// must be treated as immutable.
+type reportCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	rep *pipeline.Report
+}
+
+// newReportCache returns an LRU holding up to capacity reports; a
+// non-positive capacity disables caching (every Get misses).
+func newReportCache(capacity int) *reportCache {
+	return &reportCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+func (c *reportCache) Get(key string) (*pipeline.Report, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).rep, true
+}
+
+func (c *reportCache) Put(key string, rep *pipeline.Report) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).rep = rep
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, rep: rep})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *reportCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func (c *reportCache) Cap() int { return c.cap }

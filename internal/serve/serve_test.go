@@ -1,0 +1,590 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bellflower/internal/matcher"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/schema"
+)
+
+func testRepo(t testing.TB) *schema.Repository {
+	t.Helper()
+	repo := schema.NewRepository()
+	for _, spec := range []string{
+		"lib(address,book(authorName,data(title),shelf))",
+		"store(book(title,author,isbn@),order(id,customer(name,email)))",
+		"catalog(item(name,price),publisher(name,address))",
+	} {
+		repo.MustAdd(schema.MustParseSpec(spec))
+	}
+	return repo
+}
+
+func testOpts() pipeline.Options {
+	opts := pipeline.DefaultOptions()
+	opts.Threshold = 0.5
+	return opts
+}
+
+func personal() *schema.Tree { return schema.MustParseSpec("book(title,author)") }
+
+func TestMatchAgreesWithDirectRun(t *testing.T) {
+	repo := testRepo(t)
+	s := NewFromRepository(repo, Config{})
+	defer s.Close()
+
+	rep, err := s.Match(context.Background(), personal(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := pipeline.NewRunner(repo).Run(personal(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mappings) == 0 || len(rep.Mappings) != len(direct.Mappings) {
+		t.Fatalf("service found %d mappings, direct run %d", len(rep.Mappings), len(direct.Mappings))
+	}
+	for i := range rep.Mappings {
+		if rep.Mappings[i].Score.Delta != direct.Mappings[i].Score.Delta {
+			t.Fatalf("mapping %d: Δ %v != %v", i, rep.Mappings[i].Score.Delta, direct.Mappings[i].Score.Delta)
+		}
+	}
+}
+
+func TestCacheHit(t *testing.T) {
+	s := NewFromRepository(testRepo(t), Config{})
+	defer s.Close()
+
+	r1, err := s.Match(context.Background(), personal(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Match(context.Background(), personal(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical repeated requests should share the cached report")
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.PipelineRuns != 1 {
+		t.Errorf("stats = hits %d, runs %d; want 1, 1", st.CacheHits, st.PipelineRuns)
+	}
+
+	// A different schema or different options must miss.
+	if _, err := s.Match(context.Background(), schema.MustParseSpec("order(id,customer)"), testOpts()); err != nil {
+		t.Fatal(err)
+	}
+	other := testOpts()
+	other.TopN = 3
+	if _, err := s.Match(context.Background(), personal(), other); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.PipelineRuns != 3 {
+		t.Errorf("pipeline runs = %d, want 3", st.PipelineRuns)
+	}
+}
+
+// gateMatcher blocks every similarity computation until released, so tests
+// can hold a pipeline run open deterministically.
+type gateMatcher struct {
+	started chan struct{} // signalled once, on first use
+	release chan struct{} // computations proceed after this closes
+	once    *sync.Once
+}
+
+func newGateMatcher() gateMatcher {
+	return gateMatcher{
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+		once:    new(sync.Once),
+	}
+}
+
+func (g gateMatcher) Name() string { return "gate" }
+
+func (g gateMatcher) Similarity(p, r *schema.Node) float64 {
+	g.once.Do(func() { close(g.started) })
+	<-g.release
+	return matcher.NameMatcher{}.Similarity(p, r)
+}
+
+func TestSingleflightDedupe(t *testing.T) {
+	s := NewFromRepository(testRepo(t), Config{Workers: 4})
+	defer s.Close()
+
+	gate := newGateMatcher()
+	opts := testOpts()
+	opts.Matcher = gate
+
+	const n = 8
+	var wg sync.WaitGroup
+	reports := make([]*pipeline.Report, n)
+	errs := make([]error, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = s.Match(context.Background(), personal(), opts)
+		}(i)
+	}
+
+	// Wait for the leader's run to start, then for every follower to have
+	// joined it, before letting the run proceed.
+	select {
+	case <-gate.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline run never started")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().DedupedInFlight < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests deduped", s.Stats().DedupedInFlight, n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	wg.Wait()
+
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if reports[i] != reports[0] {
+			t.Errorf("request %d got a different report than the shared run", i)
+		}
+	}
+	st := s.Stats()
+	if st.PipelineRuns != 1 {
+		t.Errorf("pipeline runs = %d, want 1 (singleflight)", st.PipelineRuns)
+	}
+	if st.DedupedInFlight != n-1 {
+		t.Errorf("deduped = %d, want %d", st.DedupedInFlight, n-1)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight after completion = %d, want 0", st.InFlight)
+	}
+}
+
+func TestDeadlineCancelsRun(t *testing.T) {
+	s := NewFromRepository(testRepo(t), Config{Workers: 1})
+	defer s.Close()
+
+	gate := newGateMatcher()
+	opts := testOpts()
+	opts.Matcher = gate
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := s.Match(ctx, personal(), opts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline honoured after %v; should release the caller promptly", elapsed)
+	}
+
+	// Release the worker: with no waiters left the shared run context was
+	// cancelled, so the pipeline aborts and nothing is cached.
+	close(gate.release)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().PipelineRuns < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never finished the abandoned run")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.CacheLen != 0 {
+		t.Errorf("abandoned run was cached (CacheLen=%d)", st.CacheLen)
+	}
+}
+
+func TestDefaultTimeout(t *testing.T) {
+	s := NewFromRepository(testRepo(t), Config{Workers: 1, DefaultTimeout: 30 * time.Millisecond})
+	defer s.Close()
+
+	gate := newGateMatcher()
+	defer close(gate.release)
+	opts := testOpts()
+	opts.Matcher = gate
+
+	_, err := s.Match(context.Background(), personal(), opts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded via DefaultTimeout", err)
+	}
+}
+
+func TestRejections(t *testing.T) {
+	s := NewFromRepository(testRepo(t), Config{MaxSchemaNodes: 3})
+	if _, err := s.Match(context.Background(), nil, testOpts()); err == nil {
+		t.Error("nil schema accepted")
+	}
+	_, err := s.Match(context.Background(), personal(), testOpts()) // 3 nodes: ok
+	if err != nil {
+		t.Errorf("3-node schema rejected under limit 3: %v", err)
+	}
+	_, err = s.Match(context.Background(), schema.MustParseSpec("a(b,c,d)"), testOpts())
+	if !errors.Is(err, ErrSchemaTooLarge) {
+		t.Errorf("err = %v, want ErrSchemaTooLarge", err)
+	}
+	if st := s.Stats(); st.Rejected != 2 {
+		t.Errorf("rejected = %d, want 2", st.Rejected)
+	}
+
+	s.Close()
+	if _, err := s.Match(context.Background(), personal(), testOpts()); !errors.Is(err, ErrClosed) {
+		t.Errorf("err after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMatchBatch(t *testing.T) {
+	s := NewFromRepository(testRepo(t), Config{})
+	defer s.Close()
+
+	reqs := []Request{
+		{Personal: personal(), Opts: testOpts()},
+		{Personal: schema.MustParseSpec("customer(name,email)"), Opts: testOpts()},
+		{Personal: nil, Opts: testOpts()},
+		{Personal: personal(), Opts: testOpts()}, // duplicate of entry 0
+	}
+	results := s.MatchBatch(context.Background(), reqs)
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results, want %d", len(results), len(reqs))
+	}
+	if results[0].Err != nil || results[1].Err != nil || results[3].Err != nil {
+		t.Fatalf("unexpected errors: %v %v %v", results[0].Err, results[1].Err, results[3].Err)
+	}
+	if results[2].Err == nil {
+		t.Error("nil schema entry should fail")
+	}
+	if results[0].Report == nil || len(results[0].Report.Mappings) == 0 {
+		t.Error("entry 0 found no mappings")
+	}
+	// Entries 0 and 3 are identical: at most one pipeline run between them.
+	if st := s.Stats(); st.PipelineRuns > 2 {
+		t.Errorf("pipeline runs = %d, want <= 2 for a batch with one duplicate", st.PipelineRuns)
+	}
+}
+
+func TestMatchBatchLargerThanFanout(t *testing.T) {
+	// A batch far bigger than Workers+QueueDepth must complete without
+	// pinning one goroutine per entry.
+	s := NewFromRepository(testRepo(t), Config{Workers: 2, QueueDepth: 2})
+	defer s.Close()
+
+	reqs := make([]Request, 100)
+	for i := range reqs {
+		spec := []string{"book(title,author)", "customer(name,email)", "item(name,price)"}[i%3]
+		reqs[i] = Request{Personal: schema.MustParseSpec(spec), Opts: testOpts()}
+	}
+	results := s.MatchBatch(context.Background(), reqs)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("entry %d: %v", i, res.Err)
+		}
+		if res.Report == nil {
+			t.Fatalf("entry %d: nil report", i)
+		}
+	}
+	if st := s.Stats(); st.PipelineRuns > 3 {
+		t.Errorf("pipeline runs = %d, want <= 3 (three distinct signatures)", st.PipelineRuns)
+	}
+}
+
+func TestRewriteQuery(t *testing.T) {
+	s := NewFromRepository(testRepo(t), Config{})
+	defer s.Close()
+
+	rep, err := s.Match(context.Background(), personal(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mappings) == 0 {
+		t.Fatal("no mappings")
+	}
+	got, err := s.RewriteQuery(`/book/title`, personal(), rep.Mappings[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0] != '/' {
+		t.Errorf("rewrite produced %q, want a repository XPath", got)
+	}
+}
+
+func TestStatsLatencyHistogram(t *testing.T) {
+	s := NewFromRepository(testRepo(t), Config{})
+	defer s.Close()
+
+	for i := 0; i < 5; i++ {
+		if _, err := s.Match(context.Background(), personal(), testOpts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Latency.Count != 5 {
+		t.Errorf("latency count = %d, want 5", st.Latency.Count)
+	}
+	if len(st.Latency.Counts) != len(st.Latency.BucketsMS)+1 {
+		t.Fatalf("histogram shape: %d counts for %d buckets", len(st.Latency.Counts), len(st.Latency.BucketsMS))
+	}
+	var sum int64
+	for _, c := range st.Latency.Counts {
+		sum += c
+	}
+	if sum != st.Latency.Count {
+		t.Errorf("bucket counts sum to %d, want %d", sum, st.Latency.Count)
+	}
+}
+
+func TestReportCacheEviction(t *testing.T) {
+	c := newReportCache(2)
+	r := func() *pipeline.Report { return &pipeline.Report{} }
+	c.Put("a", r())
+	c.Put("b", r())
+	c.Put("c", r()) // evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Error("a should have been evicted")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("b missing")
+	}
+	c.Put("d", r()) // c is LRU now (b was just touched): evicts c
+	if _, ok := c.Get("c"); ok {
+		t.Error("c should have been evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+
+	disabled := newReportCache(0)
+	disabled.Put("x", r())
+	if _, ok := disabled.Get("x"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestSignature(t *testing.T) {
+	base := testOpts()
+	p := personal()
+	sig := Signature(p, base)
+	if Signature(schema.MustParseSpec("book(title,author)"), base) != sig {
+		t.Error("equal requests produce different signatures")
+	}
+	variants := []pipeline.Options{}
+	for _, mutate := range []func(*pipeline.Options){
+		func(o *pipeline.Options) { o.Threshold = 0.9 },
+		func(o *pipeline.Options) { o.TopN = 7 },
+		func(o *pipeline.Options) { o.Variant = pipeline.VariantTree },
+		func(o *pipeline.Options) { o.Matcher = matcher.NameMatcher{TokenAware: true} },
+		func(o *pipeline.Options) { o.StructureMatcher = matcher.PathContextMatcher{} },
+		func(o *pipeline.Options) { o.Parallelism = 4 },
+		func(o *pipeline.Options) { o.Agglomerative = true },
+	} {
+		o := testOpts()
+		mutate(&o)
+		variants = append(variants, o)
+	}
+	seen := map[string]bool{sig: true}
+	for i, o := range variants {
+		s2 := Signature(p, o)
+		if seen[s2] {
+			t.Errorf("variant %d collides with an earlier signature", i)
+		}
+		seen[s2] = true
+	}
+	if Signature(schema.MustParseSpec("book(title,author@)"), base) == sig {
+		t.Error("attribute marker not part of the signature")
+	}
+	if Signature(schema.MustParseSpec("book(title:string,author)"), base) == sig {
+		t.Error("datatype not part of the signature")
+	}
+
+	// Composite matchers hold interface values whose fmt rendering would
+	// include pointer addresses: two structurally identical instances must
+	// still produce one signature, and different weights must not.
+	combined := func(w float64) pipeline.Options {
+		o := testOpts()
+		o.Matcher = matcher.NewCombined(
+			matcher.Weighted{Matcher: matcher.NameMatcher{}, Weight: w},
+			matcher.Weighted{Matcher: matcher.DefaultSynonyms(), Weight: 1 - w},
+		)
+		return o
+	}
+	if Signature(p, combined(0.7)) != Signature(p, combined(0.7)) {
+		t.Error("structurally identical combined matchers produce different signatures")
+	}
+	if Signature(p, combined(0.7)) == Signature(p, combined(0.3)) {
+		t.Error("combined matchers with different weights share a signature")
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	s := NewFromRepository(testRepo(t), Config{Workers: 4, QueueDepth: 8})
+	defer s.Close()
+
+	specs := []string{
+		"book(title,author)",
+		"customer(name,email)",
+		"item(name,price)",
+		"publisher(name,address)",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				spec := specs[(g+i)%len(specs)]
+				if _, err := s.Match(context.Background(), schema.MustParseSpec(spec), testOpts()); err != nil {
+					t.Errorf("goroutine %d iter %d (%s): %v", g, i, spec, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Requests != 80 {
+		t.Errorf("requests = %d, want 80", st.Requests)
+	}
+	if got := st.CacheHits + st.CacheMisses; got != 80 {
+		t.Errorf("hits+misses = %d, want 80", got)
+	}
+	if st.PipelineRuns > st.CacheMisses {
+		t.Errorf("more runs (%d) than misses (%d)", st.PipelineRuns, st.CacheMisses)
+	}
+}
+
+// TestFollowerRetriesAfterLeaderDeadline pins down the singleflight edge
+// where a leader blocked on a full queue dies of its own deadline: the
+// follower whose context is still live must not inherit the leader's
+// context error — it retries and becomes leader of a fresh attempt.
+func TestFollowerRetriesAfterLeaderDeadline(t *testing.T) {
+	s := NewFromRepository(testRepo(t), Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+
+	gate := newGateMatcher()
+	gated := testOpts()
+	gated.Matcher = gate
+
+	// Occupy the single worker and fill the single queue slot.
+	runningErr := make(chan error, 1)
+	go func() {
+		_, err := s.Match(context.Background(), schema.MustParseSpec("item(name,price)"), gated)
+		runningErr <- err
+	}()
+	select {
+	case <-gate.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("occupying run never started")
+	}
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := s.Match(context.Background(), schema.MustParseSpec("customer(name,email)"), gated)
+		queuedErr <- err
+	}()
+	waitUntil(t, func() bool { return s.Stats().QueueDepth == 1 })
+
+	// Leader C (key K) blocks enqueueing and will die of its deadline;
+	// follower D (same key, live context) joins it.
+	leaderErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+		defer cancel()
+		_, err := s.Match(ctx, personal(), gated)
+		leaderErr <- err
+	}()
+	followerRes := make(chan error, 1)
+	waitUntil(t, func() bool { return s.Stats().InFlight >= 1 && s.Stats().QueueDepth == 1 })
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := s.Match(ctx, personal(), gated)
+		followerRes <- err
+	}()
+	waitUntil(t, func() bool { return s.Stats().DedupedInFlight >= 1 })
+
+	select {
+	case err := <-leaderErr:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("leader err = %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never timed out")
+	}
+	close(gate.release) // drain: occupier, queued, then the follower's retry
+	for name, ch := range map[string]chan error{"occupier": runningErr, "queued": queuedErr, "follower": followerRes} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Errorf("%s: %v, want success", name, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s never finished", name)
+		}
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	s := NewFromRepository(testRepo(t), Config{Workers: 1})
+
+	gate := newGateMatcher()
+	defer close(gate.release)
+	opts := testOpts()
+	opts.Matcher = gate
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Match(context.Background(), personal(), opts)
+		errc <- err
+	}()
+	select {
+	case <-gate.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run never started")
+	}
+	go s.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) && !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want ErrClosed or Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Match did not unblock on Close")
+	}
+}
+
+func ExampleService() {
+	repo := schema.NewRepository()
+	repo.MustAdd(schema.MustParseSpec("lib(address,book(authorName,data(title),shelf))"))
+	s := NewFromRepository(repo, Config{Workers: 2})
+	defer s.Close()
+
+	opts := pipeline.DefaultOptions()
+	opts.Threshold = 0.5
+	rep, err := s.Match(context.Background(), schema.MustParseSpec("book(title,author)"), opts)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("found mappings:", len(rep.Mappings) > 0)
+	// Output: found mappings: true
+}

@@ -1,0 +1,369 @@
+// Package serve implements a long-lived concurrent matching service on top
+// of the pipeline: one indexed repository serving streams of match requests
+// from many clients.
+//
+// The design follows the dataflow shape of claircore's matcher
+// architecture: requests flow through a bounded queue into a fixed worker
+// pool, so an arbitrary number of concurrent clients exerts only bounded
+// load on the expensive resource (the matching pipeline). Two layers
+// exploit request overlap before any work is scheduled:
+//
+//   - a singleflight group deduplicates identical in-flight requests — N
+//     concurrent clients asking the same question trigger one pipeline run
+//     and share its report;
+//   - an LRU cache keyed by a canonical request signature serves repeated
+//     questions without running the pipeline at all.
+//
+// Per-request deadlines and cancellation are honoured end to end: a
+// request context expiring while queued or running releases the caller
+// immediately, and when the last waiter of a shared run has gone the run
+// itself is cancelled via pipeline.Runner.RunContext.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bellflower/internal/labeling"
+	"bellflower/internal/mapgen"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/query"
+	"bellflower/internal/schema"
+)
+
+// ErrClosed is returned by Match after Close.
+var ErrClosed = errors.New("serve: service closed")
+
+// ErrSchemaTooLarge is wrapped in the error returned when a personal
+// schema exceeds Config.MaxSchemaNodes; match with errors.Is.
+var ErrSchemaTooLarge = errors.New("personal schema too large")
+
+// Config sizes the service. The zero value picks sensible defaults; use a
+// negative CacheSize or MaxSchemaNodes to disable that limit outright.
+type Config struct {
+	// Workers is the worker-pool size — the maximum number of pipeline
+	// runs executing at once. Default: GOMAXPROCS.
+	Workers int
+
+	// QueueDepth bounds the run queue. A full queue applies backpressure:
+	// leaders block (respecting their context) instead of piling up
+	// unbounded work. Default: 4 × Workers.
+	QueueDepth int
+
+	// CacheSize is the report cache capacity in reports. Default 256;
+	// negative disables caching.
+	CacheSize int
+
+	// MaxSchemaNodes rejects personal schemas with more nodes than this
+	// before any work happens (the search space grows exponentially with
+	// personal-schema size, so this is the service's overload guard).
+	// Default 64; negative disables the check.
+	MaxSchemaNodes int
+
+	// DefaultTimeout bounds requests whose context carries no deadline.
+	// 0 means no default bound.
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	switch {
+	case c.CacheSize == 0:
+		c.CacheSize = 256
+	case c.CacheSize < 0:
+		c.CacheSize = 0
+	}
+	switch {
+	case c.MaxSchemaNodes == 0:
+		c.MaxSchemaNodes = 64
+	case c.MaxSchemaNodes < 0:
+		c.MaxSchemaNodes = 0
+	}
+	return c
+}
+
+// task is one scheduled pipeline run.
+type task struct {
+	key      string
+	c        *call
+	personal *schema.Tree
+	opts     pipeline.Options
+}
+
+// Service is a concurrent matching service over one indexed repository.
+// It is safe for use from many goroutines; create with New and release
+// with Close.
+type Service struct {
+	runner *pipeline.Runner
+	cfg    Config
+
+	queue  chan *task
+	flight *flightGroup
+	cache  *reportCache
+	ct     counters
+
+	root   context.Context // service lifetime; parent of every run context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// New starts a service around an existing runner (sharing its index).
+func New(runner *pipeline.Runner, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	root, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		runner: runner,
+		cfg:    cfg,
+		queue:  make(chan *task, cfg.QueueDepth),
+		flight: newFlightGroup(),
+		cache:  newReportCache(cfg.CacheSize),
+		root:   root,
+		cancel: cancel,
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// NewFromRepository indexes the repository and starts a service.
+func NewFromRepository(repo *schema.Repository, cfg Config) *Service {
+	return New(pipeline.NewRunner(repo), cfg)
+}
+
+// Runner returns the underlying pipeline runner.
+func (s *Service) Runner() *pipeline.Runner { return s.runner }
+
+// Repository returns the repository being served.
+func (s *Service) Repository() *schema.Repository { return s.runner.Repository() }
+
+// Index returns the runner's labelling index (used for query rewriting).
+func (s *Service) Index() *labeling.Index { return s.runner.Index() }
+
+// Close stops the workers, cancels in-flight runs and fails queued
+// requests with ErrClosed. It blocks until the workers have exited.
+// Match calls after Close return ErrClosed.
+func (s *Service) Close() {
+	s.once.Do(func() {
+		s.cancel()
+		s.wg.Wait()
+		// Fail whatever was still queued; no worker will take it now.
+		for {
+			select {
+			case t := <-s.queue:
+				s.flight.finish(t.key, t.c, nil, ErrClosed)
+			default:
+				return
+			}
+		}
+	})
+}
+
+// worker drains the run queue until the service closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.root.Done():
+			return
+		case t := <-s.queue:
+			rep, err := s.runner.RunContext(t.c.runCtx, t.personal, t.opts)
+			s.ct.runs.Add(1)
+			if err == nil {
+				s.cache.Put(t.key, rep)
+			}
+			s.flight.finish(t.key, t.c, rep, err)
+		}
+	}
+}
+
+// Match serves one match request. Identical concurrent requests share one
+// pipeline run; identical repeated requests are served from the report
+// cache. The returned Report may be shared with other callers and must be
+// treated as read-only.
+//
+// ctx bounds the request: if it expires while the request is queued or
+// running, Match returns ctx.Err() immediately, and the underlying run is
+// cancelled as soon as no other caller is waiting on it. Requests without
+// a deadline get Config.DefaultTimeout when one is configured.
+func (s *Service) Match(ctx context.Context, personal *schema.Tree, opts pipeline.Options) (*pipeline.Report, error) {
+	s.ct.requests.Add(1)
+	if err := s.root.Err(); err != nil {
+		s.ct.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	if personal == nil || personal.Root() == nil {
+		s.ct.rejected.Add(1)
+		return nil, errors.New("serve: nil personal schema")
+	}
+	if max := s.cfg.MaxSchemaNodes; max > 0 && personal.Len() > max {
+		s.ct.rejected.Add(1)
+		return nil, fmt.Errorf("serve: %w: %d nodes > limit %d", ErrSchemaTooLarge, personal.Len(), max)
+	}
+	if s.cfg.DefaultTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+			defer cancel()
+		}
+	}
+
+	start := time.Now()
+	key := Signature(personal, opts)
+	for attempt := 0; ; attempt++ {
+		if rep, ok := s.cache.Get(key); ok {
+			if attempt == 0 {
+				s.ct.cacheHits.Add(1)
+			}
+			s.ct.observe(time.Since(start))
+			return rep, nil
+		}
+		if attempt == 0 {
+			s.ct.cacheMisses.Add(1)
+		}
+
+		c, leader := s.flight.join(key, s.root)
+		if leader {
+			t := &task{key: key, c: c, personal: personal, opts: opts}
+			select {
+			case s.queue <- t:
+			case <-ctx.Done():
+				// The run never got scheduled; unblock any followers with
+				// the leader's error (follower retry below shields the
+				// ones whose own contexts are still live).
+				s.flight.finish(key, c, nil, ctx.Err())
+				s.ct.errors.Add(1)
+				return nil, ctx.Err()
+			case <-s.root.Done():
+				s.flight.finish(key, c, nil, ErrClosed)
+				s.ct.errors.Add(1)
+				return nil, ErrClosed
+			}
+		} else if attempt == 0 {
+			s.ct.deduped.Add(1)
+		}
+
+		select {
+		case <-c.done:
+			if c.err != nil {
+				// A follower may inherit a context error that belonged to
+				// another caller (the shared run's leader expired or every
+				// waiter of a previous round left). If our own context is
+				// still live, retry: the next round either finds the
+				// cache populated or elects us leader of a fresh run.
+				if !leader && ctxError(c.err) && ctx.Err() == nil {
+					continue
+				}
+				s.ct.errors.Add(1)
+				return nil, c.err
+			}
+			s.ct.observe(time.Since(start))
+			return c.rep, nil
+		case <-ctx.Done():
+			s.flight.leave(key, c)
+			s.ct.errors.Add(1)
+			return nil, ctx.Err()
+		case <-s.root.Done():
+			// Service closed while waiting; Close fails queued tasks, but
+			// a task enqueued concurrently with shutdown could slip past
+			// the drain, so don't rely on c.done.
+			s.flight.leave(key, c)
+			s.ct.errors.Add(1)
+			return nil, ErrClosed
+		}
+	}
+}
+
+// ctxError reports whether err is a context cancellation or deadline
+// expiry — the error classes a shared run can inherit from a caller other
+// than the one inspecting it.
+func ctxError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Request is one entry of a MatchBatch call.
+type Request struct {
+	Personal *schema.Tree
+	Opts     pipeline.Options
+}
+
+// Result pairs a batch entry's report with its error; exactly one of the
+// two is set.
+type Result struct {
+	Report *pipeline.Report
+	Err    error
+}
+
+// MatchBatch serves a batch of requests concurrently and returns results
+// in request order. Identical entries within one batch are deduplicated
+// like any other concurrent requests. Goroutine fan-out is bounded (a
+// huge batch must not pin one goroutine per entry behind the worker
+// pool); pipeline concurrency stays bounded by the pool itself.
+func (s *Service) MatchBatch(ctx context.Context, reqs []Request) []Result {
+	results := make([]Result, len(reqs))
+	fanout := s.cfg.Workers + s.cfg.QueueDepth
+	if fanout > len(reqs) {
+		fanout = len(reqs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(fanout)
+	for g := 0; g < fanout; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rep, err := s.Match(ctx, reqs[i].Personal, reqs[i].Opts)
+				results[i] = Result{Report: rep, Err: err}
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// RewriteQuery translates an XPath query over the personal schema into a
+// query over the repository schema using a mapping discovered by Match.
+// It reads only the immutable index, so it is safe concurrently with
+// Match traffic.
+func (s *Service) RewriteQuery(q string, personal *schema.Tree, mp mapgen.Mapping) (string, error) {
+	parsed, err := query.Parse(q)
+	if err != nil {
+		return "", err
+	}
+	return query.Rewrite(parsed, personal, mp, s.runner.Index())
+}
+
+// Stats returns a point-in-time snapshot of the service's counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Requests:        s.ct.requests.Load(),
+		CacheHits:       s.ct.cacheHits.Load(),
+		CacheMisses:     s.ct.cacheMisses.Load(),
+		DedupedInFlight: s.ct.deduped.Load(),
+		PipelineRuns:    s.ct.runs.Load(),
+		Errors:          s.ct.errors.Load(),
+		Rejected:        s.ct.rejected.Load(),
+		QueueDepth:      len(s.queue),
+		QueueCapacity:   cap(s.queue),
+		InFlight:        s.flight.inFlight(),
+		Workers:         s.cfg.Workers,
+		CacheLen:        s.cache.Len(),
+		CacheCap:        s.cache.Cap(),
+		Latency:         s.ct.snapshotLatency(),
+	}
+}

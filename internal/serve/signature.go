@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"bellflower/internal/matcher"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/schema"
+)
+
+// Signature returns a canonical string identifying a (personal schema,
+// Options) pair. Two requests with equal signatures are guaranteed to
+// produce the same Report against a fixed repository, so the signature is
+// the key for both the completed-report cache and in-flight deduplication.
+//
+// The schema part serializes the tree in spec syntax including datatypes
+// and attribute markers (Tree.String omits datatypes, which the optional
+// TypeMatcher depends on). The options part spells out every Options field;
+// matchers render through matcher.Describe, whose canonical (address-free)
+// output makes structurally identical matchers share cache entries.
+func Signature(personal *schema.Tree, opts pipeline.Options) string {
+	var b strings.Builder
+	writeNodeSig(&b, personal.Root())
+	b.WriteByte('|')
+	writeOptionsSig(&b, opts)
+	return b.String()
+}
+
+func writeNodeSig(b *strings.Builder, n *schema.Node) {
+	if n == nil {
+		b.WriteString("()")
+		return
+	}
+	b.WriteString(n.Name)
+	if n.Kind == schema.KindAttribute {
+		b.WriteByte('@')
+	}
+	if n.Type != "" {
+		b.WriteByte(':')
+		b.WriteString(n.Type)
+	}
+	children := n.Children()
+	if len(children) == 0 {
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeNodeSig(b, c)
+	}
+	b.WriteByte(')')
+}
+
+func writeOptionsSig(b *strings.Builder, o pipeline.Options) {
+	fmt.Fprintf(b, "a=%g;k=%g;d=%g;ms=%g;tn=%d;v=%d;alg=%d;ip=%t;oc=%t;sw=%g;p=%d;agg=%t;atn=%t",
+		o.Objective.Alpha, o.Objective.K, o.Threshold, o.MinSim, o.TopN,
+		int(o.Variant), int(o.Algorithm), o.IncludePartials, o.OrderClusters,
+		o.StructureWeight, o.Parallelism, o.Agglomerative, o.AdaptiveTopN)
+	if o.ClusterConfig != nil {
+		fmt.Fprintf(b, ";cc=%+v", *o.ClusterConfig)
+	}
+	if o.Matcher != nil {
+		b.WriteString(";m=")
+		b.WriteString(matcher.Describe(o.Matcher))
+	}
+	if o.StructureMatcher != nil {
+		b.WriteString(";sm=")
+		b.WriteString(matcher.Describe(o.StructureMatcher))
+	}
+}

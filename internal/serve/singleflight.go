@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"bellflower/internal/pipeline"
+)
+
+// flightGroup deduplicates identical in-flight requests: the first caller
+// of a key becomes the leader and triggers one underlying pipeline run;
+// callers that arrive with the same key while it is still running join as
+// followers and share the leader's result. (The pattern of
+// golang.org/x/sync/singleflight, reimplemented here because the module
+// has no external dependencies, with one addition: the shared run carries
+// a cancellable context that is torn down when every waiter has gone.)
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// call is one shared in-flight run.
+type call struct {
+	// runCtx governs the underlying pipeline run; cancel releases it.
+	runCtx context.Context
+	cancel context.CancelFunc
+
+	// done is closed by finish after rep/err are set.
+	done chan struct{}
+	rep  *pipeline.Report
+	err  error
+
+	// waiters counts callers currently waiting on done (guarded by the
+	// group mutex). When the last waiter abandons the call, the run is
+	// cancelled: nobody is left to consume the result.
+	waiters int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*call)}
+}
+
+// join returns the call for key, creating it (leader == true) when no run
+// is in flight. A new call's run context derives from base, which should
+// be the service's lifetime context — per-request deadlines must not bound
+// the shared run directly, they act through leave instead.
+func (g *flightGroup) join(key string, base context.Context) (c *call, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		return c, false
+	}
+	runCtx, cancel := context.WithCancel(base)
+	c = &call{runCtx: runCtx, cancel: cancel, done: make(chan struct{}), waiters: 1}
+	g.calls[key] = c
+	return c, true
+}
+
+// leave records that one waiter abandoned c (its own context expired or
+// the caller gave up). When the last waiter leaves an unfinished call, the
+// shared run is cancelled and the key freed so a later identical request
+// starts a fresh run instead of joining a dying one.
+func (g *flightGroup) leave(key string, c *call) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c.waiters--
+	if c.waiters <= 0 {
+		select {
+		case <-c.done: // already finished; nothing to tear down
+		default:
+			c.cancel()
+			if g.calls[key] == c {
+				delete(g.calls, key)
+			}
+		}
+	}
+}
+
+// finish publishes the result, wakes every waiter and frees the key.
+func (g *flightGroup) finish(key string, c *call, rep *pipeline.Report, err error) {
+	g.mu.Lock()
+	if g.calls[key] == c {
+		delete(g.calls, key)
+	}
+	g.mu.Unlock()
+	c.rep, c.err = rep, err
+	close(c.done)
+	c.cancel()
+}
+
+// inFlight reports the number of distinct runs currently in flight.
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the histogram upper bounds in milliseconds; an extra
+// implicit +Inf bucket catches everything slower.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// numLatencyBuckets is len(latencyBucketsMS) plus the +Inf overflow bucket.
+const numLatencyBuckets = 13
+
+func init() {
+	if numLatencyBuckets != len(latencyBucketsMS)+1 {
+		panic("serve: numLatencyBuckets out of sync with latencyBucketsMS")
+	}
+}
+
+// counters is the service's hot-path instrumentation; every field is
+// updated atomically.
+type counters struct {
+	requests    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	deduped     atomic.Int64
+	runs        atomic.Int64
+	errors      atomic.Int64
+	rejected    atomic.Int64
+
+	latCount atomic.Int64
+	latSumUS atomic.Int64 // microseconds, to keep atomics integral
+	latBkt   [numLatencyBuckets]atomic.Int64
+}
+
+// observe records one served request's end-to-end latency.
+func (c *counters) observe(d time.Duration) {
+	c.latCount.Add(1)
+	c.latSumUS.Add(d.Microseconds())
+	ms := float64(d) / float64(time.Millisecond)
+	for i, ub := range latencyBucketsMS {
+		if ms <= ub {
+			c.latBkt[i].Add(1)
+			return
+		}
+	}
+	c.latBkt[len(latencyBucketsMS)].Add(1)
+}
+
+// Stats is a point-in-time snapshot of the service's instrumentation.
+type Stats struct {
+	// Requests counts Match calls (batch entries count individually).
+	Requests int64 `json:"requests"`
+
+	// CacheHits counts requests served straight from the report cache.
+	CacheHits int64 `json:"cache_hits"`
+
+	// CacheMisses counts requests that had to consult the flight group.
+	CacheMisses int64 `json:"cache_misses"`
+
+	// DedupedInFlight counts requests that joined an already-running
+	// identical request instead of starting their own pipeline run.
+	DedupedInFlight int64 `json:"deduped_in_flight"`
+
+	// PipelineRuns counts underlying pipeline executions completed.
+	PipelineRuns int64 `json:"pipeline_runs"`
+
+	// Errors counts requests that finished with an error (including
+	// cancellations and deadline expiries).
+	Errors int64 `json:"errors"`
+
+	// Rejected counts requests refused before running (service closed,
+	// oversized schema, nil schema).
+	Rejected int64 `json:"rejected"`
+
+	// QueueDepth is the number of runs waiting for a worker right now.
+	QueueDepth int `json:"queue_depth"`
+
+	// QueueCapacity is the bounded queue's size.
+	QueueCapacity int `json:"queue_capacity"`
+
+	// InFlight is the number of distinct runs currently executing or
+	// queued (after dedupe).
+	InFlight int `json:"in_flight"`
+
+	// Workers is the worker-pool size.
+	Workers int `json:"workers"`
+
+	// CacheLen and CacheCap describe the report cache.
+	CacheLen int `json:"cache_len"`
+	CacheCap int `json:"cache_cap"`
+
+	// Latency is the end-to-end request latency histogram.
+	Latency LatencyStats `json:"latency"`
+}
+
+// LatencyStats is a fixed-bucket latency histogram.
+type LatencyStats struct {
+	// Count and MeanMS summarize all observations.
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+
+	// BucketsMS holds the bucket upper bounds in milliseconds; Counts has
+	// one extra final entry for observations above the last bound.
+	BucketsMS []float64 `json:"buckets_ms"`
+	Counts    []int64   `json:"counts"`
+}
+
+func (c *counters) snapshotLatency() LatencyStats {
+	ls := LatencyStats{
+		Count:     c.latCount.Load(),
+		BucketsMS: append([]float64(nil), latencyBucketsMS...),
+		Counts:    make([]int64, len(latencyBucketsMS)+1),
+	}
+	if ls.Count > 0 {
+		ls.MeanMS = float64(c.latSumUS.Load()) / 1000 / float64(ls.Count)
+	}
+	for i := range ls.Counts {
+		ls.Counts[i] = c.latBkt[i].Load()
+	}
+	return ls
+}
