@@ -48,10 +48,20 @@
 //	report, err := svc.Match(ctx, personal, bellflower.DefaultOptions())
 //	stats := svc.Stats() // cache hits, dedupe, queue depth, latency histogram
 //
-// The same service backs the bellflower-server HTTP daemon
+// To scale beyond one worker pool, NewShardedService partitions the
+// repository into balanced shards (candidate matching is per-tree and
+// clusters never span schema trees, so partitioning loses no candidate
+// mappings), runs one Service per shard and fans each request out across
+// all of them, merging the per-shard ranked lists into one global top-N
+// report — exactly the unsharded report under tree clustering; the k-means
+// variants cluster per shard, which may differ from a global clustering
+// run.
+//
+// The same services back the bellflower-server HTTP daemon
 // (cmd/bellflower-server), which exposes /v1/match, /v1/match/batch,
-// /v1/rewrite, /v1/repository, /v1/stats and /healthz as JSON endpoints;
-// examples/server is a client for it.
+// /v1/rewrite, /v1/repository, /v1/stats and /healthz as JSON endpoints
+// plus Prometheus-format metrics at /metrics; examples/server is a client
+// for it.
 package bellflower
 
 import (
@@ -134,6 +144,16 @@ type (
 	// indexed repository: bounded worker pool, in-flight request
 	// deduplication, LRU report cache; see NewService.
 	Service = serve.Service
+
+	// ShardedService fans match requests out across repository shards (one
+	// Service per partition) and merges the per-shard ranked lists into one
+	// global report; see NewShardedService.
+	ShardedService = serve.Router
+
+	// ServiceBackend is the serving surface shared by Service and
+	// ShardedService, letting embedders treat single-shard and sharded
+	// deployments interchangeably.
+	ServiceBackend = serve.Backend
 
 	// ServiceConfig sizes a Service (workers, queue depth, cache size,
 	// schema-size guard, default timeout).
@@ -287,6 +307,24 @@ func NewService(repo *Repository, cfg ServiceConfig) *Service {
 	return serve.NewFromRepository(repo, cfg)
 }
 
+// NewShardedService partitions the repository into up to shards balanced
+// partitions (trees are cloned; candidate matching is per-tree and
+// clusters never span trees, so partitioning loses no candidate mappings),
+// starts one Service per partition and returns a router that fans every
+// match request out across the shards concurrently, merging the ranked
+// lists into one global top-N report. Under tree clustering (VariantTree)
+// the merged report is exactly the unsharded result; the k-means variants
+// cluster per shard, which may form different clusters than a global run —
+// see the serve.Router documentation. With cfg.Workers == 0 the per-shard
+// worker pools split GOMAXPROCS between them, keeping the default total
+// worker budget equal to an unsharded NewService.
+//
+// shards values below 1 (and above the tree count) are clamped; a one-shard
+// router behaves exactly like a plain Service. Release it with Close.
+func NewShardedService(repo *Repository, shards int, cfg ServiceConfig) *ShardedService {
+	return serve.NewRouterFromRepository(repo, shards, cfg)
+}
+
 // Matcher runs clustered schema matching against a fixed repository. It
 // precomputes the node-labelling index once; Match calls reuse it.
 //
@@ -333,6 +371,19 @@ func (m *Matcher) RewriteQuery(q string, personal *Tree, mp Mapping) (string, er
 		return "", err
 	}
 	return query.Rewrite(parsed, personal, mp, m.runner.Index())
+}
+
+// MergeServiceStats rolls per-shard stats snapshots into one: counters,
+// capacities and histogram buckets are summed and the latency mean
+// recomputed. A fanned-out request counts once per shard in the rollup.
+func MergeServiceStats(ss ...ServiceStats) ServiceStats { return serve.MergeStats(ss...) }
+
+// WritePrometheusMetrics renders a serving backend's rolled-up stats
+// snapshot in the Prometheus text exposition format — the payload behind
+// the bellflower-server /metrics endpoint. The metric names are documented
+// in the project README.
+func WritePrometheusMetrics(w io.Writer, b ServiceBackend) error {
+	return serve.WritePrometheus(w, b.Stats(), b.NumShards())
 }
 
 // FormatMapping renders a mapping as "personal ↦ repository" pairs with the

@@ -333,26 +333,43 @@ func BenchmarkElementMatching(b *testing.B) {
 // concurrent matching service at paper scale, the baseline for future
 // serving-path optimisations. "warm" repeats one request (cache-hit path);
 // "cold" gives every request a unique signature (full pipeline run per
-// request). Requests issue from parallel clients, as a daemon would see.
+// request). The sharded variants fan every request out across 4 repository
+// shards and merge the ranked lists — the same top-N report via
+// shard-parallel matching. Requests issue from parallel clients, as a
+// daemon would see.
 func BenchmarkServiceThroughput(b *testing.B) {
 	e := env(b)
-	for _, mode := range []string{"warm", "cold"} {
-		b.Run(mode, func(b *testing.B) {
-			svc := serve.New(e.Runner, serve.Config{})
-			defer svc.Close()
+	for _, tc := range []struct {
+		name   string
+		shards int
+		cold   bool
+	}{
+		{"warm", 1, false},
+		{"cold", 1, true},
+		{"sharded4-warm", 4, false},
+		{"sharded4-cold", 4, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var backend serve.Backend
+			if tc.shards > 1 {
+				backend = serve.NewRouterFromRepository(e.Repo, tc.shards, serve.Config{})
+			} else {
+				backend = serve.New(e.Runner, serve.Config{})
+			}
+			defer backend.Close()
 			var uniq atomic.Int64
 			start := time.Now()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
 					opts := benchOptions(e, pipeline.VariantMedium)
-					if mode == "cold" {
+					if tc.cold {
 						// A unique huge TopN changes the request signature
 						// (busting cache and dedupe) without changing the
 						// work: the ranked list is never that long.
 						opts.TopN = int(1e9 + uniq.Add(1))
 					}
-					if _, err := svc.Match(context.Background(), e.Personal, opts); err != nil {
+					if _, err := backend.Match(context.Background(), e.Personal, opts); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -362,7 +379,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 			if elapsed > 0 {
 				b.ReportMetric(float64(b.N)/elapsed, "matches/sec")
 			}
-			st := svc.Stats()
+			st := backend.Stats()
 			b.ReportMetric(float64(st.CacheHits), "cache-hits")
 			b.ReportMetric(float64(st.PipelineRuns), "pipeline-runs")
 		})

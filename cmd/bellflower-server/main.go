@@ -4,17 +4,26 @@
 // (bounded worker pool, in-flight deduplication, LRU report cache).
 //
 //	bellflower-server -synthetic 9759 -addr :8077
-//	bellflower-server -repo ./schemas -workers 8 -timeout 5s
+//	bellflower-server -repo-file ./repo.txt -workers 8 -timeout 5s
+//	bellflower-server -synthetic 9759 -shards 4
+//
+// With -shards N the repository is partitioned into N balanced shards,
+// each served by its own worker pool; every match request fans out across
+// all shards concurrently and the per-shard ranked lists are merged into
+// one global top-N report.
 //
 // Endpoints (JSON unless noted):
 //
 //	POST /v1/match        {"personal":"book(title,author)","options":{"delta":0.75,"timeout_ms":2000}}
 //	POST /v1/match/batch  {"requests":[{...},{...}]}
 //	POST /v1/rewrite      {"personal":"...","query":"/book/title","mapping_rank":0}
-//	GET  /v1/repository   repository source and size
+//	GET  /v1/repository   repository source, size and shard count
 //	POST /v1/repository   {"action":"synthetic","nodes":9759} | {"action":"load","path":...} | {"action":"save","path":...}
-//	                      mutation requires the -data-dir opt-in; load/save paths are relative to it
+//	                      mutation requires the -data-dir opt-in; load/save paths are relative to it;
+//	                      the previous repository drains (in-flight requests finish) before it is released
 //	GET  /v1/stats        cache hits, in-flight dedupe, queue depth, latency histogram
+//	                      (sharded servers report {"total":...,"shards":[...]})
+//	GET  /metrics         the same counters in Prometheus text format
 //	GET  /healthz         liveness probe
 //
 // Per-request deadlines come from options.timeout_ms (or the -timeout
@@ -56,6 +65,7 @@ func run(args []string) error {
 		cacheSize = fs.Int("cache", 0, "report cache capacity (0 = 256, negative = disabled)")
 		maxNodes  = fs.Int("max-schema-nodes", 0, "reject personal schemas above this node count (0 = 64, negative = unlimited)")
 		timeout   = fs.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
+		shards    = fs.Int("shards", 1, "partition the repository into this many shards and fan match requests out across them")
 		dataDir   = fs.String("data-dir", "", "directory for /v1/repository load/save files; also enables repository mutation (empty = POST /v1/repository disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,10 +84,11 @@ func run(args []string) error {
 		DefaultTimeout: *timeout,
 	}
 	logger := log.New(os.Stderr, "bellflower-server: ", log.LstdFlags)
+	srv := newServer(repo, desc, svcCfg, *shards, *dataDir, logger)
 	st := repo.Stats()
-	logger.Printf("serving %s: %d trees, %d nodes on %s", desc, st.Trees, st.Nodes, *addr)
-
-	srv := newServer(bellflower.NewService(repo, svcCfg), desc, svcCfg, *dataDir, logger)
+	// Log the backend's actual shard count: -shards clamps to the number
+	// of repository trees.
+	logger.Printf("serving %s: %d trees, %d nodes, %d shard(s) on %s", desc, st.Trees, st.Nodes, srv.numShards(), *addr)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.routes(),
@@ -94,11 +105,11 @@ func run(args []string) error {
 		return err
 	case <-ctx.Done():
 		logger.Printf("shutting down")
-		// Close the service first: in-flight matches (which may hold
+		// Force-close the backend first: in-flight matches (which may hold
 		// their handlers for up to the default timeout) fail fast with
 		// 503, letting Shutdown drain within its budget instead of
 		// timing out behind a slow pipeline run.
-		srv.service().Close()
+		srv.closeNow()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -10,23 +10,45 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bellflower"
 )
 
-// server routes HTTP traffic onto a bellflower.Service. The service is
-// held behind a read-write lock so POST /v1/repository can swap in a
-// freshly indexed repository while match traffic continues; requests that
-// already grabbed the old service finish against it (its workers are shut
-// down in the background once the swap happens, which may cancel their
-// in-flight runs — callers see 503 and retry against the new repository).
+// backendRef is one generation of the served backend (a Service or a
+// ShardedService) with the repository it was built from. The reference
+// count holds the backend open across the requests still using it: the
+// server owns one reference for as long as the generation is current, and
+// every in-flight request holds one more. The backend is closed by
+// whichever release drops the count to zero, so a repository swap drains
+// gracefully — requests that grabbed the old generation finish against it
+// and only then are its workers shut down.
+type backendRef struct {
+	backend bellflower.ServiceBackend
+	repo    *bellflower.Repository // original (unpartitioned) repository, for save
+	desc    string
+	refs    atomic.Int64
+}
+
+// release drops one reference, closing the backend when the last holder is
+// gone.
+func (ref *backendRef) release() {
+	if ref.refs.Add(-1) == 0 {
+		ref.backend.Close()
+	}
+}
+
+// server routes HTTP traffic onto a bellflower serving backend. The current
+// generation is swapped atomically by POST /v1/repository; see backendRef
+// for the drain semantics.
 type server struct {
-	mu       sync.RWMutex
-	svc      *bellflower.Service
-	repoDesc string
+	mu      sync.Mutex
+	cur     *backendRef
+	retired []*backendRef // swapped-out generations that may still be draining
 
 	svcCfg  bellflower.ServiceConfig
+	shards  int
 	dataDir string // sandbox for repository load/save; "" disables those actions
 	maxBody int64
 	logger  *log.Logger
@@ -34,18 +56,83 @@ type server struct {
 
 const defaultMaxBody = 1 << 20 // 1 MiB of JSON is far beyond any sane schema spec
 
-func newServer(svc *bellflower.Service, repoDesc string, svcCfg bellflower.ServiceConfig, dataDir string, logger *log.Logger) *server {
+// buildBackend starts the serving backend for a repository: a plain
+// Service, or a ShardedService when more than one shard is requested.
+func buildBackend(repo *bellflower.Repository, cfg bellflower.ServiceConfig, shards int) bellflower.ServiceBackend {
+	if shards > 1 {
+		return bellflower.NewShardedService(repo, shards, cfg)
+	}
+	return bellflower.NewService(repo, cfg)
+}
+
+func newServer(repo *bellflower.Repository, repoDesc string, svcCfg bellflower.ServiceConfig, shards int, dataDir string, logger *log.Logger) *server {
 	if logger == nil {
 		logger = log.New(os.Stderr, "bellflower-server: ", log.LstdFlags)
 	}
-	return &server{
-		svc:      svc,
-		repoDesc: repoDesc,
-		svcCfg:   svcCfg,
-		dataDir:  dataDir,
-		maxBody:  defaultMaxBody,
-		logger:   logger,
+	if shards < 1 {
+		shards = 1
 	}
+	ref := &backendRef{backend: buildBackend(repo, svcCfg, shards), repo: repo, desc: repoDesc}
+	ref.refs.Store(1) // the server's own reference
+	return &server{
+		cur:     ref,
+		svcCfg:  svcCfg,
+		shards:  shards,
+		dataDir: dataDir,
+		maxBody: defaultMaxBody,
+		logger:  logger,
+	}
+}
+
+// acquire returns the current generation with one reference added; callers
+// must release it when the request is done.
+func (s *server) acquire() *backendRef {
+	s.mu.Lock()
+	ref := s.cur
+	ref.refs.Add(1)
+	s.mu.Unlock()
+	return ref
+}
+
+// swap installs a new generation and surrenders the server's reference to
+// the old one: the old backend drains — it closes when its last in-flight
+// request releases it, cancelling nothing. The old generation is tracked
+// until it has drained so closeNow can still reach it.
+func (s *server) swap(repo *bellflower.Repository, desc string) {
+	ref := &backendRef{backend: buildBackend(repo, s.svcCfg, s.shards), repo: repo, desc: desc}
+	ref.refs.Store(1)
+	s.mu.Lock()
+	old := s.cur
+	s.cur = ref
+	kept := s.retired[:0]
+	for _, r := range s.retired {
+		if r.refs.Load() > 0 { // prune generations that finished draining
+			kept = append(kept, r)
+		}
+	}
+	s.retired = append(kept, old)
+	s.mu.Unlock()
+	old.release()
+}
+
+// closeNow force-closes the current backend and any swapped-out
+// generations still draining, cancelling their in-flight requests — the
+// process-shutdown path, where failing fast beats draining slowly.
+func (s *server) closeNow() {
+	s.mu.Lock()
+	refs := append([]*backendRef{s.cur}, s.retired...)
+	s.mu.Unlock()
+	for _, r := range refs {
+		r.backend.Close() // idempotent; drained generations are no-ops
+	}
+}
+
+// numShards reports the actual (clamped) shard count of the current
+// backend.
+func (s *server) numShards() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur.backend.NumShards()
 }
 
 // resolveDataPath confines a client-supplied repository path to the data
@@ -61,21 +148,6 @@ func (s *server) resolveDataPath(p string) (string, int, error) {
 	return filepath.Join(s.dataDir, p), 0, nil
 }
 
-func (s *server) service() *bellflower.Service {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.svc
-}
-
-// swap installs a new service and retires the old one in the background.
-func (s *server) swap(svc *bellflower.Service, desc string) {
-	s.mu.Lock()
-	old := s.svc
-	s.svc, s.repoDesc = svc, desc
-	s.mu.Unlock()
-	go old.Close()
-}
-
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -84,6 +156,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/rewrite", s.handleRewrite)
 	mux.HandleFunc("/v1/repository", s.handleRepository)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return s.logRequests(mux)
 }
 
@@ -311,10 +384,10 @@ func matchStatus(err error) int {
 }
 
 // runMatch parses one wire request and serves it through svc. Handlers
-// resolve the service once per request (s.service()) and pass it down, so
-// a concurrent repository swap cannot mix state from two services within
-// one request.
-func (s *server) runMatch(ctx context.Context, svc *bellflower.Service, req matchRequestJSON) (*bellflower.Tree, *bellflower.Report, int, error) {
+// acquire the current generation once per request and pass its backend
+// down, so a concurrent repository swap cannot mix state from two
+// generations within one request.
+func (s *server) runMatch(ctx context.Context, svc bellflower.ServiceBackend, req matchRequestJSON) (*bellflower.Tree, *bellflower.Report, int, error) {
 	personal, err := bellflower.ParseSchema(req.Personal)
 	if err != nil {
 		return nil, nil, http.StatusBadRequest, err
@@ -344,7 +417,9 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	personal, rep, status, err := s.runMatch(r.Context(), s.service(), req)
+	ref := s.acquire()
+	defer ref.release()
+	personal, rep, status, err := s.runMatch(r.Context(), ref.backend, req)
 	if err != nil {
 		writeJSON(w, status, errorJSON{Error: err.Error()})
 		return
@@ -388,7 +463,9 @@ func (s *server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 	// pipeline concurrency by its worker pool and deduplicates identical
 	// entries; per-entry failures don't fail the batch.
 	entries := make([]batchEntryJSON, len(req.Requests))
-	svc := s.service() // one service for the whole batch
+	ref := s.acquire() // one generation for the whole batch
+	defer ref.release()
+	svc := ref.backend
 	var wg sync.WaitGroup
 	wg.Add(len(req.Requests))
 	for i, mr := range req.Requests {
@@ -428,7 +505,10 @@ func (s *server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "query is required"})
 		return
 	}
-	svc := s.service() // the mapping's nodes must be rewritten by the same service's index
+	// The mapping's nodes must be rewritten by the same generation's index.
+	ref := s.acquire()
+	defer ref.release()
+	svc := ref.backend
 	personal, rep, status, err := s.runMatch(r.Context(), svc, matchRequestJSON{Personal: req.Personal, Options: req.Options})
 	if err != nil {
 		writeJSON(w, status, errorJSON{Error: err.Error()})
@@ -462,14 +542,14 @@ type repositoryRequestJSON struct {
 }
 
 func (s *server) repositoryInfo() map[string]any {
-	s.mu.RLock()
-	svc, desc := s.svc, s.repoDesc
-	s.mu.RUnlock()
-	st := svc.Repository().Stats()
+	ref := s.acquire()
+	defer ref.release()
+	st := ref.backend.RepositoryStats()
 	return map[string]any{
-		"source": desc,
+		"source": ref.desc,
 		"trees":  st.Trees,
 		"nodes":  st.Nodes,
+		"shards": ref.backend.NumShards(),
 	}
 }
 
@@ -506,7 +586,7 @@ func (s *server) handleRepository(w http.ResponseWriter, r *http.Request) {
 				writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 				return
 			}
-			s.swap(bellflower.NewService(repo, s.svcCfg), fmt.Sprintf("synthetic(%d,seed=%d)", cfg.TargetNodes, cfg.Seed))
+			s.swap(repo, fmt.Sprintf("synthetic(%d,seed=%d)", cfg.TargetNodes, cfg.Seed))
 		case "load":
 			path, status, err := s.resolveDataPath(req.Path)
 			if err != nil {
@@ -524,7 +604,7 @@ func (s *server) handleRepository(w http.ResponseWriter, r *http.Request) {
 				writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 				return
 			}
-			s.swap(bellflower.NewService(repo, s.svcCfg), req.Path)
+			s.swap(repo, req.Path)
 		case "save":
 			path, status, err := s.resolveDataPath(req.Path)
 			if err != nil {
@@ -536,7 +616,11 @@ func (s *server) handleRepository(w http.ResponseWriter, r *http.Request) {
 				writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 				return
 			}
-			err = bellflower.SaveRepository(f, s.service().Repository())
+			// Save the original repository the backend was built from — shard
+			// repositories hold clones in partition order, not the input.
+			ref := s.acquire()
+			err = bellflower.SaveRepository(f, ref.repo)
+			ref.release()
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
@@ -555,7 +639,29 @@ func (s *server) handleRepository(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.service().Stats())
+	ref := s.acquire()
+	defer ref.release()
+	// Single-shard servers keep the flat historical shape; sharded servers
+	// report the rollup plus the per-shard breakdown. Snapshot the shards
+	// once and merge that, so total always equals the sum of the shards.
+	if ref.backend.NumShards() == 1 {
+		writeJSON(w, http.StatusOK, ref.backend.Stats())
+		return
+	}
+	shards := ref.backend.ShardStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":  bellflower.MergeServiceStats(shards...),
+		"shards": shards,
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ref := s.acquire()
+	defer ref.release()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := bellflower.WritePrometheusMetrics(w, ref.backend); err != nil {
+		s.logger.Printf("metrics: %v", err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -10,8 +12,10 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,8 +24,7 @@ import (
 
 func newQuietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
 
-func testService(t *testing.T, cfg bellflower.ServiceConfig) (*server, *httptest.Server) {
-	t.Helper()
+func testRepo3() *bellflower.Repository {
 	repo := bellflower.NewRepository()
 	for _, spec := range []string{
 		"lib(address,book(authorName,data(title),shelf))",
@@ -30,12 +33,20 @@ func testService(t *testing.T, cfg bellflower.ServiceConfig) (*server, *httptest
 	} {
 		repo.MustAdd(bellflower.MustParseSchema(spec))
 	}
-	logger := newQuietLogger()
-	srv := newServer(bellflower.NewService(repo, cfg), "test", cfg, t.TempDir(), logger)
+	return repo
+}
+
+func testService(t *testing.T, cfg bellflower.ServiceConfig) (*server, *httptest.Server) {
+	return testShardedService(t, cfg, 1)
+}
+
+func testShardedService(t *testing.T, cfg bellflower.ServiceConfig, shards int) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(testRepo3(), "test", cfg, shards, t.TempDir(), newQuietLogger())
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(func() {
 		ts.Close()
-		srv.service().Close()
+		srv.closeNow()
 	})
 	return srv, ts
 }
@@ -156,11 +167,11 @@ func TestDeadlineExceededReturns504(t *testing.T) {
 		t.Fatal(err)
 	}
 	svcCfg := bellflower.ServiceConfig{}
-	srv := newServer(bellflower.NewService(repo, svcCfg), "synthetic", svcCfg, "", newQuietLogger())
+	srv := newServer(repo, "synthetic", svcCfg, 1, "", newQuietLogger())
 	ts := httptest.NewServer(srv.routes())
 	defer func() {
 		ts.Close()
-		srv.service().Close()
+		srv.closeNow()
 	}()
 
 	resp, body := postJSON(t, ts.URL+"/v1/match",
@@ -397,7 +408,7 @@ func TestHandleRepository(t *testing.T) {
 }
 
 func TestRepositoryPathSandbox(t *testing.T) {
-	srv, ts := testService(t, bellflower.ServiceConfig{})
+	_, ts := testService(t, bellflower.ServiceConfig{})
 
 	// Absolute and escaping paths must be refused before touching the
 	// filesystem.
@@ -419,11 +430,11 @@ func TestRepositoryPathSandbox(t *testing.T) {
 	}
 
 	// With no data directory configured, every mutating action is off.
-	srv2 := newServer(bellflower.NewService(srv.service().Repository(), bellflower.ServiceConfig{}), "test", bellflower.ServiceConfig{}, "", newQuietLogger())
+	srv2 := newServer(testRepo3(), "test", bellflower.ServiceConfig{}, 1, "", newQuietLogger())
 	ts2 := httptest.NewServer(srv2.routes())
 	defer func() {
 		ts2.Close()
-		srv2.service().Close()
+		srv2.closeNow()
 	}()
 	for _, action := range []string{`{"action":"save","path":"repo.txt"}`, `{"action":"synthetic","nodes":300}`} {
 		resp, body := postJSON(t, ts2.URL+"/v1/repository", action)
@@ -451,6 +462,228 @@ func TestBodySizeLimit(t *testing.T) {
 	resp, _ := postJSON(t, ts.URL+"/v1/match", huge)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("oversized body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHotReloadDrainsInFlight pins down the drain guarantee of POST
+// /v1/repository: requests in flight against the old repository finish
+// against it (zero cancellations), the old backend closes only after its
+// last request releases it, and requests arriving after the swap serve the
+// new repository. Run with -race in CI, this also exercises the
+// generation hand-off for data races.
+func TestHotReloadDrainsInFlight(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cfg := bellflower.DefaultSyntheticConfig()
+			cfg.TargetNodes = 1200
+			repo, err := bellflower.Synthetic(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := newServer(repo, "synthetic", bellflower.ServiceConfig{}, shards, t.TempDir(), newQuietLogger())
+			ts := httptest.NewServer(srv.routes())
+			defer func() {
+				ts.Close()
+				srv.closeNow()
+			}()
+			gen0 := srv.cur // the generation about to be retired
+
+			const goroutines, perG = 6, 4
+			var wg sync.WaitGroup
+			var failures atomic.Int64
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						// Unique schemas bypass cache and dedupe so every
+						// request runs the pipeline and holds its
+						// generation open for real work.
+						body := fmt.Sprintf(`{"personal":"press%d(title,author,year)","options":{"delta":0.5}}`, g*perG+i)
+						resp, err := http.Post(ts.URL+"/v1/match", "application/json", strings.NewReader(body))
+						if err != nil {
+							failures.Add(1)
+							t.Errorf("goroutine %d: %v", g, err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							failures.Add(1)
+							t.Errorf("goroutine %d request %d: status %d — an in-flight request was cancelled by the reload", g, i, resp.StatusCode)
+						}
+					}
+				}(g)
+			}
+
+			// Swap once requests are provably in flight against gen0 (the
+			// server's own reference plus at least one handler's).
+			waitFor(t, func() bool { return gen0.refs.Load() > 1 })
+			resp, data := postJSON(t, ts.URL+"/v1/repository", `{"action":"synthetic","nodes":300,"seed":9}`)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("swap: %d (%s)", resp.StatusCode, data)
+			}
+			wg.Wait()
+			if failures.Load() > 0 {
+				t.Fatalf("%d of %d requests failed across the reload; drain must cancel none", failures.Load(), goroutines*perG)
+			}
+
+			// The old generation closes exactly when its last request lets
+			// go — never before, never leaked.
+			waitFor(t, func() bool { return gen0.refs.Load() == 0 })
+			_, err = gen0.backend.Match(context.Background(), bellflower.MustParseSchema("book(title)"), bellflower.DefaultOptions())
+			if !errors.Is(err, bellflower.ErrServiceClosed) {
+				t.Errorf("retired backend err = %v, want ErrServiceClosed (drain must still close it)", err)
+			}
+
+			// Post-swap traffic serves the new repository.
+			var info struct {
+				Nodes  int `json:"nodes"`
+				Shards int `json:"shards"`
+			}
+			getJSON(t, ts.URL+"/v1/repository", &info)
+			if info.Nodes >= 1000 || info.Shards != shards {
+				t.Errorf("post-swap repository info = %+v", info)
+			}
+		})
+	}
+}
+
+// TestCloseNowReachesDrainingGenerations pins down the shutdown path: a
+// generation swapped out but still held by an in-flight request must be
+// force-closed by closeNow, or a slow request could hold Shutdown hostage
+// past its budget.
+func TestCloseNowReachesDrainingGenerations(t *testing.T) {
+	srv := newServer(testRepo3(), "gen0", bellflower.ServiceConfig{}, 1, "", newQuietLogger())
+	gen0 := srv.cur
+	hold := srv.acquire() // simulate a request still running against gen0
+	srv.swap(testRepo3(), "gen1")
+	gen1 := srv.cur
+
+	// gen0 is draining, not closed: the held request can still match.
+	if _, err := gen0.backend.Match(context.Background(), bellflower.MustParseSchema("book(title)"), bellflower.DefaultOptions()); err != nil {
+		t.Fatalf("draining generation rejected a request before shutdown: %v", err)
+	}
+
+	srv.closeNow()
+	for name, gen := range map[string]*backendRef{"retired": gen0, "current": gen1} {
+		_, err := gen.backend.Match(context.Background(), bellflower.MustParseSchema("book(title)"), bellflower.DefaultOptions())
+		if !errors.Is(err, bellflower.ErrServiceClosed) {
+			t.Errorf("%s generation err = %v, want ErrServiceClosed after closeNow", name, err)
+		}
+	}
+	hold.release() // late release of an already-closed generation must be a no-op
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedStatsRollupAndEquivalence(t *testing.T) {
+	_, sharded := testShardedService(t, bellflower.ServiceConfig{}, 2)
+	_, plain := testService(t, bellflower.ServiceConfig{})
+
+	const body = `{"personal":"book(title,author)","options":{"delta":0.5}}`
+	mappingSet := func(ts *httptest.Server) []string {
+		resp, data := postJSON(t, ts.URL+"/v1/match", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("match: %d (%s)", resp.StatusCode, data)
+		}
+		var out struct {
+			Mappings []struct {
+				Delta float64 `json:"delta"`
+				Pairs []struct {
+					Personal   string `json:"personal"`
+					Repository string `json:"repository"`
+				} `json:"pairs"`
+			} `json:"mappings"`
+		}
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, len(out.Mappings))
+		for i, m := range out.Mappings {
+			keys[i] = fmt.Sprintf("%.9f|%v", m.Delta, m.Pairs)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	got, want := mappingSet(sharded), mappingSet(plain)
+	if len(got) == 0 || len(got) != len(want) {
+		t.Fatalf("sharded server found %d mappings, unsharded %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("mapping %d differs:\n  sharded   %s\n  unsharded %s", i, got[i], want[i])
+		}
+	}
+
+	// Repeat the request so the rollup shows per-shard cache hits.
+	if resp, _ := postJSON(t, sharded.URL+"/v1/match", body); resp.StatusCode != http.StatusOK {
+		t.Fatal("repeat match failed")
+	}
+	var stats struct {
+		Total  bellflower.ServiceStats   `json:"total"`
+		Shards []bellflower.ServiceStats `json:"shards"`
+	}
+	getJSON(t, sharded.URL+"/v1/stats", &stats)
+	if len(stats.Shards) != 2 {
+		t.Fatalf("stats lists %d shards, want 2", len(stats.Shards))
+	}
+	if stats.Total.Requests != 4 {
+		t.Errorf("rolled-up requests = %d, want 4 (2 requests × 2 shards)", stats.Total.Requests)
+	}
+	if stats.Total.CacheHits < 2 {
+		t.Errorf("rolled-up cache hits = %d, want ≥ 2", stats.Total.CacheHits)
+	}
+	var repoInfo struct {
+		Trees  int `json:"trees"`
+		Shards int `json:"shards"`
+	}
+	getJSON(t, sharded.URL+"/v1/repository", &repoInfo)
+	if repoInfo.Trees != 3 || repoInfo.Shards != 2 {
+		t.Errorf("repository info = %+v", repoInfo)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testShardedService(t, bellflower.ServiceConfig{}, 2)
+	if resp, _ := postJSON(t, ts.URL+"/v1/match", `{"personal":"book(title,author)","options":{"delta":0.5}}`); resp.StatusCode != http.StatusOK {
+		t.Fatal("warmup match failed")
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, metric := range []string{
+		"bellflower_requests_total 2", // one request × two shards
+		"bellflower_shards 2",
+		"bellflower_pipeline_runs_total",
+		"bellflower_request_latency_seconds_bucket{le=\"+Inf\"}",
+		"bellflower_request_latency_seconds_count",
+	} {
+		if !strings.Contains(string(data), metric) {
+			t.Errorf("metrics output missing %q", metric)
+		}
 	}
 }
 

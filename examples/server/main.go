@@ -46,11 +46,12 @@ func run(addr, personal string) error {
 		Source string `json:"source"`
 		Trees  int    `json:"trees"`
 		Nodes  int    `json:"nodes"`
+		Shards int    `json:"shards"`
 	}
 	if err := getJSON(client, addr+"/v1/repository", &repo); err != nil {
 		return err
 	}
-	fmt.Printf("repository %s: %d trees, %d nodes\n", repo.Source, repo.Trees, repo.Nodes)
+	fmt.Printf("repository %s: %d trees, %d nodes, %d shard(s)\n", repo.Source, repo.Trees, repo.Nodes, repo.Shards)
 
 	// Match twice: the second identical request is served from the cache.
 	matchReq := map[string]any{
@@ -105,21 +106,38 @@ func run(addr, personal string) error {
 		}
 	}
 
-	var stats struct {
-		Requests     int64 `json:"requests"`
-		CacheHits    int64 `json:"cache_hits"`
-		PipelineRuns int64 `json:"pipeline_runs"`
-		Latency      struct {
-			Count  int64   `json:"count"`
-			MeanMS float64 `json:"mean_ms"`
-		} `json:"latency"`
+	// Single-shard servers return the flat stats object; sharded servers
+	// wrap the rollup as {"total":...,"shards":[...]}. Decode either.
+	var raw struct {
+		statsJSON             // flat shape
+		Total     *statsJSON  `json:"total"`
+		Shards    []statsJSON `json:"shards"`
 	}
-	if err := getJSON(client, addr+"/v1/stats", &stats); err != nil {
+	if err := getJSON(client, addr+"/v1/stats", &raw); err != nil {
 		return err
 	}
-	fmt.Printf("stats: %d requests, %d cache hits, %d pipeline runs, mean latency %.2fms\n",
+	stats := raw.statsJSON
+	if raw.Total != nil {
+		stats = *raw.Total
+	}
+	fmt.Printf("stats: %d requests, %d cache hits, %d pipeline runs, mean latency %.2fms",
 		stats.Requests, stats.CacheHits, stats.PipelineRuns, stats.Latency.MeanMS)
+	if n := len(raw.Shards); n > 0 {
+		fmt.Printf(" (rolled up across %d shards)", n)
+	}
+	fmt.Println()
 	return nil
+}
+
+// statsJSON mirrors the service stats fields the walkthrough prints.
+type statsJSON struct {
+	Requests     int64 `json:"requests"`
+	CacheHits    int64 `json:"cache_hits"`
+	PipelineRuns int64 `json:"pipeline_runs"`
+	Latency      struct {
+		Count  int64   `json:"count"`
+		MeanMS float64 `json:"mean_ms"`
+	} `json:"latency"`
 }
 
 // firstName extracts the root element name of a spec like "book(title,...)".

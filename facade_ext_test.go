@@ -2,9 +2,75 @@ package bellflower
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
+
+// TestShardedServiceFacade is the facade-level golden comparison: a
+// 4-shard fan-out must deliver the same top-N report as the unsharded
+// service.
+func TestShardedServiceFacade(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.TargetNodes = 900
+	repo, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	opts.Threshold = 0.6
+	opts.Variant = VariantTree
+	opts.TopN = 5
+
+	svc := NewService(repo, ServiceConfig{})
+	defer svc.Close()
+	sharded := NewShardedService(repo, 4, ServiceConfig{})
+	defer sharded.Close()
+	if sharded.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", sharded.NumShards())
+	}
+
+	personal := MustParseSchema("address(name,email)")
+	want, err := svc.Match(context.Background(), personal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Match(context.Background(), personal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Mappings) == 0 {
+		t.Fatal("no mappings; golden comparison is vacuous")
+	}
+	wd, gd := want.Deltas(), got.Deltas()
+	if len(wd) != len(gd) {
+		t.Fatalf("sharded top-N has %d mappings, unsharded %d", len(gd), len(wd))
+	}
+	for i := range wd {
+		if wd[i] != gd[i] {
+			t.Errorf("rank %d: sharded Δ %v, unsharded %v", i, gd[i], wd[i])
+		}
+	}
+
+	// Prometheus rendering through the facade covers every shard.
+	var b strings.Builder
+	if err := WritePrometheusMetrics(&b, sharded); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "bellflower_shards 4") {
+		t.Errorf("metrics missing shard gauge:\n%s", b.String())
+	}
+
+	// Shard counts clamp to the tree count.
+	small := NewRepository()
+	small.MustAdd(MustParseSchema("a(b,c)"))
+	one := NewShardedService(small, 8, ServiceConfig{})
+	defer one.Close()
+	if one.NumShards() != 1 {
+		t.Errorf("1-tree repository sharded %d ways", one.NumShards())
+	}
+}
 
 func TestSaveLoadRepositoryFacade(t *testing.T) {
 	cfg := DefaultSyntheticConfig()

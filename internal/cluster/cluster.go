@@ -1,25 +1,3 @@
-// Package cluster implements the paper's contribution: the clustering step
-// inserted between element matching and mapping generation (Fig. 3, Alg. 1).
-//
-// Mapping elements (repository nodes that are a candidate for at least one
-// personal-schema node) are partitioned into clusters with an adapted
-// k-means algorithm:
-//
-//   - centroids are medoids — actual mapping elements at the cluster's
-//     center of weight;
-//   - the distance measure is the tree distance (path length), computed in
-//     O(1) via the labeling package;
-//   - centroids are seeded from MEmin, the smallest candidate set, so that
-//     every initial centroid marks a region that can possibly deliver a
-//     useful cluster;
-//   - a reclustering step runs inside each iteration: join merges clusters
-//     whose medoids are within a distance threshold, remove deletes tiny
-//     clusters (their elements are free to join neighbours in the next
-//     iteration), and split (an extension, Sec. 4 "huge clusters") breaks
-//     up oversized clusters;
-//   - the algorithm terminates when fewer than a stability fraction of
-//     elements switch clusters and the cluster count is stable, or after
-//     MaxIterations.
 package cluster
 
 import (

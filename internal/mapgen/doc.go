@@ -1,0 +1,29 @@
+// Package mapgen implements the schema mapping generator (step ④ of the
+// paper's architecture): it enumerates combinations of mapping elements
+// within a cluster, scores them with the objective function, and returns
+// every schema mapping with Δ(s,t) ≥ δ.
+//
+// Two search algorithms are provided. Exhaustive enumerates the full
+// search space (the O(|MEn|^|Ns|) baseline). BranchAndBound, the paper's
+// choice (an adaptation of the B&B scheme of Kreher & Stinson), extends
+// partial mappings in personal-schema preorder and prunes with an
+// admissible bounding function, so it discovers exactly the same mappings
+// while generating far fewer partial mappings. The number of partial
+// mappings generated is the paper's machine-independent efficiency
+// indicator (Tab. 1b). GenerateTopN adds the adaptive top-N variant whose
+// pruning threshold rises to the N-th best Δ found so far.
+//
+// Ranked lists from independent searches — per-cluster lists within one
+// repository, or per-shard lists when a repository is partitioned across
+// several serve.Service instances — are combined with Rank and MergeRanked
+// respectively; both orderings are deterministic.
+//
+// # Concurrency
+//
+// A Generator is immutable after New: every Generate* call keeps its search
+// state (DFS stack, result heap, edge union) on its own stack, so any number
+// of goroutines may search different clusters through one Generator at once
+// — the pipeline's Parallelism fan-out depends on this. The package-level
+// helpers Rank, MergeRanked and SearchSpaceSize are pure functions over
+// their arguments (Rank sorts its argument in place).
+package mapgen

@@ -1,0 +1,92 @@
+package mapgen
+
+import "container/heap"
+
+// MergeRanked merges mapping lists that are each already ranked (the order
+// produced by Rank: descending Δ with deterministic tie-breaking) into one
+// ranked list, truncated to the best topN entries when topN > 0.
+//
+// The merge is deterministic and stable: mappings keep their within-list
+// order, and when mappings from different lists tie on Δ the one from the
+// earlier list wins. Node IDs and cluster IDs are only comparable within one
+// list (each shard of a sharded repository assigns its own dense IDs), so
+// cross-list ties are resolved by list position rather than by the ID-based
+// tie-breaking Rank applies within a list.
+//
+// Duplicate mappings — the same Δ and images discovered by more than one
+// list, e.g. because two shards hold copies of the same schema tree — are
+// preserved, exactly as Rank preserves mappings of duplicated trees within
+// one repository.
+func MergeRanked(lists [][]Mapping, topN int) []Mapping {
+	total := 0
+	nonEmpty := 0
+	for _, l := range lists {
+		total += len(l)
+		if len(l) > 0 {
+			nonEmpty++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	want := total
+	if topN > 0 && topN < want {
+		want = topN
+	}
+	if nonEmpty == 1 {
+		for _, l := range lists {
+			if len(l) > 0 {
+				return append([]Mapping(nil), l[:want]...)
+			}
+		}
+	}
+
+	h := make(mergeHeap, 0, nonEmpty)
+	for i, l := range lists {
+		if len(l) > 0 {
+			h = append(h, mergeCursor{list: i, mappings: l})
+		}
+	}
+	heap.Init(&h)
+	out := make([]Mapping, 0, want)
+	for len(out) < want {
+		cur := &h[0]
+		out = append(out, cur.mappings[cur.pos])
+		cur.pos++
+		if cur.pos == len(cur.mappings) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}
+
+// mergeCursor is one input list's read position in the k-way merge.
+type mergeCursor struct {
+	list     int
+	mappings []Mapping
+	pos      int
+}
+
+// mergeHeap is a min-heap whose top is the next mapping of the merged order:
+// highest Δ first, earlier list first on ties.
+type mergeHeap []mergeCursor
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h[i].mappings[h[i].pos], h[j].mappings[h[j].pos]
+	if a.Score.Delta != b.Score.Delta {
+		return a.Score.Delta > b.Score.Delta
+	}
+	return h[i].list < h[j].list
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeCursor)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

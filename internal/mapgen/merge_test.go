@@ -1,0 +1,105 @@
+package mapgen
+
+import (
+	"testing"
+
+	"bellflower/internal/objective"
+)
+
+// tagged builds a mapping with the given Δ and a ClusterID tag so tests can
+// trace which input list an output entry came from.
+func tagged(delta float64, tag int) Mapping {
+	return Mapping{Score: objective.Score{Delta: delta}, ClusterID: tag}
+}
+
+func deltasOf(ms []Mapping) []float64 {
+	out := make([]float64, len(ms))
+	for i, m := range ms {
+		out[i] = m.Score.Delta
+	}
+	return out
+}
+
+func assertRanked(t *testing.T, ms []Mapping) {
+	t.Helper()
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Score.Delta > ms[i-1].Score.Delta {
+			t.Fatalf("merged list not sorted at %d: %v > %v", i, ms[i].Score.Delta, ms[i-1].Score.Delta)
+		}
+	}
+}
+
+func TestMergeRankedOrderingAndStability(t *testing.T) {
+	lists := [][]Mapping{
+		{tagged(0.9, 100), tagged(0.7, 101), tagged(0.5, 102)},
+		{tagged(0.8, 200), tagged(0.7, 201)},
+		{tagged(0.7, 300)},
+	}
+	got := MergeRanked(lists, 0)
+	if len(got) != 6 {
+		t.Fatalf("merged %d mappings, want 6", len(got))
+	}
+	assertRanked(t, got)
+	// Equal-Δ ties resolve by list index: 0.7 entries come out in list order.
+	wantTags := []int{100, 200, 101, 201, 300, 102}
+	for i, m := range got {
+		if m.ClusterID != wantTags[i] {
+			t.Errorf("position %d: tag %d, want %d (ties must prefer earlier lists)", i, m.ClusterID, wantTags[i])
+		}
+	}
+}
+
+func TestMergeRankedTopN(t *testing.T) {
+	lists := [][]Mapping{
+		{tagged(0.9, 0), tagged(0.6, 1)},
+		{tagged(0.8, 2), tagged(0.7, 3)},
+	}
+	got := MergeRanked(lists, 3)
+	if want := []float64{0.9, 0.8, 0.7}; len(got) != 3 ||
+		got[0].Score.Delta != want[0] || got[1].Score.Delta != want[1] || got[2].Score.Delta != want[2] {
+		t.Errorf("top-3 deltas = %v, want %v", deltasOf(got), want)
+	}
+	if got := MergeRanked(lists, 100); len(got) != 4 {
+		t.Errorf("topN beyond total truncated to %d", len(got))
+	}
+}
+
+func TestMergeRankedEmptyInputs(t *testing.T) {
+	if got := MergeRanked(nil, 0); got != nil {
+		t.Errorf("nil lists merged to %v", got)
+	}
+	if got := MergeRanked([][]Mapping{nil, {}, nil}, 5); got != nil {
+		t.Errorf("all-empty lists merged to %v", got)
+	}
+	// Empty shards interleaved with live ones must just be skipped.
+	got := MergeRanked([][]Mapping{nil, {tagged(0.8, 1)}, {}, {tagged(0.9, 2)}}, 0)
+	if len(got) != 2 || got[0].ClusterID != 2 || got[1].ClusterID != 1 {
+		t.Errorf("merge with empty shards = %v", got)
+	}
+}
+
+func TestMergeRankedSingleListCopies(t *testing.T) {
+	src := []Mapping{tagged(0.9, 1), tagged(0.8, 2)}
+	got := MergeRanked([][]Mapping{nil, src}, 1)
+	if len(got) != 1 || got[0].ClusterID != 1 {
+		t.Fatalf("single-list merge = %v", got)
+	}
+	// The fast path must still return a fresh slice: merged reports are
+	// mutated independently of the per-shard cached reports.
+	got[0].ClusterID = 777
+	if src[0].ClusterID != 1 {
+		t.Error("merge aliased the input list")
+	}
+}
+
+func TestMergeRankedDuplicatesPreserved(t *testing.T) {
+	// Two shards holding copies of the same schema tree discover the same
+	// mapping; both survive the merge, exactly as Rank keeps mappings of
+	// duplicated trees within one repository.
+	dup := tagged(0.75, 9)
+	got := MergeRanked([][]Mapping{{dup}, {dup}}, 0)
+	if len(got) != 2 || got[0].Score.Delta != 0.75 || got[1].Score.Delta != 0.75 {
+		t.Fatalf("duplicates not preserved: %v", got)
+	}
+	assertRanked(t, got)
+}

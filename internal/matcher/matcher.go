@@ -1,12 +1,3 @@
-// Package matcher implements step ② of the common schema-matching
-// architecture (Fig. 2 of the paper): element matchers that cross-compare
-// every personal-schema element with every repository element and emit the
-// sets of mapping elements MEn (step ③).
-//
-// Matchers are divided, as in the paper, into localized matchers (name,
-// synonym, datatype — local node properties only) and structure matchers
-// (handled downstream by the objective function's Δpath component). Scores
-// from several matchers are combined with a weighted average.
 package matcher
 
 import (

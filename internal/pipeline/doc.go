@@ -1,0 +1,25 @@
+// Package pipeline wires the full clustered schema matching architecture of
+// Fig. 3: element matching (matcher) → clustering (cluster) → per-cluster
+// mapping generation (mapgen) → one merged ranked list. It also exposes the
+// non-clustered baseline (tree clusters) and collects the timing and counter
+// instrumentation the experiments report.
+//
+// A Runner is the unit of reuse: it binds a repository to its labelling
+// index once (the expensive O(N log N) build) and then executes any number
+// of runs against it. Options selects the clustering variant, objective
+// parameters, element matcher and the extensions (two-phase structural
+// rescoring, adaptive top-N, cluster ordering, partial mappings,
+// per-cluster parallel generation).
+//
+// # Concurrency
+//
+// A Runner is safe for concurrent use: the repository and labelling index
+// are built by NewRunner and only read afterwards, and every Run /
+// RunContext call keeps its working state (candidates, clusters, report) on
+// its own stack — the serve package's worker pools depend on this.
+// RunContext honours cancellation cooperatively: the context is checked
+// between pipeline stages, between clusters during mapping generation, and
+// inside the Parallelism fan-out, so a cancelled run stops within one
+// cluster's worth of work. Reports are owned by the caller; the pipeline
+// retains no reference to them.
+package pipeline

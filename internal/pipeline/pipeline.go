@@ -1,8 +1,3 @@
-// Package pipeline wires the full clustered schema matching architecture of
-// Fig. 3: element matching (matcher) → clustering (cluster) → per-cluster
-// mapping generation (mapgen) → one merged ranked list. It also exposes the
-// non-clustered baseline (tree clusters) and collects the timing and counter
-// instrumentation the experiments report.
 package pipeline
 
 import (

@@ -1,0 +1,44 @@
+// Package serve implements a long-lived concurrent matching service on top
+// of the pipeline: one indexed repository serving streams of match requests
+// from many clients.
+//
+// The design follows the dataflow shape of claircore's matcher
+// architecture: requests flow through a bounded queue into a fixed worker
+// pool, so an arbitrary number of concurrent clients exerts only bounded
+// load on the expensive resource (the matching pipeline). Two layers
+// exploit request overlap before any work is scheduled:
+//
+//   - a singleflight group deduplicates identical in-flight requests — N
+//     concurrent clients asking the same question trigger one pipeline run
+//     and share its report;
+//   - an LRU cache keyed by a canonical request signature serves repeated
+//     questions without running the pipeline at all.
+//
+// Per-request deadlines and cancellation are honoured end to end: a
+// request context expiring while queued or running releases the caller
+// immediately, and when the last waiter of a shared run has gone the run
+// itself is cancelled via pipeline.Runner.RunContext.
+//
+// # Sharding
+//
+// A Router scales the same service horizontally: PartitionRepository splits
+// a repository into per-shard tree subsets (candidate matching is per-tree
+// and clusters never span trees, so partitioning loses no candidate
+// mappings), one Service runs per shard, and Router.Match fans each
+// request out across every shard concurrently, merging the per-shard
+// ranked lists into one global top-N report with mapgen.MergeRanked. With
+// tree clustering the merged report equals the unsharded one exactly; the
+// k-means variants cluster per shard, which may differ from a global
+// clustering run — see Router. Service and Router both implement Backend,
+// the surface the HTTP daemon serves.
+//
+// # Concurrency
+//
+// Every exported type is safe for use from many goroutines. A Service's
+// repository, pipeline runner and labelling index are immutable after New;
+// mutable state (queue, flight group, cache, counters) is synchronized
+// internally. Reports returned by Match may be shared between callers and
+// with the cache, and must be treated as read-only. Close is idempotent,
+// may be called concurrently with Match, and unblocks queued waiters with
+// ErrClosed.
+package serve

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders a stats snapshot in the Prometheus text
+// exposition format (version 0.0.4): the service counters as counters, the
+// occupancy figures as gauges, and the request latency histogram with
+// cumulative buckets in seconds. shards is the backend's fan-out width
+// (Backend.NumShards); pass a rolled-up snapshot (Backend.Stats) so the
+// scrape covers every shard.
+//
+// The metric names emitted here are part of the server's public interface
+// and documented in the README; change them only with a migration note.
+func WritePrometheus(w io.Writer, st Stats, shards int) error {
+	ew := &errWriter{w: w}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("bellflower_requests_total", "Match requests received (batch entries count individually; a sharded request counts once per shard).", st.Requests)
+	counter("bellflower_cache_hits_total", "Requests served from the report cache.", st.CacheHits)
+	counter("bellflower_cache_misses_total", "Requests that consulted the flight group.", st.CacheMisses)
+	counter("bellflower_deduped_in_flight_total", "Requests that joined an identical in-flight run.", st.DedupedInFlight)
+	counter("bellflower_pipeline_runs_total", "Matching pipeline executions completed.", st.PipelineRuns)
+	counter("bellflower_errors_total", "Requests that finished with an error, including cancellations and deadline expiries.", st.Errors)
+	counter("bellflower_rejected_total", "Requests refused before running (closed service, oversized or nil schema).", st.Rejected)
+
+	gauge("bellflower_shards", "Repository shards served by this process.", int64(shards))
+	gauge("bellflower_workers", "Pipeline worker goroutines across all shards.", int64(st.Workers))
+	gauge("bellflower_queue_depth", "Runs waiting for a worker right now.", int64(st.QueueDepth))
+	gauge("bellflower_queue_capacity", "Bounded run-queue capacity.", int64(st.QueueCapacity))
+	gauge("bellflower_in_flight", "Distinct deduplicated runs executing or queued.", int64(st.InFlight))
+	gauge("bellflower_report_cache_entries", "Reports currently cached.", int64(st.CacheLen))
+	gauge("bellflower_report_cache_capacity", "Report cache capacity.", int64(st.CacheCap))
+
+	const hist = "bellflower_request_latency_seconds"
+	fmt.Fprintf(ew, "# HELP %s End-to-end request latency.\n# TYPE %s histogram\n", hist, hist)
+	cum := int64(0)
+	for i, ub := range st.Latency.BucketsMS {
+		if i < len(st.Latency.Counts) {
+			cum += st.Latency.Counts[i]
+		}
+		fmt.Fprintf(ew, "%s_bucket{le=\"%g\"} %d\n", hist, ub/1000, cum)
+	}
+	fmt.Fprintf(ew, "%s_bucket{le=\"+Inf\"} %d\n", hist, st.Latency.Count)
+	fmt.Fprintf(ew, "%s_sum %g\n", hist, st.Latency.SumMS/1000)
+	fmt.Fprintf(ew, "%s_count %d\n", hist, st.Latency.Count)
+	return ew.err
+}
+
+// errWriter latches the first write error so WritePrometheus needs no error
+// check per line.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	s := NewFromRepository(testRepo(t), Config{})
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Match(context.Background(), personal(), testOpts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, s.Stats(), 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, name := range []string{
+		"bellflower_requests_total 3",
+		"bellflower_cache_hits_total 2",
+		"bellflower_pipeline_runs_total 1",
+		"bellflower_shards 1",
+		"bellflower_request_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("output missing %q:\n%s", name, out)
+		}
+	}
+
+	// Histogram buckets must be cumulative and end at the total count, and
+	// every sample line needs HELP/TYPE metadata.
+	var last int64 = -1
+	sc := bufio.NewScanner(strings.NewReader(out))
+	buckets := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "bellflower_request_latency_seconds_bucket") {
+			continue
+		}
+		buckets++
+		v, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Errorf("bucket counts not cumulative: %q after %d", line, last)
+		}
+		last = v
+	}
+	if buckets != numLatencyBuckets {
+		t.Errorf("%d bucket lines, want %d (including +Inf)", buckets, numLatencyBuckets)
+	}
+	if last != 3 {
+		t.Errorf("+Inf bucket = %d, want 3", last)
+	}
+	if strings.Count(out, "# TYPE") == 0 || strings.Count(out, "# HELP") != strings.Count(out, "# TYPE") {
+		t.Error("HELP/TYPE metadata out of balance")
+	}
+}
+
+func TestMergeStats(t *testing.T) {
+	a := Stats{
+		Requests: 5, CacheHits: 2, PipelineRuns: 3, Workers: 4, QueueCapacity: 16,
+		Latency: LatencyStats{
+			Count: 2, SumMS: 10,
+			BucketsMS: []float64{1, 5},
+			Counts:    []int64{1, 1, 0},
+		},
+	}
+	b := Stats{
+		Requests: 7, CacheHits: 1, PipelineRuns: 6, Workers: 4, QueueCapacity: 16,
+		Latency: LatencyStats{
+			Count: 3, SumMS: 20,
+			BucketsMS: []float64{1, 5},
+			Counts:    []int64{0, 2, 1},
+		},
+	}
+	got := MergeStats(a, b)
+	if got.Requests != 12 || got.CacheHits != 3 || got.PipelineRuns != 9 {
+		t.Errorf("counters = %+v", got)
+	}
+	if got.Workers != 8 || got.QueueCapacity != 32 {
+		t.Errorf("capacities = %+v", got)
+	}
+	if got.Latency.Count != 5 || got.Latency.SumMS != 30 || got.Latency.MeanMS != 6 {
+		t.Errorf("latency rollup = %+v", got.Latency)
+	}
+	if want := []int64{1, 3, 1}; len(got.Latency.Counts) != 3 ||
+		got.Latency.Counts[0] != want[0] || got.Latency.Counts[1] != want[1] || got.Latency.Counts[2] != want[2] {
+		t.Errorf("bucket counts = %v, want %v", got.Latency.Counts, want)
+	}
+	// Merging nothing yields a zero snapshot, not a panic.
+	if z := MergeStats(); z.Requests != 0 || z.Latency.Count != 0 {
+		t.Errorf("empty merge = %+v", z)
+	}
+}

@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+
+	"bellflower/internal/mapgen"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/schema"
+)
+
+// Backend is the serving surface shared by Service (one shard) and Router
+// (a shard fan-out). The HTTP daemon and other embedders program against
+// this interface so single-shard and sharded deployments are
+// interchangeable. All methods are safe for concurrent use.
+type Backend interface {
+	// Match serves one match request; see Service.Match.
+	Match(ctx context.Context, personal *schema.Tree, opts pipeline.Options) (*pipeline.Report, error)
+
+	// MatchBatch serves a batch concurrently, results in request order.
+	MatchBatch(ctx context.Context, reqs []Request) []Result
+
+	// RewriteQuery translates a personal-schema XPath query through a
+	// mapping discovered by Match on this backend.
+	RewriteQuery(q string, personal *schema.Tree, mp mapgen.Mapping) (string, error)
+
+	// Stats returns a snapshot of the backend's instrumentation, rolled up
+	// across shards. In a rolled-up snapshot per-shard quantities are
+	// summed, so one fanned-out request counts once per shard.
+	Stats() Stats
+
+	// ShardStats returns one snapshot per shard (length NumShards).
+	ShardStats() []Stats
+
+	// RepositoryStats summarizes the repository across all shards.
+	RepositoryStats() schema.Stats
+
+	// NumShards reports the fan-out width (1 for a plain Service).
+	NumShards() int
+
+	// Close releases the backend; Match calls after Close return ErrClosed.
+	Close()
+}
+
+var (
+	_ Backend = (*Service)(nil)
+	_ Backend = (*Router)(nil)
+)
+
+// Router fans match requests out across repository shards — one Service per
+// repository partition — and merges the per-shard ranked mapping lists into
+// a single global report. Candidate matching is per-tree and clusters never
+// span repository trees (cross-tree distance is infinite), so partitioning
+// at tree granularity loses no candidate mappings. For tree clustering
+// (pipeline.VariantTree) the merged report is exactly the unsharded result
+// up to the ordering of equal-Δ ties (golden-tested). For the k-means
+// variants, cluster formation is global — centroid seeding uses the
+// repository-wide MEmin and termination is a global stability criterion —
+// so per-shard clustering may legitimately form different clusters than an
+// unsharded run and keep or drop a different set of low-ranked mappings:
+// the same class of controlled approximation the clustering step itself
+// introduces.
+//
+// Create with NewRouter or NewRouterFromRepository and release with Close.
+// A Router is safe for use from many goroutines.
+type Router struct {
+	shards  []*Service
+	shardOf map[*schema.Tree]int // routes mappings back to their shard
+	once    sync.Once
+}
+
+// NewRouter wraps existing shard services in a router, taking ownership of
+// them (Router.Close closes every shard). It panics on an empty shard list.
+func NewRouter(shards []*Service) *Router {
+	if len(shards) == 0 {
+		panic("serve: NewRouter needs at least one shard")
+	}
+	r := &Router{
+		shards:  append([]*Service(nil), shards...),
+		shardOf: make(map[*schema.Tree]int),
+	}
+	for i, s := range r.shards {
+		for _, t := range s.Repository().Trees() {
+			r.shardOf[t] = i
+		}
+	}
+	return r
+}
+
+// NewRouterFromRepository partitions the repository into up to n shards
+// (see PartitionRepository), indexes each partition and starts one Service
+// per shard. When cfg.Workers is 0 each shard gets GOMAXPROCS divided by
+// the shard count (at least 1), so the default total worker budget matches
+// an unsharded Service instead of multiplying by n.
+func NewRouterFromRepository(repo *schema.Repository, n int, cfg Config) *Router {
+	parts := PartitionRepository(repo, n)
+	if cfg.Workers == 0 && len(parts) > 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0) / len(parts)
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
+	}
+	shards := make([]*Service, len(parts))
+	for i, part := range parts {
+		shards[i] = NewFromRepository(part, cfg)
+	}
+	return NewRouter(shards)
+}
+
+// PartitionRepository splits a repository into up to n disjoint shard
+// repositories. Trees are cloned (a tree belongs to exactly one repository)
+// and distributed with a greedy balance: largest tree first, each into the
+// currently lightest shard by node count, ties to the lowest shard index —
+// deterministic for a given repository. n is clamped to [1, number of
+// trees], so no shard is ever empty (an empty repository yields one empty
+// shard).
+func PartitionRepository(repo *schema.Repository, n int) []*schema.Repository {
+	trees := repo.Trees()
+	if n > len(trees) {
+		n = len(trees)
+	}
+	if n < 1 {
+		n = 1
+	}
+	order := make([]*schema.Tree, len(trees))
+	copy(order, trees)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Len() > order[j].Len() })
+
+	parts := make([]*schema.Repository, n)
+	load := make([]int, n)
+	for i := range parts {
+		parts[i] = schema.NewRepository()
+	}
+	for _, t := range order {
+		lightest := 0
+		for i := 1; i < n; i++ {
+			if load[i] < load[lightest] {
+				lightest = i
+			}
+		}
+		parts[lightest].MustAdd(t.Clone())
+		load[lightest] += t.Len()
+	}
+	return parts
+}
+
+// Match fans the request out to every shard concurrently and merges the
+// per-shard reports into one global report: mappings rank-merged (stable,
+// ties across shards resolved by shard index) and truncated to opts.TopN,
+// counters summed, stage times reported as the slowest shard's (the shards
+// run concurrently). ctx bounds the whole fan-out; each shard honours it
+// exactly as Service.Match does.
+//
+// If any shard fails — its deadline expired, the service closed, the
+// request was rejected — Match returns that shard's error rather than a
+// silently incomplete merge: a report missing one shard's mappings would
+// present a wrong top-N as authoritative. Shards that already completed
+// contribute their reports to their own caches, so a retry is cheap.
+func (r *Router) Match(ctx context.Context, personal *schema.Tree, opts pipeline.Options) (*pipeline.Report, error) {
+	if len(r.shards) == 1 {
+		return r.shards[0].Match(ctx, personal, opts)
+	}
+	reps := make([]*pipeline.Report, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	wg.Add(len(r.shards))
+	for i, s := range r.shards {
+		go func(i int, s *Service) {
+			defer wg.Done()
+			reps[i], errs[i] = s.Match(ctx, personal, opts)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeReports(reps, opts.TopN), nil
+}
+
+// mergeReports combines per-shard reports of one fanned-out request.
+func mergeReports(reps []*pipeline.Report, topN int) *pipeline.Report {
+	merged := &pipeline.Report{Variant: reps[0].Variant}
+	lists := make([][]mapgen.Mapping, len(reps))
+	weightedAvg := 0.0
+	for i, rep := range reps {
+		lists[i] = rep.Mappings
+		merged.MappingElements += rep.MappingElements
+		merged.Clusters += rep.Clusters
+		merged.UsefulClusters += rep.UsefulClusters
+		weightedAvg += rep.AvgElementsPerUsefulCluster * float64(rep.UsefulClusters)
+		merged.ClusterSizes = append(merged.ClusterSizes, rep.ClusterSizes...)
+		if rep.Iterations > merged.Iterations {
+			merged.Iterations = rep.Iterations
+		}
+		merged.Counters.Add(rep.Counters)
+		merged.Partials = append(merged.Partials, rep.Partials...)
+		if rep.MatchTime > merged.MatchTime {
+			merged.MatchTime = rep.MatchTime
+		}
+		if rep.ClusterTime > merged.ClusterTime {
+			merged.ClusterTime = rep.ClusterTime
+		}
+		if rep.GenTime > merged.GenTime {
+			merged.GenTime = rep.GenTime
+		}
+		if rep.FirstGoodAfter > 0 &&
+			(merged.FirstGoodAfter == 0 || rep.FirstGoodAfter < merged.FirstGoodAfter) {
+			merged.FirstGoodAfter = rep.FirstGoodAfter
+		}
+	}
+	if merged.UsefulClusters > 0 {
+		merged.AvgElementsPerUsefulCluster = weightedAvg / float64(merged.UsefulClusters)
+	}
+	merged.Mappings = mapgen.MergeRanked(lists, topN)
+	sort.SliceStable(merged.Partials, func(i, j int) bool {
+		return merged.Partials[i].Score.Delta > merged.Partials[j].Score.Delta
+	})
+	return merged
+}
+
+// MatchBatch serves a batch of requests concurrently through the router,
+// results in request order. The goroutine fan-out is bounded by the summed
+// capacity of the shards.
+func (r *Router) MatchBatch(ctx context.Context, reqs []Request) []Result {
+	fanout := 0
+	for _, s := range r.shards {
+		fanout += s.capacityHint()
+	}
+	return matchBatch(ctx, reqs, fanout, r.Match)
+}
+
+// RewriteQuery routes the rewrite to the shard the mapping was discovered
+// in: node identities and the labelling index are shard-local, so the
+// mapping's images identify their owning shard through their tree.
+func (r *Router) RewriteQuery(q string, personal *schema.Tree, mp mapgen.Mapping) (string, error) {
+	if len(mp.Images) == 0 {
+		return "", errors.New("serve: empty mapping")
+	}
+	i, ok := r.shardOf[mp.Images[0].Tree()]
+	if !ok {
+		return "", errors.New("serve: mapping does not belong to this router's shards")
+	}
+	return r.shards[i].RewriteQuery(q, personal, mp)
+}
+
+// Stats returns the per-shard snapshots rolled up into one (see MergeStats
+// for the summing semantics).
+func (r *Router) Stats() Stats {
+	return MergeStats(r.ShardStats()...)
+}
+
+// ShardStats returns one snapshot per shard, in shard order.
+func (r *Router) ShardStats() []Stats {
+	out := make([]Stats, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// RepositoryStats aggregates the shard repositories' statistics: tree and
+// node counts summed, extrema taken across shards.
+func (r *Router) RepositoryStats() schema.Stats {
+	var out schema.Stats
+	for i, s := range r.shards {
+		st := s.Repository().Stats()
+		out.Trees += st.Trees
+		out.Nodes += st.Nodes
+		if st.MaxDepth > out.MaxDepth {
+			out.MaxDepth = st.MaxDepth
+		}
+		if st.MaxTree > out.MaxTree {
+			out.MaxTree = st.MaxTree
+		}
+		if i == 0 || st.MinTree < out.MinTree {
+			out.MinTree = st.MinTree
+		}
+	}
+	return out
+}
+
+// NumShards reports the fan-out width.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Shard returns the i-th shard service (for inspection; the router retains
+// ownership).
+func (r *Router) Shard(i int) *Service { return r.shards[i] }
+
+// Close closes every shard concurrently and blocks until all have drained.
+// It is idempotent; Match calls after Close return ErrClosed.
+func (r *Router) Close() {
+	r.once.Do(func() {
+		var wg sync.WaitGroup
+		wg.Add(len(r.shards))
+		for _, s := range r.shards {
+			go func(s *Service) {
+				defer wg.Done()
+				s.Close()
+			}(s)
+		}
+		wg.Wait()
+	})
+}

@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"bellflower/internal/mapgen"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/repogen"
+	"bellflower/internal/schema"
+)
+
+func syntheticRepo(t testing.TB, nodes int, seed int64) *schema.Repository {
+	t.Helper()
+	cfg := repogen.DefaultConfig()
+	cfg.TargetNodes = nodes
+	cfg.Seed = seed
+	repo, err := repogen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+func TestPartitionRepository(t *testing.T) {
+	repo := syntheticRepo(t, 600, 3)
+	parts := PartitionRepository(repo, 4)
+	if len(parts) != 4 {
+		t.Fatalf("got %d parts, want 4", len(parts))
+	}
+	trees, nodes := 0, 0
+	for i, p := range parts {
+		if p.NumTrees() == 0 {
+			t.Errorf("shard %d is empty", i)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("shard %d invalid: %v", i, err)
+		}
+		trees += p.NumTrees()
+		nodes += p.Len()
+	}
+	if trees != repo.NumTrees() || nodes != repo.Len() {
+		t.Errorf("partition covers %d trees / %d nodes, want %d / %d",
+			trees, nodes, repo.NumTrees(), repo.Len())
+	}
+	// Every input tree lands in exactly one shard, and the split is
+	// deterministic.
+	seen := make(map[string]int)
+	for _, p := range parts {
+		for _, tr := range p.Trees() {
+			seen[tr.String()]++
+		}
+	}
+	for _, tr := range repo.Trees() {
+		if seen[tr.String()] < 1 {
+			t.Errorf("tree %q missing from every shard", tr.Name)
+		}
+	}
+	again := PartitionRepository(repo, 4)
+	for i := range parts {
+		if parts[i].NumTrees() != again[i].NumTrees() || parts[i].Len() != again[i].Len() {
+			t.Errorf("shard %d not deterministic: %d/%d trees, %d/%d nodes",
+				i, parts[i].NumTrees(), again[i].NumTrees(), parts[i].Len(), again[i].Len())
+		}
+	}
+	// Balance: no shard should carry more than half the forest when four
+	// shards split a many-tree repository.
+	for i, p := range parts {
+		if p.Len() > repo.Len()/2 {
+			t.Errorf("shard %d holds %d of %d nodes; partition is unbalanced", i, p.Len(), repo.Len())
+		}
+	}
+
+	// Clamping: more shards than trees, and degenerate n.
+	small := testRepo(t) // 3 trees
+	if got := len(PartitionRepository(small, 10)); got != 3 {
+		t.Errorf("10 shards over 3 trees produced %d parts, want 3", got)
+	}
+	if got := len(PartitionRepository(small, 0)); got != 1 {
+		t.Errorf("0 shards produced %d parts, want 1", got)
+	}
+}
+
+// reportKeys renders each mapping shard-independently: the score plus the
+// repository tree name and image paths. Node and cluster IDs are
+// shard-local and excluded on purpose.
+func reportKeys(rep *pipeline.Report) []string {
+	keys := make([]string, len(rep.Mappings))
+	for i, m := range rep.Mappings {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%.12f", m.Score.Delta)
+		for _, img := range m.Images {
+			b.WriteString("|")
+			b.WriteString(img.Tree().Name)
+			b.WriteString(img.PathString())
+		}
+		keys[i] = b.String()
+	}
+	return keys
+}
+
+func TestRouterGoldenVsUnsharded(t *testing.T) {
+	repo := syntheticRepo(t, 900, 7)
+	personal := schema.MustParseSpec("address(name,email)")
+	opts := pipeline.DefaultOptions()
+	opts.Variant = pipeline.VariantTree
+	opts.MinSim = 0.3
+	opts.Threshold = 0.6
+
+	direct, err := pipeline.NewRunner(repo).Run(personal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Mappings) == 0 {
+		t.Fatal("unsharded run found no mappings; golden comparison is vacuous")
+	}
+
+	r := NewRouterFromRepository(repo, 4, Config{})
+	defer r.Close()
+	if r.NumShards() != 4 {
+		t.Fatalf("router has %d shards, want 4", r.NumShards())
+	}
+	sharded, err := r.Match(context.Background(), personal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The full δ-mode result must be identical as a multiset of
+	// (Δ, image paths); ordering may legitimately differ within equal-Δ
+	// ties because ID-based tie-breaking is shard-local.
+	want, got := reportKeys(direct), reportKeys(sharded)
+	sort.Strings(want)
+	sort.Strings(got)
+	if len(want) != len(got) {
+		t.Fatalf("sharded found %d mappings, unsharded %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("mapping multiset differs at %d:\n  unsharded %s\n  sharded   %s", i, want[i], got[i])
+		}
+	}
+
+	// Rolled-up instrumentation must agree with the unsharded run for the
+	// tree-cluster variant: the same clusters are searched, just elsewhere.
+	if sharded.Counters.SearchSpace != direct.Counters.SearchSpace {
+		t.Errorf("search space %v, want %v", sharded.Counters.SearchSpace, direct.Counters.SearchSpace)
+	}
+	if sharded.UsefulClusters != direct.UsefulClusters {
+		t.Errorf("useful clusters %d, want %d", sharded.UsefulClusters, direct.UsefulClusters)
+	}
+	if sharded.MappingElements != direct.MappingElements {
+		t.Errorf("mapping elements %d, want %d", sharded.MappingElements, direct.MappingElements)
+	}
+
+	// Top-N truncation: the global top-N scores must match exactly.
+	for _, topN := range []int{1, 3, 10} {
+		o := opts
+		o.TopN = topN
+		d, err := pipeline.NewRunner(repo).Run(personal, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := r.Match(context.Background(), personal, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dd, sd := d.Deltas(), s.Deltas()
+		if len(dd) != len(sd) {
+			t.Fatalf("topN=%d: sharded %d mappings, unsharded %d", topN, len(sd), len(dd))
+		}
+		for i := range dd {
+			if dd[i] != sd[i] {
+				t.Errorf("topN=%d rank %d: Δ %v, want %v", topN, i, sd[i], dd[i])
+			}
+		}
+	}
+}
+
+// TestRouterClusteredVariantWellFormed documents the actual guarantee for
+// the k-means variants: per-shard clustering may legitimately form
+// different clusters than a global run (centroid seeding and termination
+// are repository-wide when unsharded), so exact equality is only promised
+// for VariantTree — but the merged report must still be a valid ranked,
+// thresholded result.
+func TestRouterClusteredVariantWellFormed(t *testing.T) {
+	repo := syntheticRepo(t, 900, 7)
+	personal := schema.MustParseSpec("address(name,email)")
+	opts := pipeline.DefaultOptions()
+	opts.Variant = pipeline.VariantMedium
+	opts.MinSim = 0.3
+	opts.Threshold = 0.6
+
+	direct, err := pipeline.NewRunner(repo).Run(personal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouterFromRepository(repo, 4, Config{})
+	defer r.Close()
+	sharded, err := r.Match(context.Background(), personal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Mappings) > 0 && len(sharded.Mappings) == 0 {
+		t.Errorf("unsharded medium clustering found %d mappings, sharded found none", len(direct.Mappings))
+	}
+	for i, m := range sharded.Mappings {
+		if m.Score.Delta < opts.Threshold {
+			t.Errorf("mapping %d below threshold: Δ=%v", i, m.Score.Delta)
+		}
+		if i > 0 && m.Score.Delta > sharded.Mappings[i-1].Score.Delta {
+			t.Errorf("merged list not ranked at %d", i)
+		}
+	}
+}
+
+// slowMatcher sleeps whenever it scores a repository node with the trigger
+// name, letting tests make exactly one shard slow.
+type slowMatcher struct {
+	trigger string
+	delay   time.Duration
+}
+
+func (m slowMatcher) Name() string { return "slow" }
+func (m slowMatcher) Similarity(p, r *schema.Node) float64 {
+	if r.Name == m.trigger {
+		time.Sleep(m.delay)
+	}
+	return 0.9
+}
+
+func TestRouterDeadlineOnOneShard(t *testing.T) {
+	fast := schema.NewRepository()
+	fast.MustAdd(schema.MustParseSpec("store(book(title,author))"))
+	slow := schema.NewRepository()
+	slow.MustAdd(schema.MustParseSpec("archive(tome(slowpoke,author))"))
+
+	r := NewRouter([]*Service{
+		NewFromRepository(fast, Config{Workers: 1}),
+		NewFromRepository(slow, Config{Workers: 1}),
+	})
+	defer r.Close()
+
+	opts := testOpts()
+	opts.Matcher = slowMatcher{trigger: "slowpoke", delay: 300 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := r.Match(ctx, personal(), opts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded: a merge missing one shard must not be presented as complete", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("router released the caller after %v", elapsed)
+	}
+	// The fast shard completed its run and cached the result for a retry.
+	waitUntil(t, func() bool { return r.Shard(0).Stats().PipelineRuns == 1 })
+	if errs := r.Shard(1).Stats().Errors; errs == 0 {
+		t.Error("slow shard recorded no error for the expired request")
+	}
+}
+
+func TestRouterRewriteRoutesToOwningShard(t *testing.T) {
+	r := NewRouterFromRepository(testRepo(t), 3, Config{})
+	defer r.Close()
+
+	rep, err := r.Match(context.Background(), personal(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mappings) < 2 {
+		t.Fatalf("need mappings from more than one shard, got %d", len(rep.Mappings))
+	}
+	for i, m := range rep.Mappings {
+		got, err := r.RewriteQuery("/book/title", personal(), m)
+		if err != nil {
+			t.Fatalf("mapping %d (shard-local cluster %d): %v", i, m.ClusterID, err)
+		}
+		if len(got) == 0 || got[0] != '/' {
+			t.Errorf("mapping %d rewrote to %q", i, got)
+		}
+	}
+
+	// A mapping from a different repository (the unpartitioned original)
+	// must be rejected, not silently rewritten against the wrong index.
+	direct, err := pipeline.NewRunner(testRepo(t)).Run(personal(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RewriteQuery("/book/title", personal(), direct.Mappings[0]); err == nil {
+		t.Error("foreign mapping accepted")
+	}
+	if _, err := r.RewriteQuery("/book/title", personal(), mapgen.Mapping{}); err == nil {
+		t.Error("empty mapping accepted")
+	}
+}
+
+func TestRouterStatsRollup(t *testing.T) {
+	r := NewRouterFromRepository(testRepo(t), 2, Config{})
+	defer r.Close()
+
+	for i := 0; i < 2; i++ {
+		if _, err := r.Match(context.Background(), personal(), testOpts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := r.ShardStats()
+	if len(per) != 2 {
+		t.Fatalf("ShardStats returned %d entries, want 2", len(per))
+	}
+	st := r.Stats()
+	// Each router-level request counts once per shard in the rollup.
+	if st.Requests != 4 {
+		t.Errorf("rolled-up requests = %d, want 4 (2 requests × 2 shards)", st.Requests)
+	}
+	if st.CacheHits < 2 {
+		t.Errorf("rolled-up cache hits = %d, want ≥ 2 (second request hits every shard)", st.CacheHits)
+	}
+	if st.Latency.Count != per[0].Latency.Count+per[1].Latency.Count {
+		t.Errorf("latency counts don't roll up: %d vs %d+%d",
+			st.Latency.Count, per[0].Latency.Count, per[1].Latency.Count)
+	}
+
+	repoStats := r.RepositoryStats()
+	orig := testRepo(t).Stats()
+	if repoStats.Trees != orig.Trees || repoStats.Nodes != orig.Nodes {
+		t.Errorf("repository rollup = %+v, want %d trees / %d nodes", repoStats, orig.Trees, orig.Nodes)
+	}
+}
+
+func TestRouterMatchBatchAndClose(t *testing.T) {
+	r := NewRouterFromRepository(testRepo(t), 2, Config{})
+
+	reqs := []Request{
+		{Personal: personal(), Opts: testOpts()},
+		{Personal: nil, Opts: testOpts()},
+		{Personal: personal(), Opts: testOpts()},
+	}
+	results := r.MatchBatch(context.Background(), reqs)
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("valid entries failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("nil personal schema accepted")
+	}
+
+	r.Close()
+	r.Close() // idempotent
+	if _, err := r.Match(context.Background(), personal(), testOpts()); !errors.Is(err, ErrClosed) {
+		t.Errorf("err after Close = %v, want ErrClosed", err)
+	}
+}

@@ -1,23 +1,3 @@
-// Package serve implements a long-lived concurrent matching service on top
-// of the pipeline: one indexed repository serving streams of match requests
-// from many clients.
-//
-// The design follows the dataflow shape of claircore's matcher
-// architecture: requests flow through a bounded queue into a fixed worker
-// pool, so an arbitrary number of concurrent clients exerts only bounded
-// load on the expensive resource (the matching pipeline). Two layers
-// exploit request overlap before any work is scheduled:
-//
-//   - a singleflight group deduplicates identical in-flight requests — N
-//     concurrent clients asking the same question trigger one pipeline run
-//     and share its report;
-//   - an LRU cache keyed by a canonical request signature serves repeated
-//     questions without running the pipeline at all.
-//
-// Per-request deadlines and cancellation are honoured end to end: a
-// request context expiring while queued or running releases the caller
-// immediately, and when the last waiter of a shared run has gone the run
-// itself is cancelled via pipeline.Runner.RunContext.
 package serve
 
 import (
@@ -311,8 +291,18 @@ type Result struct {
 // huge batch must not pin one goroutine per entry behind the worker
 // pool); pipeline concurrency stays bounded by the pool itself.
 func (s *Service) MatchBatch(ctx context.Context, reqs []Request) []Result {
+	return matchBatch(ctx, reqs, s.capacityHint(), s.Match)
+}
+
+// capacityHint is the number of requests the service can hold (running or
+// queued); batch fan-outs size themselves by it.
+func (s *Service) capacityHint() int { return s.cfg.Workers + s.cfg.QueueDepth }
+
+// matchBatch fans reqs out over at most fanout goroutines against match,
+// collecting results in request order.
+func matchBatch(ctx context.Context, reqs []Request, fanout int,
+	match func(context.Context, *schema.Tree, pipeline.Options) (*pipeline.Report, error)) []Result {
 	results := make([]Result, len(reqs))
-	fanout := s.cfg.Workers + s.cfg.QueueDepth
 	if fanout > len(reqs) {
 		fanout = len(reqs)
 	}
@@ -323,7 +313,7 @@ func (s *Service) MatchBatch(ctx context.Context, reqs []Request) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				rep, err := s.Match(ctx, reqs[i].Personal, reqs[i].Opts)
+				rep, err := match(ctx, reqs[i].Personal, reqs[i].Opts)
 				results[i] = Result{Report: rep, Err: err}
 			}
 		}()
@@ -347,6 +337,15 @@ func (s *Service) RewriteQuery(q string, personal *schema.Tree, mp mapgen.Mappin
 	}
 	return query.Rewrite(parsed, personal, mp, s.runner.Index())
 }
+
+// ShardStats implements Backend: a plain service is its own single shard.
+func (s *Service) ShardStats() []Stats { return []Stats{s.Stats()} }
+
+// RepositoryStats implements Backend.
+func (s *Service) RepositoryStats() schema.Stats { return s.Repository().Stats() }
+
+// NumShards implements Backend; a plain service is one shard.
+func (s *Service) NumShards() int { return 1 }
 
 // Stats returns a point-in-time snapshot of the service's counters.
 func (s *Service) Stats() Stats {

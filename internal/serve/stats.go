@@ -97,8 +97,9 @@ type Stats struct {
 
 // LatencyStats is a fixed-bucket latency histogram.
 type LatencyStats struct {
-	// Count and MeanMS summarize all observations.
+	// Count, SumMS and MeanMS summarize all observations.
 	Count  int64   `json:"count"`
+	SumMS  float64 `json:"sum_ms"`
 	MeanMS float64 `json:"mean_ms"`
 
 	// BucketsMS holds the bucket upper bounds in milliseconds; Counts has
@@ -110,14 +111,56 @@ type LatencyStats struct {
 func (c *counters) snapshotLatency() LatencyStats {
 	ls := LatencyStats{
 		Count:     c.latCount.Load(),
+		SumMS:     float64(c.latSumUS.Load()) / 1000,
 		BucketsMS: append([]float64(nil), latencyBucketsMS...),
 		Counts:    make([]int64, len(latencyBucketsMS)+1),
 	}
 	if ls.Count > 0 {
-		ls.MeanMS = float64(c.latSumUS.Load()) / 1000 / float64(ls.Count)
+		ls.MeanMS = ls.SumMS / float64(ls.Count)
 	}
 	for i := range ls.Counts {
 		ls.Counts[i] = c.latBkt[i].Load()
 	}
 	return ls
+}
+
+// MergeStats rolls several snapshots (typically one per shard) into one:
+// counters, capacities and histogram buckets are summed and the latency
+// mean recomputed from the summed totals. Because a Router fans each
+// request out to every shard, a rolled-up snapshot counts one fanned-out
+// request once per shard; shard-relative ratios (hit rates, dedupe rates)
+// remain meaningful.
+func MergeStats(ss ...Stats) Stats {
+	var out Stats
+	for i, st := range ss {
+		out.Requests += st.Requests
+		out.CacheHits += st.CacheHits
+		out.CacheMisses += st.CacheMisses
+		out.DedupedInFlight += st.DedupedInFlight
+		out.PipelineRuns += st.PipelineRuns
+		out.Errors += st.Errors
+		out.Rejected += st.Rejected
+		out.QueueDepth += st.QueueDepth
+		out.QueueCapacity += st.QueueCapacity
+		out.InFlight += st.InFlight
+		out.Workers += st.Workers
+		out.CacheLen += st.CacheLen
+		out.CacheCap += st.CacheCap
+		out.Latency.Count += st.Latency.Count
+		out.Latency.SumMS += st.Latency.SumMS
+		if i == 0 {
+			out.Latency.BucketsMS = append([]float64(nil), st.Latency.BucketsMS...)
+			out.Latency.Counts = append([]int64(nil), st.Latency.Counts...)
+		} else {
+			for j := range st.Latency.Counts {
+				if j < len(out.Latency.Counts) {
+					out.Latency.Counts[j] += st.Latency.Counts[j]
+				}
+			}
+		}
+	}
+	if out.Latency.Count > 0 {
+		out.Latency.MeanMS = out.Latency.SumMS / float64(out.Latency.Count)
+	}
+	return out
 }
