@@ -49,13 +49,15 @@
 //	stats := svc.Stats() // cache hits, dedupe, queue depth, latency histogram
 //
 // To scale beyond one worker pool, NewShardedService partitions the
-// repository into balanced shards (candidate matching is per-tree and
-// clusters never span schema trees, so partitioning loses no candidate
-// mappings), runs one Service per shard and fans each request out across
-// all of them, merging the per-shard ranked lists into one global top-N
-// report — exactly the unsharded report under tree clustering; the k-means
-// variants cluster per shard, which may differ from a global clustering
-// run.
+// repository into shards — by default co-locating trees with overlapping
+// vocabulary (candidate matching is per-tree and clusters never span
+// schema trees, so partitioning loses no candidate mappings) — runs one
+// Service per shard and fans each request out across all of them, merging
+// the per-shard ranked lists into one global top-N report. A shared
+// pre-pass runs element matching and clustering once against the full
+// repository per request shape and hands each shard its projection, so
+// the merged report is exactly the unsharded one for every clustering
+// variant and the cold path pays the quadratic matching stage once.
 //
 // The same services back the bellflower-server HTTP daemon
 // (cmd/bellflower-server), which exposes /v1/match, /v1/match/batch,
@@ -159,6 +161,11 @@ type (
 	// schema-size guard, default timeout).
 	ServiceConfig = serve.Config
 
+	// PartitionStrategy selects how NewShardedService distributes
+	// repository trees across shards (PartitionBalanced /
+	// PartitionClustered).
+	PartitionStrategy = serve.PartitionStrategy
+
 	// ServiceStats is a snapshot of a Service's instrumentation: cache
 	// hits, in-flight dedupe, queue depth and the latency histogram.
 	ServiceStats = serve.Stats
@@ -179,6 +186,23 @@ var (
 	// than ServiceConfig.MaxSchemaNodes.
 	ErrSchemaTooLarge = serve.ErrSchemaTooLarge
 )
+
+// Shard partition strategies for NewShardedService.
+const (
+	// PartitionBalanced distributes trees by node count alone: near-equal
+	// shard loads, but vocabularies scatter across shards.
+	PartitionBalanced = serve.PartitionBalanced
+	// PartitionClustered (the default) co-locates trees with overlapping
+	// label vocabularies, shrinking per-shard candidate sets; load balance
+	// is bounded by a 2× average-load cap.
+	PartitionClustered = serve.PartitionClustered
+)
+
+// ParsePartitionStrategy converts "balanced" or "clustered" to a
+// PartitionStrategy, for flag wiring.
+func ParsePartitionStrategy(s string) (PartitionStrategy, error) {
+	return serve.ParsePartitionStrategy(s)
+}
 
 // Clustering variants (Sec. 5 of the paper).
 const (
@@ -307,22 +331,32 @@ func NewService(repo *Repository, cfg ServiceConfig) *Service {
 	return serve.NewFromRepository(repo, cfg)
 }
 
-// NewShardedService partitions the repository into up to shards balanced
-// partitions (trees are cloned; candidate matching is per-tree and
-// clusters never span trees, so partitioning loses no candidate mappings),
-// starts one Service per partition and returns a router that fans every
-// match request out across the shards concurrently, merging the ranked
-// lists into one global top-N report. Under tree clustering (VariantTree)
-// the merged report is exactly the unsharded result; the k-means variants
-// cluster per shard, which may form different clusters than a global run —
-// see the serve.Router documentation. With cfg.Workers == 0 the per-shard
+// NewShardedService partitions the repository into up to shards partitions
+// with the default vocabulary-clustered strategy (trees are cloned;
+// candidate matching is per-tree and clusters never span trees, so
+// partitioning loses no candidate mappings), starts one Service per
+// partition and returns a router that fans every match request out across
+// the shards concurrently, merging the ranked lists into one global top-N
+// report — exactly the unsharded result for every clustering variant (see
+// the serve.Router documentation). With cfg.Workers == 0 the per-shard
 // worker pools split GOMAXPROCS between them, keeping the default total
 // worker budget equal to an unsharded NewService.
+//
+// The router runs a shared pre-pass: the cold-path element matching and
+// clustering execute once against the full repository per request shape
+// and are projected onto each shard, so shards run only mapping
+// generation.
 //
 // shards values below 1 (and above the tree count) are clamped; a one-shard
 // router behaves exactly like a plain Service. Release it with Close.
 func NewShardedService(repo *Repository, shards int, cfg ServiceConfig) *ShardedService {
 	return serve.NewRouterFromRepository(repo, shards, cfg)
+}
+
+// NewShardedServicePartitioned is NewShardedService with an explicit shard
+// partition strategy (PartitionBalanced or PartitionClustered).
+func NewShardedServicePartitioned(repo *Repository, shards int, cfg ServiceConfig, strategy PartitionStrategy) *ShardedService {
+	return serve.NewRouterWithPartition(repo, shards, cfg, strategy)
 }
 
 // Matcher runs clustered schema matching against a fixed repository. It

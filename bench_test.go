@@ -13,6 +13,7 @@ package bellflower
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -335,25 +336,43 @@ func BenchmarkElementMatching(b *testing.B) {
 // "cold" gives every request a unique signature (full pipeline run per
 // request). The sharded variants fan every request out across 4 repository
 // shards and merge the ranked lists — the same top-N report via
-// shard-parallel matching. Requests issue from parallel clients, as a
-// daemon would see.
+// shard-parallel matching. "sharded4-cold" exercises the router's shared
+// candidate pre-pass (element matching once per candidate signature,
+// projected per shard); "sharded4-cold-noprepass" is the pre-PR-3 baseline
+// — the same shard services wrapped without a full-repository view, so
+// every shard re-runs element matching against its partition on every cold
+// request. Requests issue from parallel clients, as a daemon would see.
 func BenchmarkServiceThroughput(b *testing.B) {
 	e := env(b)
 	for _, tc := range []struct {
-		name   string
-		shards int
-		cold   bool
+		name      string
+		shards    int
+		cold      bool
+		noPrepass bool
 	}{
-		{"warm", 1, false},
-		{"cold", 1, true},
-		{"sharded4-warm", 4, false},
-		{"sharded4-cold", 4, true},
+		{name: "warm", shards: 1},
+		{name: "cold", shards: 1, cold: true},
+		{name: "sharded4-warm", shards: 4},
+		{name: "sharded4-cold", shards: 4, cold: true},
+		{name: "sharded4-cold-noprepass", shards: 4, cold: true, noPrepass: true},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			var backend serve.Backend
-			if tc.shards > 1 {
+			switch {
+			case tc.shards > 1 && tc.noPrepass:
+				// Identical partitioning and worker split, but the shards
+				// are wrapped via NewRouter, which has no full repository
+				// to pre-match against.
+				cfg := serve.Config{Workers: benchMax(1, runtime.GOMAXPROCS(0)/tc.shards)}
+				parts := serve.PartitionRepositoryClustered(e.Repo, tc.shards)
+				shards := make([]*serve.Service, len(parts))
+				for i, p := range parts {
+					shards[i] = serve.NewFromRepository(p, cfg)
+				}
+				backend = serve.NewRouter(shards)
+			case tc.shards > 1:
 				backend = serve.NewRouterFromRepository(e.Repo, tc.shards, serve.Config{})
-			} else {
+			default:
 				backend = serve.New(e.Runner, serve.Config{})
 			}
 			defer backend.Close()
@@ -382,6 +401,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 			st := backend.Stats()
 			b.ReportMetric(float64(st.CacheHits), "cache-hits")
 			b.ReportMetric(float64(st.PipelineRuns), "pipeline-runs")
+			b.ReportMetric(float64(st.CandidatePrePass), "prepass-runs")
 		})
 	}
 }

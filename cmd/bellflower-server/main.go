@@ -7,10 +7,13 @@
 //	bellflower-server -repo-file ./repo.txt -workers 8 -timeout 5s
 //	bellflower-server -synthetic 9759 -shards 4
 //
-// With -shards N the repository is partitioned into N balanced shards,
-// each served by its own worker pool; every match request fans out across
-// all shards concurrently and the per-shard ranked lists are merged into
-// one global top-N report.
+// With -shards N the repository is partitioned into N shards (vocabulary
+// co-locating by default; -partition balanced splits by node count), each
+// served by its own worker pool; every match request fans out across all
+// shards concurrently and the per-shard ranked lists are merged into one
+// global top-N report. Cold-path element matching and clustering run once
+// per request shape in a shared pre-pass and are projected onto the
+// shards, which run only mapping generation.
 //
 // Endpoints (JSON unless noted):
 //
@@ -66,6 +69,7 @@ func run(args []string) error {
 		maxNodes  = fs.Int("max-schema-nodes", 0, "reject personal schemas above this node count (0 = 64, negative = unlimited)")
 		timeout   = fs.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
 		shards    = fs.Int("shards", 1, "partition the repository into this many shards and fan match requests out across them")
+		partition = fs.String("partition", "clustered", "shard partition strategy: clustered (co-locate trees with overlapping vocabulary) or balanced (by node count)")
 		dataDir   = fs.String("data-dir", "", "directory for /v1/repository load/save files; also enables repository mutation (empty = POST /v1/repository disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +77,10 @@ func run(args []string) error {
 	}
 
 	repo, desc, err := buildRepository(*repoFile, *synthetic, *seed)
+	if err != nil {
+		return err
+	}
+	strategy, err := bellflower.ParsePartitionStrategy(*partition)
 	if err != nil {
 		return err
 	}
@@ -84,7 +92,7 @@ func run(args []string) error {
 		DefaultTimeout: *timeout,
 	}
 	logger := log.New(os.Stderr, "bellflower-server: ", log.LstdFlags)
-	srv := newServer(repo, desc, svcCfg, *shards, *dataDir, logger)
+	srv := newServer(repo, desc, svcCfg, *shards, strategy, *dataDir, logger)
 	st := repo.Stats()
 	// Log the backend's actual shard count: -shards clamps to the number
 	// of repository trees.

@@ -47,40 +47,43 @@ type server struct {
 	cur     *backendRef
 	retired []*backendRef // swapped-out generations that may still be draining
 
-	svcCfg  bellflower.ServiceConfig
-	shards  int
-	dataDir string // sandbox for repository load/save; "" disables those actions
-	maxBody int64
-	logger  *log.Logger
+	svcCfg    bellflower.ServiceConfig
+	shards    int
+	partition bellflower.PartitionStrategy
+	dataDir   string // sandbox for repository load/save; "" disables those actions
+	maxBody   int64
+	logger    *log.Logger
 }
 
 const defaultMaxBody = 1 << 20 // 1 MiB of JSON is far beyond any sane schema spec
 
 // buildBackend starts the serving backend for a repository: a plain
-// Service, or a ShardedService when more than one shard is requested.
-func buildBackend(repo *bellflower.Repository, cfg bellflower.ServiceConfig, shards int) bellflower.ServiceBackend {
+// Service, or a ShardedService (with the requested partition strategy)
+// when more than one shard is requested.
+func buildBackend(repo *bellflower.Repository, cfg bellflower.ServiceConfig, shards int, partition bellflower.PartitionStrategy) bellflower.ServiceBackend {
 	if shards > 1 {
-		return bellflower.NewShardedService(repo, shards, cfg)
+		return bellflower.NewShardedServicePartitioned(repo, shards, cfg, partition)
 	}
 	return bellflower.NewService(repo, cfg)
 }
 
-func newServer(repo *bellflower.Repository, repoDesc string, svcCfg bellflower.ServiceConfig, shards int, dataDir string, logger *log.Logger) *server {
+func newServer(repo *bellflower.Repository, repoDesc string, svcCfg bellflower.ServiceConfig, shards int, partition bellflower.PartitionStrategy, dataDir string, logger *log.Logger) *server {
 	if logger == nil {
 		logger = log.New(os.Stderr, "bellflower-server: ", log.LstdFlags)
 	}
 	if shards < 1 {
 		shards = 1
 	}
-	ref := &backendRef{backend: buildBackend(repo, svcCfg, shards), repo: repo, desc: repoDesc}
+	ref := &backendRef{backend: buildBackend(repo, svcCfg, shards, partition), repo: repo, desc: repoDesc}
 	ref.refs.Store(1) // the server's own reference
 	return &server{
-		cur:     ref,
-		svcCfg:  svcCfg,
-		shards:  shards,
-		dataDir: dataDir,
-		maxBody: defaultMaxBody,
-		logger:  logger,
+		cur:       ref,
+		svcCfg:    svcCfg,
+		shards:    shards,
+		partition: partition,
+		dataDir:   dataDir,
+		maxBody:   defaultMaxBody,
+		logger:    logger,
 	}
 }
 
@@ -99,7 +102,7 @@ func (s *server) acquire() *backendRef {
 // request releases it, cancelling nothing. The old generation is tracked
 // until it has drained so closeNow can still reach it.
 func (s *server) swap(repo *bellflower.Repository, desc string) {
-	ref := &backendRef{backend: buildBackend(repo, s.svcCfg, s.shards), repo: repo, desc: desc}
+	ref := &backendRef{backend: buildBackend(repo, s.svcCfg, s.shards, s.partition), repo: repo, desc: desc}
 	ref.refs.Store(1)
 	s.mu.Lock()
 	old := s.cur
@@ -642,15 +645,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ref := s.acquire()
 	defer ref.release()
 	// Single-shard servers keep the flat historical shape; sharded servers
-	// report the rollup plus the per-shard breakdown. Snapshot the shards
-	// once and merge that, so total always equals the sum of the shards.
+	// report the rollup plus the per-shard breakdown. Snapshot takes both
+	// together, so the shard-derived fields of total always equal the sum
+	// of the shards; router-level work — the candidate pre-pass and
+	// above-the-shards rejections — appears only in the total.
+	total, shards := ref.backend.Snapshot()
 	if ref.backend.NumShards() == 1 {
-		writeJSON(w, http.StatusOK, ref.backend.Stats())
+		writeJSON(w, http.StatusOK, total)
 		return
 	}
-	shards := ref.backend.ShardStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"total":  bellflower.MergeServiceStats(shards...),
+		"total":  total,
 		"shards": shards,
 	})
 }

@@ -42,7 +42,7 @@ func testService(t *testing.T, cfg bellflower.ServiceConfig) (*server, *httptest
 
 func testShardedService(t *testing.T, cfg bellflower.ServiceConfig, shards int) (*server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(testRepo3(), "test", cfg, shards, t.TempDir(), newQuietLogger())
+	srv := newServer(testRepo3(), "test", cfg, shards, bellflower.PartitionClustered, t.TempDir(), newQuietLogger())
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(func() {
 		ts.Close()
@@ -167,7 +167,7 @@ func TestDeadlineExceededReturns504(t *testing.T) {
 		t.Fatal(err)
 	}
 	svcCfg := bellflower.ServiceConfig{}
-	srv := newServer(repo, "synthetic", svcCfg, 1, "", newQuietLogger())
+	srv := newServer(repo, "synthetic", svcCfg, 1, bellflower.PartitionClustered, "", newQuietLogger())
 	ts := httptest.NewServer(srv.routes())
 	defer func() {
 		ts.Close()
@@ -430,7 +430,7 @@ func TestRepositoryPathSandbox(t *testing.T) {
 	}
 
 	// With no data directory configured, every mutating action is off.
-	srv2 := newServer(testRepo3(), "test", bellflower.ServiceConfig{}, 1, "", newQuietLogger())
+	srv2 := newServer(testRepo3(), "test", bellflower.ServiceConfig{}, 1, bellflower.PartitionClustered, "", newQuietLogger())
 	ts2 := httptest.NewServer(srv2.routes())
 	defer func() {
 		ts2.Close()
@@ -480,7 +480,7 @@ func TestHotReloadDrainsInFlight(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			srv := newServer(repo, "synthetic", bellflower.ServiceConfig{}, shards, t.TempDir(), newQuietLogger())
+			srv := newServer(repo, "synthetic", bellflower.ServiceConfig{}, shards, bellflower.PartitionClustered, t.TempDir(), newQuietLogger())
 			ts := httptest.NewServer(srv.routes())
 			defer func() {
 				ts.Close()
@@ -554,7 +554,7 @@ func TestHotReloadDrainsInFlight(t *testing.T) {
 // force-closed by closeNow, or a slow request could hold Shutdown hostage
 // past its budget.
 func TestCloseNowReachesDrainingGenerations(t *testing.T) {
-	srv := newServer(testRepo3(), "gen0", bellflower.ServiceConfig{}, 1, "", newQuietLogger())
+	srv := newServer(testRepo3(), "gen0", bellflower.ServiceConfig{}, 1, bellflower.PartitionClustered, "", newQuietLogger())
 	gen0 := srv.cur
 	hold := srv.acquire() // simulate a request still running against gen0
 	srv.swap(testRepo3(), "gen1")
@@ -695,5 +695,139 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition never became true")
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHotReloadColdPrePassRace is the candidate pre-pass race stress: cold
+// matches (cache- and dedupe-busting top_n, several candidate signatures)
+// hammer a sharded router while the repository is hot-swapped repeatedly.
+// Every request must complete with 200 — the pre-pass belongs to one
+// backend generation and a draining generation finishes its in-flight
+// requests before closing, so no request may ever observe a closed
+// generation. Run with -race, where a pre-pass touching a closed
+// generation's state would also surface as a data race.
+func TestHotReloadColdPrePassRace(t *testing.T) {
+	cfg := bellflower.DefaultSyntheticConfig()
+	cfg.TargetNodes = 900
+	repo, err := bellflower.Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(repo, "synthetic", bellflower.ServiceConfig{}, 3, bellflower.PartitionClustered, t.TempDir(), newQuietLogger())
+	ts := httptest.NewServer(srv.routes())
+	defer func() {
+		ts.Close()
+		srv.closeNow()
+	}()
+
+	const goroutines, perG = 8, 6
+	var uniq atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Unique top_n busts the report cache (cold path); three
+				// distinct personal schemas rotate the candidate signature
+				// so pre-pass sharing and pre-pass execution both happen
+				// concurrently with the swaps.
+				body := fmt.Sprintf(
+					`{"personal":"press%d(title,author,year)","options":{"delta":0.5,"top_n":%d}}`,
+					g%3, 1000000+uniq.Add(1))
+				resp, err := http.Post(ts.URL+"/v1/match", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("goroutine %d request %d: status %d — a cold pre-pass request failed across the reload", g, i, resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+
+	// Swap the repository several times while the cold traffic runs.
+	for swap := 0; swap < 3; swap++ {
+		body := fmt.Sprintf(`{"action":"synthetic","nodes":700,"seed":%d}`, swap+2)
+		resp, data := postJSON(t, ts.URL+"/v1/repository", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("swap %d: %d (%s)", swap, resp.StatusCode, data)
+		}
+	}
+	wg.Wait()
+
+	// The current generation's rollup exposes the pre-pass counter; cold
+	// requests against a 3-shard router must have executed at least one.
+	var stats struct {
+		Total struct {
+			CandidatePrePass int64 `json:"candidate_pre_pass"`
+			Requests         int64 `json:"requests"`
+		} `json:"total"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Total.Requests > 0 && stats.Total.CandidatePrePass < 1 {
+		t.Errorf("stats = %+v: sharded cold traffic reported no candidate pre-pass", stats.Total)
+	}
+}
+
+// TestStatsReportCandidatePrePass pins the /v1/stats and /metrics wiring
+// of the pre-pass counter: cold requests that share one candidate
+// signature run the full-repository matching exactly once, per-shard
+// snapshots never carry the router-level counter, and both JSON and
+// Prometheus surfaces agree.
+func TestStatsReportCandidatePrePass(t *testing.T) {
+	_, ts := testShardedService(t, bellflower.ServiceConfig{}, 2)
+
+	for i := 0; i < 3; i++ {
+		// Same schema and matcher, unique top_n: three cold reports, one
+		// candidate signature.
+		body := fmt.Sprintf(`{"personal":"book(title,author)","options":{"delta":0.5,"top_n":%d}}`, 100+i)
+		if resp, data := postJSON(t, ts.URL+"/v1/match", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("match %d: %d (%s)", i, resp.StatusCode, data)
+		}
+	}
+
+	var stats struct {
+		Total  bellflower.ServiceStats   `json:"total"`
+		Shards []bellflower.ServiceStats `json:"shards"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Total.CandidatePrePass != 1 {
+		t.Errorf("total candidate_pre_pass = %d, want 1 (three cold requests, one signature)", stats.Total.CandidatePrePass)
+	}
+	if stats.Total.PipelineRuns != 6 {
+		t.Errorf("pipeline runs = %d, want 6 (three cold requests × two shards)", stats.Total.PipelineRuns)
+	}
+	for i, ss := range stats.Shards {
+		if ss.CandidatePrePass != 0 {
+			t.Errorf("shard %d candidate_pre_pass = %d, want 0 (pre-pass work happens above the shards)", i, ss.CandidatePrePass)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "bellflower_candidate_prepass_total 1") {
+		t.Errorf("metrics missing bellflower_candidate_prepass_total 1:\n%s", data)
+	}
+
+	// A single-shard server has no pre-pass; the flat stats shape reports 0.
+	_, plain := testService(t, bellflower.ServiceConfig{})
+	if resp, _ := postJSON(t, plain.URL+"/v1/match", `{"personal":"book(title,author)","options":{"delta":0.5}}`); resp.StatusCode != http.StatusOK {
+		t.Fatal("plain match failed")
+	}
+	var flat bellflower.ServiceStats
+	getJSON(t, plain.URL+"/v1/stats", &flat)
+	if flat.CandidatePrePass != 0 {
+		t.Errorf("single-shard candidate_pre_pass = %d, want 0", flat.CandidatePrePass)
 	}
 }

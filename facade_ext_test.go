@@ -221,3 +221,62 @@ func TestCostModelFacade(t *testing.T) {
 		t.Errorf("model = %+v", model)
 	}
 }
+
+// TestPartitionStrategyFacade covers the facade wiring of the shard
+// partition strategies: parsing, the explicit-strategy constructor, and
+// report equivalence between the two strategies.
+func TestPartitionStrategyFacade(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want PartitionStrategy
+	}{
+		{"balanced", PartitionBalanced},
+		{"clustered", PartitionClustered},
+	} {
+		got, err := ParsePartitionStrategy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePartitionStrategy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParsePartitionStrategy("round-robin"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+
+	cfg := DefaultSyntheticConfig()
+	cfg.TargetNodes = 600
+	repo, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	opts.Threshold = 0.6
+	opts.Variant = VariantTree
+	personal := MustParseSchema("address(name,email)")
+
+	var deltas [][]float64
+	for _, strategy := range []PartitionStrategy{PartitionBalanced, PartitionClustered} {
+		svc := NewShardedServicePartitioned(repo, 3, ServiceConfig{}, strategy)
+		rep, err := svc.Match(context.Background(), personal, opts)
+		if err != nil {
+			svc.Close()
+			t.Fatalf("%v: %v", strategy, err)
+		}
+		deltas = append(deltas, rep.Deltas())
+		if st := svc.Stats(); st.CandidatePrePass != 1 {
+			t.Errorf("%v: candidate pre-pass ran %d times, want 1", strategy, st.CandidatePrePass)
+		}
+		svc.Close()
+	}
+	if len(deltas[0]) == 0 {
+		t.Fatal("no mappings; strategy comparison is vacuous")
+	}
+	if len(deltas[0]) != len(deltas[1]) {
+		t.Fatalf("balanced found %d mappings, clustered %d", len(deltas[0]), len(deltas[1]))
+	}
+	for i := range deltas[0] {
+		if deltas[0][i] != deltas[1][i] {
+			t.Errorf("rank %d: balanced Δ %v, clustered %v", i, deltas[0][i], deltas[1][i])
+		}
+	}
+}

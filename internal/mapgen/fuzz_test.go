@@ -1,0 +1,91 @@
+package mapgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bellflower/internal/objective"
+)
+
+// FuzzMergeRanked drives the k-way ranked merge with randomized input
+// lists (seeded, so every failure reproduces) and checks the merge
+// contract the Router depends on:
+//
+//   - the output length is the total input size, truncated to topN;
+//   - Δ is non-increasing;
+//   - each input list's mappings keep their relative order (stability);
+//   - within a maximal equal-Δ run, earlier lists come first;
+//   - the output Δ sequence equals the combined input Δ multiset sorted
+//     descending (truncated), and every output mapping is one of the
+//     inputs, never duplicated or invented.
+//
+// Mappings are tagged through ClusterID = 1000*list + position, which the
+// merge must pass through untouched.
+func FuzzMergeRanked(f *testing.F) {
+	f.Add(int64(1), uint8(3), int16(0))
+	f.Add(int64(2), uint8(1), int16(5))
+	f.Add(int64(3), uint8(6), int16(3))
+	f.Add(int64(42), uint8(0), int16(-1))
+	f.Fuzz(func(t *testing.T, seed int64, numLists uint8, topN int16) {
+		rng := rand.New(rand.NewSource(seed))
+		lists := make([][]Mapping, int(numLists)%7)
+		var allDeltas []float64
+		total := 0
+		for li := range lists {
+			n := rng.Intn(9)
+			deltas := make([]float64, n)
+			for i := range deltas {
+				// A coarse grid forces plenty of cross-list ties.
+				deltas[i] = float64(rng.Intn(5)) / 4
+			}
+			sort.Sort(sort.Reverse(sort.Float64Slice(deltas)))
+			for i, d := range deltas {
+				lists[li] = append(lists[li], Mapping{
+					Score:     objective.Score{Delta: d},
+					ClusterID: 1000*li + i,
+				})
+			}
+			allDeltas = append(allDeltas, deltas...)
+			total += n
+		}
+
+		merged := MergeRanked(lists, int(topN))
+
+		want := total
+		if tn := int(topN); tn > 0 && tn < want {
+			want = tn
+		}
+		if len(merged) != want {
+			t.Fatalf("merged %d mappings, want %d (total %d, topN %d)", len(merged), want, total, topN)
+		}
+
+		sort.Sort(sort.Reverse(sort.Float64Slice(allDeltas)))
+		lastPos := make(map[int]int) // list -> last seen position
+		seen := make(map[int]bool)   // ClusterID tags
+		for i, m := range merged {
+			if m.Score.Delta != allDeltas[i] {
+				t.Fatalf("rank %d: Δ=%v, want %v (not the global ranking)", i, m.Score.Delta, allDeltas[i])
+			}
+			li, pos := m.ClusterID/1000, m.ClusterID%1000
+			if li < 0 || li >= len(lists) || pos >= len(lists[li]) ||
+				lists[li][pos].Score.Delta != m.Score.Delta {
+				t.Fatalf("rank %d: mapping tag %d does not identify an input", i, m.ClusterID)
+			}
+			if seen[m.ClusterID] {
+				t.Fatalf("rank %d: mapping tag %d emitted twice", i, m.ClusterID)
+			}
+			seen[m.ClusterID] = true
+			if last, ok := lastPos[li]; ok && pos <= last {
+				t.Fatalf("rank %d: list %d position %d after %d (stability broken)", i, li, pos, last)
+			}
+			lastPos[li] = pos
+			if i > 0 && merged[i-1].Score.Delta == m.Score.Delta {
+				prevList := merged[i-1].ClusterID / 1000
+				if prevList > li {
+					t.Fatalf("rank %d: tie resolved to list %d after list %d", i, li, prevList)
+				}
+			}
+		}
+	})
+}

@@ -347,6 +347,66 @@ func FindCandidates(personal *schema.Tree, repo *schema.Repository, m Matcher, c
 	return out
 }
 
+// Rebind returns the candidates with the personal schema replaced by
+// another, structurally identical tree (same shape and names — e.g. two
+// parses of one spec): per-set personal nodes are swapped by preorder rank
+// and the candidate slices are shared, so the call is O(|personal|). The
+// caller is responsible for the structural identity; the serving layer
+// guarantees it by keying its pre-pass cache on the schema's canonical
+// signature. Returns c itself when the tree is already the bound one.
+func (c *Candidates) Rebind(personal *schema.Tree) *Candidates {
+	if c.Personal == personal {
+		return c
+	}
+	out := &Candidates{
+		Personal: personal,
+		Sets:     make([]CandidateSet, len(c.Sets)),
+	}
+	for i := range c.Sets {
+		out.Sets[i] = CandidateSet{Personal: personal.NodeAt(i), Elems: c.Sets[i].Elems}
+	}
+	return out
+}
+
+// Project restricts the candidates to one shard of a partitioned
+// repository. cloneOf maps an original repository tree to its clone inside
+// the shard repository (the partitioner clones trees because a tree belongs
+// to exactly one repository); candidates living in trees outside the map
+// are dropped, the rest are translated to the clone's node with the same
+// preorder rank. Similarities are tree-local, so the result is exactly what
+// FindCandidates would have produced against the shard repository with the
+// same matcher and threshold — including the (sim desc, node ID asc) order,
+// which is re-established under the shard-local IDs.
+func (c *Candidates) Project(cloneOf map[*schema.Tree]*schema.Tree) *Candidates {
+	out := &Candidates{
+		Personal: c.Personal,
+		Sets:     make([]CandidateSet, len(c.Sets)),
+	}
+	for i := range c.Sets {
+		src := &c.Sets[i]
+		dst := &out.Sets[i]
+		dst.Personal = src.Personal
+		var elems []Candidate
+		for _, cand := range src.Elems {
+			clone, ok := cloneOf[cand.Node.Tree()]
+			if !ok {
+				continue
+			}
+			elems = append(elems, Candidate{Node: clone.NodeAt(cand.Node.Pre), Sim: cand.Sim})
+		}
+		// Equal-sim runs may interleave trees whose relative ID order
+		// changed across repositories; the sim ordering itself is intact.
+		sort.Slice(elems, func(a, b int) bool {
+			if elems[a].Sim != elems[b].Sim {
+				return elems[a].Sim > elems[b].Sim
+			}
+			return elems[a].Node.ID < elems[b].Node.ID
+		})
+		dst.Elems = elems
+	}
+	return out
+}
+
 // MappingElementNodes returns the deduplicated repository nodes that are a
 // candidate for at least one personal node, together with a bitmask (one bit
 // per personal node, by preorder rank) of which personal nodes they serve.

@@ -285,3 +285,112 @@ func TestFindCandidatesProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestProjectMatchesShardLocalFindCandidates is the core exactness claim
+// of the serving layer's candidate pre-pass: projecting a full-repository
+// candidate set onto a shard yields byte-for-byte the candidates the shard
+// would have computed itself.
+func TestProjectMatchesShardLocalFindCandidates(t *testing.T) {
+	full := schema.NewRepository()
+	specs := []string{
+		"lib(address,book(authorName,data(title),shelf))",
+		"store(book(title,author,isbn@),order(id,customer(name,email)))",
+		"catalog(item(name,price),publisher(name,address))",
+	}
+	for _, s := range specs {
+		full.MustAdd(schema.MustParseSpec(s))
+	}
+	personal := schema.MustParseSpec("book(title,author)")
+	cfg := Config{MinSim: 0.3}
+	cands := FindCandidates(personal, full, NameMatcher{}, cfg)
+
+	// Shard: trees 0 and 2, added in the opposite order so shard-local IDs
+	// disagree with the full repository's.
+	shard := schema.NewRepository()
+	c2 := full.Tree(2).Clone()
+	c0 := full.Tree(0).Clone()
+	shard.MustAdd(c2)
+	shard.MustAdd(c0)
+	cloneOf := map[*schema.Tree]*schema.Tree{
+		full.Tree(2): c2,
+		full.Tree(0): c0,
+	}
+
+	got := cands.Project(cloneOf)
+	want := FindCandidates(personal, shard, NameMatcher{}, cfg)
+	if got.Personal != personal {
+		t.Fatal("projection lost the personal schema")
+	}
+	if len(got.Sets) != len(want.Sets) {
+		t.Fatalf("projection has %d sets, want %d", len(got.Sets), len(want.Sets))
+	}
+	for i := range want.Sets {
+		g, w := got.Sets[i].Elems, want.Sets[i].Elems
+		if len(g) != len(w) {
+			t.Fatalf("set %d: %d candidates, want %d", i, len(g), len(w))
+		}
+		for j := range w {
+			if g[j].Node != w[j].Node || g[j].Sim != w[j].Sim {
+				t.Errorf("set %d rank %d: (%v, %v), want (%v, %v)",
+					i, j, g[j].Node, g[j].Sim, w[j].Node, w[j].Sim)
+			}
+		}
+	}
+
+	// An empty clone map projects to all-empty candidate sets.
+	none := cands.Project(map[*schema.Tree]*schema.Tree{})
+	if n := none.TotalMappingElements(); n != 0 {
+		t.Errorf("empty projection kept %d mapping elements", n)
+	}
+}
+
+// TestProjectPartitionCovers checks that projecting through a disjoint
+// partition of the repository's trees splits the candidate multiset
+// without losing or duplicating a pair.
+func TestProjectPartitionCovers(t *testing.T) {
+	full := schema.NewRepository()
+	for _, s := range []string{
+		"a(name,title)", "b(name(title),email)", "c(title,author(name))",
+	} {
+		full.MustAdd(schema.MustParseSpec(s))
+	}
+	personal := schema.MustParseSpec("book(title,name)")
+	cands := FindCandidates(personal, full, NameMatcher{}, Config{MinSim: 0.2})
+
+	shardTrees := [][]int{{0, 2}, {1}}
+	total := 0
+	for _, ids := range shardTrees {
+		cloneOf := make(map[*schema.Tree]*schema.Tree)
+		for _, id := range ids {
+			cloneOf[full.Tree(id)] = full.Tree(id).Clone()
+		}
+		total += cands.Project(cloneOf).TotalMappingElements()
+	}
+	if total != cands.TotalMappingElements() {
+		t.Errorf("projections cover %d mapping elements, want %d", total, cands.TotalMappingElements())
+	}
+}
+
+func TestRebind(t *testing.T) {
+	repo := schema.NewRepository()
+	repo.MustAdd(schema.MustParseSpec("lib(book(title,author))"))
+	p1 := schema.MustParseSpec("book(title,author)")
+	p2 := schema.MustParseSpec("book(title,author)") // same shape, new instance
+	cands := FindCandidates(p1, repo, NameMatcher{}, Config{MinSim: 0.3})
+
+	if cands.Rebind(p1) != cands {
+		t.Error("rebinding to the bound tree should return the receiver")
+	}
+	re := cands.Rebind(p2)
+	if re.Personal != p2 {
+		t.Error("rebind kept the old personal tree")
+	}
+	for i := range re.Sets {
+		if re.Sets[i].Personal != p2.NodeAt(i) {
+			t.Errorf("set %d bound to a node outside the new tree", i)
+		}
+		if len(re.Sets[i].Elems) != len(cands.Sets[i].Elems) {
+			t.Errorf("set %d lost candidates in rebind", i)
+		}
+	}
+}

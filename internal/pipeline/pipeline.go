@@ -138,6 +138,21 @@ type Options struct {
 	AdaptiveTopN bool
 }
 
+// Validate checks the option invariants shared by every pipeline entry
+// point: the objective parameters and the threshold range. Entry points
+// call it before any work; callers that front expensive precomputation
+// (e.g. a serving router's candidate pre-pass) can call it first to reject
+// malformed requests cheaply.
+func (o Options) Validate() error {
+	if err := o.Objective.Validate(); err != nil {
+		return err
+	}
+	if o.Threshold < 0 || o.Threshold > 1 {
+		return fmt.Errorf("pipeline: threshold %v outside [0,1]", o.Threshold)
+	}
+	return nil
+}
+
 // DefaultOptions mirrors the paper's reference experiment: δ = 0.75,
 // α = 0.5, medium clusters.
 func DefaultOptions() Options {
@@ -247,17 +262,13 @@ func (r *Runner) Run(personal *schema.Tree, opts Options) (*Report, error) {
 // inside the Parallelism fan-out, so a cancelled run stops early (within
 // one cluster's worth of work) and returns ctx.Err().
 func (r *Runner) RunContext(ctx context.Context, personal *schema.Tree, opts Options) (*Report, error) {
-	if err := opts.Objective.Validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
-	}
-	if opts.Threshold < 0 || opts.Threshold > 1 {
-		return nil, fmt.Errorf("pipeline: threshold %v outside [0,1]", opts.Threshold)
 	}
 	m := opts.Matcher
 	if m == nil {
 		m = matcher.NameMatcher{}
 	}
-	rep := &Report{Variant: opts.Variant}
 
 	// Stage 1: element matching (steps ② and ③).
 	if err := ctx.Err(); err != nil {
@@ -265,38 +276,139 @@ func (r *Runner) RunContext(ctx context.Context, personal *schema.Tree, opts Opt
 	}
 	t0 := time.Now()
 	cands := matcher.FindCandidates(personal, r.repo, m, matcher.Config{MinSim: opts.MinSim})
-	rep.MatchTime = time.Since(t0)
-	rep.MappingElements = cands.TotalMappingElements()
+	return r.runFromCandidates(ctx, personal, cands, time.Since(t0), opts)
+}
 
-	// Stage 2: clustering (step c).
+// RunWithCandidates executes the clustering and mapping-generation stages
+// against precomputed element-matching candidates, skipping the quadratic
+// FindCandidates step. The serving layer's shared candidate pre-pass uses
+// it: the router matches the personal schema against the full repository
+// once, projects the candidate set onto each shard
+// (matcher.Candidates.Project) and hands every shard its slice.
+//
+// cands must describe personal and reference nodes of this runner's
+// repository (a projected set must be projected onto this repository's
+// trees); Options.Matcher and Options.MinSim are ignored — they are baked
+// into the candidate set. The report's MatchTime is zero: element matching
+// happened upstream.
+func (r *Runner) RunWithCandidates(ctx context.Context, personal *schema.Tree, cands *matcher.Candidates, opts Options) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if cands == nil {
+		return nil, fmt.Errorf("pipeline: RunWithCandidates needs a candidate set")
+	}
+	if cands.Personal != personal {
+		return nil, fmt.Errorf("pipeline: candidate set was computed for a different personal schema")
+	}
+	// Spot-check node ownership: a candidate set computed against (or
+	// projected onto) another repository would index foreign IDs into this
+	// runner's dense per-node arrays. Checking each set's head is cheap and
+	// catches the realistic mistake — handing a shard the full-repository
+	// set, or another shard's projection.
+	for i := range cands.Sets {
+		if len(cands.Sets[i].Elems) == 0 {
+			continue
+		}
+		n := cands.Sets[i].Elems[0].Node
+		if n.ID < 0 || n.ID >= r.repo.Len() || r.repo.Node(n.ID) != n {
+			return nil, fmt.Errorf("pipeline: candidate node %v does not belong to this runner's repository", n)
+		}
+	}
+	return r.runFromCandidates(ctx, personal, cands, 0, opts)
+}
+
+// RunWithClusters executes only the mapping-generation stage: both the
+// element-matching candidates and the clusters come precomputed. It is the
+// deepest pre-staging entry point — the serving router uses it to run
+// matching AND clustering once globally (clusters never span repository
+// trees, so a global clustering projects exactly onto tree-level shards)
+// and hand every shard just its clusters, making the sharded k-means
+// variants identical to an unsharded run rather than a per-shard
+// approximation.
+//
+// cands and clusters must reference nodes of this runner's repository and
+// belong together (clusters built from cands under the same Options);
+// iterations is echoed into Report.Iterations. Options fields consumed by
+// the earlier stages (Matcher, MinSim, Variant's cluster config,
+// ClusterConfig, Agglomerative) are ignored. MatchTime and ClusterTime are
+// zero in the report: those stages ran upstream.
+func (r *Runner) RunWithClusters(ctx context.Context, personal *schema.Tree, cands *matcher.Candidates, clusters []*cluster.Cluster, iterations int, opts Options) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if cands == nil {
+		return nil, fmt.Errorf("pipeline: RunWithClusters needs a candidate set")
+	}
+	if cands.Personal != personal {
+		return nil, fmt.Errorf("pipeline: candidate set was computed for a different personal schema")
+	}
+	for _, cl := range clusters {
+		if cl.Len() == 0 {
+			continue
+		}
+		n := cl.Elements[0].Node
+		if n.ID < 0 || n.ID >= r.repo.Len() || r.repo.Node(n.ID) != n {
+			return nil, fmt.Errorf("pipeline: cluster %d element %v does not belong to this runner's repository", cl.ID, n)
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	t1 := time.Now()
-	var clusters []*cluster.Cluster
+	return r.runGeneration(ctx, personal, cands, clusters, iterations, 0, 0, opts)
+}
+
+// ComputeClusters runs the clustering stage (step c) on its own: the
+// variant's configuration (or the ClusterConfig override) applied to the
+// candidate set through the adapted k-means, the agglomerative alternative,
+// or tree clustering for VariantTree. ix must be the labelling index of the
+// repository the candidates reference.
+func ComputeClusters(ix *labeling.Index, cands *matcher.Candidates, opts Options) (clusters []*cluster.Cluster, iterations int, err error) {
 	if cfg, ok := opts.Variant.ClusterConfig(); ok {
 		if opts.ClusterConfig != nil {
 			cfg = *opts.ClusterConfig
 		}
 		var res *cluster.Result
-		var err error
 		if opts.Agglomerative {
-			res, err = cluster.Agglomerative(r.ix, cands, cluster.AgglomerativeConfig{
+			res, err = cluster.Agglomerative(ix, cands, cluster.AgglomerativeConfig{
 				MergeThreshold: cfg.JoinThreshold,
 				MaxClusterSize: cfg.SplitAbove,
 			})
 		} else {
-			res, err = cluster.KMeans(r.ix, cands, cfg)
+			res, err = cluster.KMeans(ix, cands, cfg)
 		}
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		clusters = res.Clusters
-		rep.Iterations = res.Iterations
-	} else {
-		clusters = cluster.TreeClusters(r.ix, cands).Clusters
+		return res.Clusters, res.Iterations, nil
 	}
-	rep.ClusterTime = time.Since(t1)
+	return cluster.TreeClusters(ix, cands).Clusters, 0, nil
+}
+
+// runFromCandidates is the shared tail of RunContext and RunWithCandidates:
+// clustering and per-cluster mapping generation over an existing candidate
+// set. matchTime is recorded in the report as the element-matching cost.
+func (r *Runner) runFromCandidates(ctx context.Context, personal *schema.Tree, cands *matcher.Candidates, matchTime time.Duration, opts Options) (*Report, error) {
+	// Stage 2: clustering (step c).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	clusters, iterations, err := ComputeClusters(r.ix, cands, opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.runGeneration(ctx, personal, cands, clusters, iterations, matchTime, time.Since(t1), opts)
+}
+
+// runGeneration is the mapping-generation stage shared by every entry
+// point, instrumenting the report with the provided stage durations.
+func (r *Runner) runGeneration(ctx context.Context, personal *schema.Tree, cands *matcher.Candidates, clusters []*cluster.Cluster, iterations int, matchTime, clusterTime time.Duration, opts Options) (*Report, error) {
+	rep := &Report{Variant: opts.Variant}
+	rep.MatchTime = matchTime
+	rep.ClusterTime = clusterTime
+	rep.MappingElements = cands.TotalMappingElements()
+	rep.Iterations = iterations
 	rep.Clusters = len(clusters)
 	for _, cl := range clusters {
 		rep.ClusterSizes = append(rep.ClusterSizes, cl.Len())

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
 
 	"bellflower/internal/cluster"
@@ -310,4 +311,90 @@ func TestReportDerived(t *testing.T) {
 		}
 	}
 	var _ = objective.DefaultParams()
+}
+
+// TestRunWithCandidatesMatchesRunContext: handing RunContext's own stage-1
+// output to RunWithCandidates must reproduce the full run exactly (the
+// serving pre-pass depends on this equivalence).
+func TestRunWithCandidatesMatchesRunContext(t *testing.T) {
+	repo := smallRepo()
+	r := NewRunner(repo)
+	personal := personBooks()
+	for _, v := range []Variant{VariantTree, VariantMedium} {
+		opts := DefaultOptions()
+		opts.Variant = v
+		opts.Threshold = 0.6
+		opts.MinSim = 0.3
+
+		want, err := r.Run(personal, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := matcher.FindCandidates(personal, repo, matcher.NameMatcher{},
+			matcher.Config{MinSim: opts.MinSim})
+		got, err := r.RunWithCandidates(context.Background(), personal, cands, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MappingElements != want.MappingElements {
+			t.Errorf("%v: mapping elements %d, want %d", v, got.MappingElements, want.MappingElements)
+		}
+		if got.Clusters != want.Clusters || got.UsefulClusters != want.UsefulClusters {
+			t.Errorf("%v: clusters %d/%d, want %d/%d", v,
+				got.Clusters, got.UsefulClusters, want.Clusters, want.UsefulClusters)
+		}
+		if len(got.Mappings) != len(want.Mappings) {
+			t.Fatalf("%v: %d mappings, want %d", v, len(got.Mappings), len(want.Mappings))
+		}
+		for i := range want.Mappings {
+			if got.Mappings[i].Score != want.Mappings[i].Score {
+				t.Errorf("%v: mapping %d score %+v, want %+v", v,
+					i, got.Mappings[i].Score, want.Mappings[i].Score)
+			}
+			for j, img := range want.Mappings[i].Images {
+				if got.Mappings[i].Images[j] != img {
+					t.Errorf("%v: mapping %d image %d differs", v, i, j)
+				}
+			}
+		}
+		if got.MatchTime != 0 {
+			t.Errorf("%v: MatchTime = %v, want 0 (matching happened upstream)", v, got.MatchTime)
+		}
+	}
+}
+
+// TestRunWithCandidatesValidation: malformed inputs are rejected before
+// any pipeline work.
+func TestRunWithCandidatesValidation(t *testing.T) {
+	repo := smallRepo()
+	r := NewRunner(repo)
+	personal := personBooks()
+	opts := DefaultOptions()
+	cands := matcher.FindCandidates(personal, repo, matcher.NameMatcher{},
+		matcher.Config{MinSim: opts.MinSim})
+
+	if _, err := r.RunWithCandidates(context.Background(), personal, nil, opts); err == nil {
+		t.Error("nil candidate set accepted")
+	}
+	other := personBooks()
+	if _, err := r.RunWithCandidates(context.Background(), other, cands, opts); err == nil {
+		t.Error("candidates for a different personal schema accepted")
+	}
+	bad := opts
+	bad.Threshold = 1.5
+	if _, err := r.RunWithCandidates(context.Background(), personal, cands, bad); err == nil {
+		t.Error("out-of-range threshold accepted")
+	}
+	// Candidates computed against a different repository: foreign node IDs
+	// must be refused, not silently indexed into this runner's arrays.
+	foreign := NewRunner(smallRepo())
+	if _, err := foreign.RunWithCandidates(context.Background(), personal, cands, opts); err == nil {
+		t.Error("foreign candidate set accepted")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunWithCandidates(ctx, personal, cands, opts); err == nil {
+		t.Error("cancelled context not honoured")
+	}
 }

@@ -21,16 +21,34 @@
 //
 // # Sharding
 //
-// A Router scales the same service horizontally: PartitionRepository splits
-// a repository into per-shard tree subsets (candidate matching is per-tree
-// and clusters never span trees, so partitioning loses no candidate
-// mappings), one Service runs per shard, and Router.Match fans each
-// request out across every shard concurrently, merging the per-shard
-// ranked lists into one global top-N report with mapgen.MergeRanked. With
-// tree clustering the merged report equals the unsharded one exactly; the
-// k-means variants cluster per shard, which may differ from a global
-// clustering run — see Router. Service and Router both implement Backend,
-// the surface the HTTP daemon serves.
+// A Router scales the same service horizontally: the repository splits
+// into per-shard tree subsets (candidate matching is per-tree and clusters
+// never span trees, so partitioning loses no candidate mappings), one
+// Service runs per shard, and Router.Match fans each request out across
+// every shard concurrently, merging the per-shard ranked lists into one
+// global top-N report with mapgen.MergeRanked. Two partition strategies
+// exist: PartitionBalanced spreads trees by node count alone, while
+// PartitionClustered (the default) co-locates trees with overlapping label
+// vocabularies under a 2× average-load cap, so a query's candidates
+// concentrate in the shards that speak its vocabulary. Service and Router
+// both implement Backend, the surface the HTTP daemon serves.
+//
+// # Candidate pre-pass
+//
+// Routers built from a whole repository run the cold-path stages once per
+// request shape instead of once per shard: element matching and clustering
+// execute against the full repository, keyed by a pre-pass signature
+// (personal schema + matcher + MinSim + clustering options) in a small LRU
+// with in-flight sharing, and the results are projected onto each shard —
+// matcher.Candidates.Project for the candidates, a preorder-rank
+// translation for the clusters, which never span trees. Shards then run
+// only mapping generation (Service.MatchWithClusters →
+// pipeline.Runner.RunWithClusters). The projection is exact, so reports
+// are identical to per-shard computation — and because clustering is
+// global, even the k-means variants reproduce the unsharded result
+// exactly, which per-shard clustering only approximates. The pre-pass
+// executions are counted by Stats.CandidatePrePass, surfaced in /v1/stats
+// and as bellflower_candidate_prepass_total in the Prometheus scrape.
 //
 // # Concurrency
 //

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"bellflower/internal/schema"
+)
+
+// fuzzRepo builds a random repository from a seeded rng: up to maxTrees
+// trees of 1–12 nodes with names drawn from a small pool, so vocabularies
+// overlap the way the clustered partitioner cares about.
+func fuzzRepo(rng *rand.Rand, maxTrees int) *schema.Repository {
+	pool := []string{
+		"book", "title", "author", "name", "email", "address", "price",
+		"order", "item", "dose", "chart", "ward", "patient", "isbn",
+	}
+	repo := schema.NewRepository()
+	for i := 0; i < maxTrees; i++ {
+		b := schema.NewBuilder("t")
+		nodes := []*schema.Node{b.Root(pool[rng.Intn(len(pool))])}
+		extra := rng.Intn(12)
+		for j := 0; j < extra; j++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			nodes = append(nodes, b.Element(parent, pool[rng.Intn(len(pool))]))
+		}
+		repo.MustAdd(b.MustTree())
+	}
+	return repo
+}
+
+// FuzzPartitionRepository checks the partition invariants both strategies
+// promise, for arbitrary repositories and shard counts: shard repositories
+// are structurally valid, no shard is empty, no tree is lost or
+// duplicated, node totals are preserved, and trees are never split — the
+// clustering distance between nodes of different trees is infinite, so
+// intact trees are exactly what "clusters never span shards" requires.
+func FuzzPartitionRepository(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(4), false)
+	f.Add(int64(2), uint8(1), uint8(8), true)
+	f.Add(int64(3), uint8(12), uint8(0), true)
+	f.Add(int64(4), uint8(0), uint8(3), false)
+	f.Fuzz(func(t *testing.T, seed int64, numTrees uint8, n uint8, clustered bool) {
+		rng := rand.New(rand.NewSource(seed))
+		repo := fuzzRepo(rng, int(numTrees)%16)
+		strategy := PartitionBalanced
+		if clustered {
+			strategy = PartitionClustered
+		}
+		parts, cloneOf := partitionRepository(repo, int(n), strategy)
+		if len(parts) != len(cloneOf) {
+			t.Fatalf("%d parts but %d clone maps", len(parts), len(cloneOf))
+		}
+		wantShards := int(n)
+		if wantShards > repo.NumTrees() {
+			wantShards = repo.NumTrees()
+		}
+		if wantShards < 1 {
+			wantShards = 1
+		}
+		if len(parts) != wantShards {
+			t.Fatalf("%d shards, want %d (n=%d over %d trees)", len(parts), wantShards, n, repo.NumTrees())
+		}
+
+		trees, nodes := 0, 0
+		assignedShard := make(map[*schema.Tree]int) // original tree -> shard
+		for i, p := range parts {
+			if repo.NumTrees() > 0 && p.NumTrees() == 0 {
+				t.Errorf("shard %d is empty", i)
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("shard %d invalid: %v", i, err)
+			}
+			trees += p.NumTrees()
+			nodes += p.Len()
+			if len(cloneOf[i]) != p.NumTrees() {
+				t.Errorf("shard %d: %d clone entries for %d trees", i, len(cloneOf[i]), p.NumTrees())
+			}
+			for orig, clone := range cloneOf[i] {
+				if prev, dup := assignedShard[orig]; dup {
+					t.Errorf("tree %q assigned to shards %d and %d", orig.Name, prev, i)
+				}
+				assignedShard[orig] = i
+				if orig.String() != clone.String() || orig.Len() != clone.Len() {
+					t.Errorf("shard %d: clone of %q differs structurally", i, orig.Name)
+				}
+			}
+		}
+		if trees != repo.NumTrees() || nodes != repo.Len() {
+			t.Errorf("partition covers %d trees / %d nodes, want %d / %d",
+				trees, nodes, repo.NumTrees(), repo.Len())
+		}
+		for _, orig := range repo.Trees() {
+			if _, ok := assignedShard[orig]; !ok {
+				t.Errorf("tree %q lost by the partition", orig.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"bellflower/internal/schema"
+)
+
+// checkPartitionInvariants asserts the guarantees both strategies share:
+// valid shard repositories, no empty shard, every input tree in exactly
+// one shard, node totals preserved.
+func checkPartitionInvariants(t *testing.T, repo *schema.Repository, parts []*schema.Repository) {
+	t.Helper()
+	trees, nodes := 0, 0
+	seen := make(map[string]int)
+	for i, p := range parts {
+		if repo.NumTrees() > 0 && p.NumTrees() == 0 {
+			t.Errorf("shard %d is empty", i)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("shard %d invalid: %v", i, err)
+		}
+		trees += p.NumTrees()
+		nodes += p.Len()
+		for _, tr := range p.Trees() {
+			seen[tr.Name+"|"+tr.String()]++
+		}
+	}
+	if trees != repo.NumTrees() || nodes != repo.Len() {
+		t.Errorf("partition covers %d trees / %d nodes, want %d / %d",
+			trees, nodes, repo.NumTrees(), repo.Len())
+	}
+	for _, tr := range repo.Trees() {
+		if seen[tr.Name+"|"+tr.String()] < 1 {
+			t.Errorf("tree %q missing from every shard", tr.Name)
+		}
+	}
+}
+
+func TestPartitionRepositoryClustered(t *testing.T) {
+	repo := syntheticRepo(t, 600, 3)
+	for _, n := range []int{1, 2, 4, 7} {
+		parts := PartitionRepositoryClustered(repo, n)
+		if len(parts) != n {
+			t.Fatalf("n=%d: got %d parts", n, len(parts))
+		}
+		checkPartitionInvariants(t, repo, parts)
+
+		// Load cap: no shard may exceed twice the ceiling average.
+		capacity := 2 * ((repo.Len() + n - 1) / n)
+		for i, p := range parts {
+			// The last tree assigned may push a shard past the cap by at
+			// most one tree's size; the eligibility check uses the load
+			// before assignment.
+			if p.Len() > capacity+repo.Stats().MaxTree {
+				t.Errorf("n=%d shard %d holds %d nodes, cap %d", n, i, p.Len(), capacity)
+			}
+		}
+
+		// Determinism.
+		again := PartitionRepositoryClustered(repo, n)
+		for i := range parts {
+			if parts[i].NumTrees() != again[i].NumTrees() || parts[i].Len() != again[i].Len() {
+				t.Errorf("n=%d shard %d not deterministic", n, i)
+			}
+		}
+	}
+
+	// Clamping mirrors the balanced partitioner.
+	small := testRepo(t)
+	if got := len(PartitionRepositoryClustered(small, 10)); got != 3 {
+		t.Errorf("10 shards over 3 trees produced %d parts, want 3", got)
+	}
+	if got := len(PartitionRepositoryClustered(small, 0)); got != 1 {
+		t.Errorf("0 shards produced %d parts, want 1", got)
+	}
+	empty := schema.NewRepository()
+	if got := len(PartitionRepositoryClustered(empty, 4)); got != 1 {
+		t.Errorf("empty repository produced %d parts, want 1", got)
+	}
+}
+
+// TestPartitionClusteredColocatesVocabulary: trees sharing a vocabulary
+// must land together while unrelated vocabularies separate — the whole
+// point of the clustered strategy.
+func TestPartitionClusteredColocatesVocabulary(t *testing.T) {
+	repo := schema.NewRepository()
+	// Two vocabulary families of four trees each, same sizes so the
+	// balanced strategy would interleave them.
+	for i := 0; i < 4; i++ {
+		repo.MustAdd(schema.MustParseSpec("library(book(title,author),shelf)"))
+		repo.MustAdd(schema.MustParseSpec("clinic(patient(dose,chart),ward)"))
+	}
+	parts := PartitionRepositoryClustered(repo, 2)
+	if len(parts) != 2 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	for i, p := range parts {
+		vocab := make(map[string]bool)
+		for _, tr := range p.Trees() {
+			for _, name := range tr.Names() {
+				vocab[strings.ToLower(name)] = true
+			}
+		}
+		if vocab["book"] && vocab["patient"] {
+			t.Errorf("shard %d mixes both vocabulary families: %v", i, sortedKeys(vocab))
+		}
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPartitionStrategyString(t *testing.T) {
+	for _, tc := range []struct {
+		s    PartitionStrategy
+		want string
+	}{
+		{PartitionBalanced, "balanced"},
+		{PartitionClustered, "clustered"},
+	} {
+		if got := tc.s.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", int(tc.s), got, tc.want)
+		}
+		parsed, err := ParsePartitionStrategy(tc.want)
+		if err != nil || parsed != tc.s {
+			t.Errorf("ParsePartitionStrategy(%q) = %v, %v", tc.want, parsed, err)
+		}
+	}
+	if _, err := ParsePartitionStrategy("psychic"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if got := PartitionStrategy(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown strategy renders as %q", got)
+	}
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"bellflower/internal/cluster"
+	"bellflower/internal/matcher"
+)
+
+// prepassCacheSize bounds the router's candidate pre-pass LRU. Candidate
+// sets and clusters are small relative to the repository (post-threshold
+// pairs only), and unlike reports they are kept per pre-pass signature —
+// schema + matcher + MinSim + clustering options — so a handful of active
+// personal schemas covers most traffic.
+const prepassCacheSize = 64
+
+// prepassEntry is one full-repository pre-pass result — the candidate set
+// and the clusters built from it — inserted into the cache before it is
+// computed: done closes when the fields are set, so concurrent requests
+// for the same signature share one matching+clustering run (the leader)
+// instead of each paying the cold-path cost.
+type prepassEntry struct {
+	done       chan struct{}
+	cands      *matcher.Candidates
+	clusters   []*cluster.Cluster
+	iterations int
+	matchDur   time.Duration
+	clusterDur time.Duration
+	// err is set for failed entries: deterministic clustering
+	// configuration errors stay cached (same signature → same error),
+	// while a leader whose context expired records the context error and
+	// drops the entry so the next request retries fresh.
+	err error
+}
+
+// prepassCache is a mutex-guarded LRU of pre-pass entries keyed by the
+// pre-pass signature (prepassSignature: schema + matcher + MinSim +
+// clustering options), with built-in in-flight sharing. Entries evicted —
+// or dropped — while still computing stay valid for the waiters holding
+// them; every entry eventually has its done channel closed.
+type prepassCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *prepassItem
+	byKey map[string]*list.Element
+}
+
+type prepassItem struct {
+	key   string
+	entry *prepassEntry
+}
+
+func newPrepassCache(capacity int) *prepassCache {
+	return &prepassCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// join returns the entry for key, creating it when absent. leader is true
+// for the caller that must compute the entry and close done.
+func (c *prepassCache) join(key string) (e *prepassEntry, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*prepassItem).entry, false
+	}
+	e = &prepassEntry{done: make(chan struct{})}
+	c.byKey[key] = c.order.PushFront(&prepassItem{key: key, entry: e})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*prepassItem).key)
+	}
+	return e, true
+}
+
+// drop removes the entry from the cache if it is still the one stored
+// under key, so a later identical request starts a fresh computation
+// instead of inheriting a transient failure.
+func (c *prepassCache) drop(key string, e *prepassEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok && el.Value.(*prepassItem).entry == e {
+		c.order.Remove(el)
+		delete(c.byKey, key)
+	}
+}

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"bellflower/internal/matcher"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/schema"
+)
+
+func TestCandidateSignature(t *testing.T) {
+	p := personal()
+	a := testOpts()
+	b := testOpts()
+
+	// Options outside the element-matching stage must not split the
+	// pre-pass key: TopN, threshold, variant, parallelism...
+	b.TopN = 99
+	b.Threshold = 0.9
+	b.Variant = pipeline.VariantTree
+	b.Parallelism = 4
+	if CandidateSignature(p, a) != CandidateSignature(p, b) {
+		t.Error("candidate signature depends on options that cannot change the candidates")
+	}
+
+	// Matching-relevant inputs must split it.
+	c := testOpts()
+	c.MinSim = a.MinSim + 0.1
+	if CandidateSignature(p, a) == CandidateSignature(p, c) {
+		t.Error("MinSim change not reflected in candidate signature")
+	}
+	d := testOpts()
+	d.Matcher = matcher.NameMatcher{TokenAware: true}
+	if CandidateSignature(p, a) == CandidateSignature(p, d) {
+		t.Error("matcher change not reflected in candidate signature")
+	}
+	if CandidateSignature(p, a) == CandidateSignature(schema.MustParseSpec("order(id)"), a) {
+		t.Error("schema change not reflected in candidate signature")
+	}
+}
+
+// TestRouterPrePassRunsOncePerSignature: requests that differ only in
+// report-shaping options share one full-repository matching run, and the
+// CandidatePrePass counter surfaces exactly the executions.
+func TestRouterPrePassRunsOncePerSignature(t *testing.T) {
+	r := NewRouterFromRepository(testRepo(t), 2, Config{})
+	defer r.Close()
+
+	for i := 0; i < 3; i++ {
+		opts := testOpts()
+		opts.TopN = 100 + i // unique report signature, same candidate signature
+		if _, err := r.Match(context.Background(), personal(), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if st.CandidatePrePass != 1 {
+		t.Errorf("CandidatePrePass = %d, want 1 (three requests, one candidate signature)", st.CandidatePrePass)
+	}
+	// Per-shard snapshots never carry the router-level counter.
+	for i, ss := range r.ShardStats() {
+		if ss.CandidatePrePass != 0 {
+			t.Errorf("shard %d reports CandidatePrePass %d, want 0", i, ss.CandidatePrePass)
+		}
+	}
+
+	// A different MinSim is a new candidate signature.
+	opts := testOpts()
+	opts.MinSim = 0.2
+	if _, err := r.Match(context.Background(), personal(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().CandidatePrePass; got != 2 {
+		t.Errorf("CandidatePrePass = %d, want 2 after a new candidate signature", got)
+	}
+}
+
+// TestRouterPrePassConcurrentSharing: concurrent cold requests with one
+// candidate signature elect a single pre-pass leader.
+func TestRouterPrePassConcurrentSharing(t *testing.T) {
+	r := NewRouterFromRepository(testRepo(t), 2, Config{})
+	defer r.Close()
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			opts := testOpts()
+			opts.TopN = 1000 + g // cache-busting per request, like a cold client
+			_, errs[g] = r.Match(context.Background(), personal(), opts)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if got := r.Stats().CandidatePrePass; got < 1 || got > 2 {
+		// Exactly 1 in practice; allow 2 for an unlucky eviction race, but
+		// never one per request.
+		t.Errorf("CandidatePrePass = %d for %d concurrent identical-signature requests", got, goroutines)
+	}
+}
+
+// TestRouterPrePassMatchesNoPrePassRouter: the same shard services behind
+// a pre-pass router and a plain NewRouter wrap (no full-repository view)
+// must produce identical reports — the pre-pass is a pure speedup.
+func TestRouterPrePassMatchesNoPrePassRouter(t *testing.T) {
+	repo := testRepo(t)
+	withPre := NewRouterFromRepository(repo, 2, Config{})
+	defer withPre.Close()
+	// Identical partitioning, but wrapped without the full repository.
+	parts := PartitionRepositoryClustered(repo, 2)
+	shards := make([]*Service, len(parts))
+	for i, p := range parts {
+		shards[i] = NewFromRepository(p, Config{})
+	}
+	without := NewRouter(shards)
+	defer without.Close()
+	if without.fullRunner != nil {
+		t.Fatal("NewRouter unexpectedly enabled the pre-pass")
+	}
+
+	opts := testOpts()
+	a, err := withPre.Match(context.Background(), personal(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := without.Match(context.Background(), personal(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPre.Stats().CandidatePrePass != 1 || without.Stats().CandidatePrePass != 0 {
+		t.Errorf("prepass counters = %d / %d, want 1 / 0",
+			withPre.Stats().CandidatePrePass, without.Stats().CandidatePrePass)
+	}
+	ka, kb := reportKeys(a), reportKeys(b)
+	if len(ka) == 0 {
+		t.Fatal("no mappings found; comparison is vacuous")
+	}
+	if fmt.Sprint(ka) != fmt.Sprint(kb) {
+		t.Errorf("pre-pass changed the report:\n  with    %v\n  without %v", ka, kb)
+	}
+	if a.MappingElements != b.MappingElements {
+		t.Errorf("mapping elements %d, want %d", a.MappingElements, b.MappingElements)
+	}
+}
+
+// TestRouterPrePassRejections: router-level validation mirrors the shard
+// services' without burning a pre-pass.
+func TestRouterPrePassRejections(t *testing.T) {
+	r := NewRouterFromRepository(testRepo(t), 2, Config{MaxSchemaNodes: 4})
+	defer r.Close()
+
+	if _, err := r.Match(context.Background(), nil, testOpts()); err == nil {
+		t.Error("nil personal schema accepted")
+	}
+	if _, err := r.Match(context.Background(), schema.MustParseSpec("a(b,c,d,e)"), testOpts()); !errors.Is(err, ErrSchemaTooLarge) {
+		t.Error("oversized schema not rejected with ErrSchemaTooLarge")
+	}
+	bad := testOpts()
+	bad.Threshold = 2
+	if _, err := r.Match(context.Background(), personal(), bad); err == nil {
+		t.Error("invalid threshold accepted")
+	}
+	if got := r.Stats().CandidatePrePass; got != 0 {
+		t.Errorf("rejected requests executed %d pre-passes", got)
+	}
+
+	r.Close()
+	if _, err := r.Match(context.Background(), personal(), testOpts()); !errors.Is(err, ErrClosed) {
+		t.Errorf("err after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestRouterLevelStatsCounters: rejections and pre-pass failures that
+// never reach a shard still surface in the rollup (they were invisible in
+// per-shard counters when the pre-pass path short-circuits).
+func TestRouterLevelStatsCounters(t *testing.T) {
+	r := NewRouterFromRepository(testRepo(t), 2, Config{MaxSchemaNodes: 4})
+	defer r.Close()
+
+	_, _ = r.Match(context.Background(), nil, testOpts())                                // rejected
+	_, _ = r.Match(context.Background(), schema.MustParseSpec("a(b,c,d,e)"), testOpts()) // rejected
+	if _, err := r.Match(context.Background(), personal(), testOpts()); err != nil {     // served
+		t.Fatal(err)
+	}
+	total, shards := r.Snapshot()
+	if total.Rejected != 2 {
+		t.Errorf("rollup rejected = %d, want 2", total.Rejected)
+	}
+	// 2 router-level rejections + 1 served request counted once per shard.
+	if want := int64(2 + 2); total.Requests != want {
+		t.Errorf("rollup requests = %d, want %d", total.Requests, want)
+	}
+	sum := int64(0)
+	for _, s := range shards {
+		sum += s.Rejected
+	}
+	if sum != 0 {
+		t.Errorf("per-shard rejected sum = %d, want 0 (rejection happened above the shards)", sum)
+	}
+
+	// An already-expired context fails during the pre-pass and counts as a
+	// router-level error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := testOpts()
+	opts.MinSim = 0.11 // fresh pre-pass signature so the follower path isn't cached
+	if _, err := r.Match(ctx, personal(), opts); err == nil {
+		t.Fatal("expired context served")
+	}
+	if got := r.Stats().Errors; got < 1 {
+		t.Errorf("rollup errors = %d, want >= 1 after a pre-pass context expiry", got)
+	}
+	// The dropped entry must not poison the key: a live retry succeeds and
+	// runs a fresh pre-pass.
+	before := r.Stats().CandidatePrePass
+	if _, err := r.Match(context.Background(), personal(), opts); err != nil {
+		t.Fatalf("retry after dropped pre-pass entry: %v", err)
+	}
+	if got := r.Stats().CandidatePrePass; got != before+1 {
+		t.Errorf("pre-pass runs = %d, want %d (dropped entry must be recomputed)", got, before+1)
+	}
+}

@@ -28,6 +28,7 @@ func WritePrometheus(w io.Writer, st Stats, shards int) error {
 	counter("bellflower_cache_misses_total", "Requests that consulted the flight group.", st.CacheMisses)
 	counter("bellflower_deduped_in_flight_total", "Requests that joined an identical in-flight run.", st.DedupedInFlight)
 	counter("bellflower_pipeline_runs_total", "Matching pipeline executions completed.", st.PipelineRuns)
+	counter("bellflower_candidate_prepass_total", "Full-repository candidate pre-pass executions (router-level element matching, shared across shards).", st.CandidatePrePass)
 	counter("bellflower_errors_total", "Requests that finished with an error, including cancellations and deadline expiries.", st.Errors)
 	counter("bellflower_rejected_total", "Requests refused before running (closed service, oversized or nil schema).", st.Rejected)
 

@@ -102,3 +102,24 @@ func TestMergeStats(t *testing.T) {
 		t.Errorf("empty merge = %+v", z)
 	}
 }
+
+// TestWritePrometheusCandidatePrePass: a sharded router's rollup exports
+// the pre-pass counter in the scrape payload.
+func TestWritePrometheusCandidatePrePass(t *testing.T) {
+	r := NewRouterFromRepository(testRepo(t), 2, Config{})
+	defer r.Close()
+	for i := 0; i < 2; i++ {
+		opts := testOpts()
+		opts.TopN = 50 + i // cold, one candidate signature
+		if _, err := r.Match(context.Background(), personal(), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Stats(), r.NumShards()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "bellflower_candidate_prepass_total 1") {
+		t.Errorf("scrape missing bellflower_candidate_prepass_total 1:\n%s", b.String())
+	}
+}

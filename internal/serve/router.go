@@ -3,11 +3,16 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"bellflower/internal/cluster"
 	"bellflower/internal/mapgen"
+	"bellflower/internal/matcher"
 	"bellflower/internal/pipeline"
 	"bellflower/internal/schema"
 )
@@ -35,6 +40,12 @@ type Backend interface {
 	// ShardStats returns one snapshot per shard (length NumShards).
 	ShardStats() []Stats
 
+	// Snapshot returns the rollup and the per-shard snapshots it was
+	// computed from, taken together: total's shard-derived fields always
+	// equal the sum of the shards (plus any router-level counters), which
+	// separate Stats and ShardStats calls cannot promise under traffic.
+	Snapshot() (total Stats, shards []Stats)
+
 	// RepositoryStats summarizes the repository across all shards.
 	RepositoryStats() schema.Stats
 
@@ -54,15 +65,31 @@ var (
 // repository partition — and merges the per-shard ranked mapping lists into
 // a single global report. Candidate matching is per-tree and clusters never
 // span repository trees (cross-tree distance is infinite), so partitioning
-// at tree granularity loses no candidate mappings. For tree clustering
-// (pipeline.VariantTree) the merged report is exactly the unsharded result
-// up to the ordering of equal-Δ ties (golden-tested). For the k-means
-// variants, cluster formation is global — centroid seeding uses the
-// repository-wide MEmin and termination is a global stability criterion —
-// so per-shard clustering may legitimately form different clusters than an
-// unsharded run and keep or drop a different set of low-ranked mappings:
-// the same class of controlled approximation the clustering step itself
-// introduces.
+// at tree granularity loses no candidate mappings, and a pre-pass router
+// (below) reproduces the unsharded report exactly — for every clustering
+// variant — up to the ordering of equal-Δ ties (golden- and
+// property-tested). Without the pre-pass (NewRouter over pre-existing
+// services), tree clustering remains exact but the k-means variants
+// cluster per shard — centroid seeding uses the repository-wide MEmin and
+// termination is a global stability criterion when unsharded — so they
+// may keep or drop a different set of low-ranked mappings: the same class
+// of controlled approximation the clustering step itself introduces.
+//
+// Routers built from a whole repository (NewRouterFromRepository,
+// NewRouterWithPartition) additionally run a shared pre-pass: element
+// matching — the O(|personal| × |repo|) cold-path stage — and clustering
+// execute once against the full repository per pre-pass signature
+// (personal schema + matcher + MinSim + clustering options; see
+// CandidateSignature), are cached in a small LRU, and the results are
+// projected onto each shard (matcher.Candidates.Project plus a cluster
+// projection — clusters never span trees, so a global clustering splits
+// exactly along shard boundaries). Shard services then run only mapping
+// generation, via Service.MatchWithClusters. The projection is exact, and
+// because clustering is global the k-means variants produce the SAME
+// clusters as an unsharded run — pre-pass routers drop the per-shard
+// clustering approximation described above. Routers wrapped around
+// pre-existing shard services (NewRouter) have no full-repository view and
+// fall back to the per-shard pipeline.
 //
 // Create with NewRouter or NewRouterFromRepository and release with Close.
 // A Router is safe for use from many goroutines.
@@ -70,6 +97,22 @@ type Router struct {
 	shards  []*Service
 	shardOf map[*schema.Tree]int // routes mappings back to their shard
 	once    sync.Once
+	closed  atomic.Bool
+
+	// Pre-pass state; fullRunner == nil disables the pre-pass.
+	fullRunner     *pipeline.Runner                // runner over the unpartitioned repository
+	cloneOf        []map[*schema.Tree]*schema.Tree // per shard: original tree → clone
+	shardOfOrig    map[*schema.Tree]int            // original tree → shard, for cluster projection
+	prepass        *prepassCache
+	prepassSem     chan struct{} // bounds concurrent pre-pass executions to the shard worker budget
+	maxSchemaNodes int           // mirror of the shard services' guard
+
+	// Router-level instrumentation: work and rejections that happen above
+	// the shards on the pre-pass path and would otherwise be invisible in
+	// every per-shard snapshot. Folded into Stats().
+	prepassRuns atomic.Int64 // full-repository pre-pass executions
+	rejected    atomic.Int64 // requests refused before reaching any shard
+	errored     atomic.Int64 // requests failed during the pre-pass (ctx expiry)
 }
 
 // NewRouter wraps existing shard services in a router, taking ownership of
@@ -91,12 +134,22 @@ func NewRouter(shards []*Service) *Router {
 }
 
 // NewRouterFromRepository partitions the repository into up to n shards
-// (see PartitionRepository), indexes each partition and starts one Service
-// per shard. When cfg.Workers is 0 each shard gets GOMAXPROCS divided by
-// the shard count (at least 1), so the default total worker budget matches
-// an unsharded Service instead of multiplying by n.
+// with the DefaultPartitionStrategy, indexes each partition and starts one
+// Service per shard; it is NewRouterWithPartition with the default
+// strategy.
 func NewRouterFromRepository(repo *schema.Repository, n int, cfg Config) *Router {
-	parts := PartitionRepository(repo, n)
+	return NewRouterWithPartition(repo, n, cfg, DefaultPartitionStrategy)
+}
+
+// NewRouterWithPartition partitions the repository with the given strategy
+// (see PartitionStrategy), starts one Service per shard and enables the
+// shared candidate pre-pass (the router keeps the full repository to match
+// against once per request signature). When cfg.Workers is 0 each shard
+// gets GOMAXPROCS divided by the shard count (at least 1), so the default
+// total worker budget matches an unsharded Service instead of multiplying
+// by n.
+func NewRouterWithPartition(repo *schema.Repository, n int, cfg Config, strategy PartitionStrategy) *Router {
+	parts, cloneOf := partitionRepository(repo, n, strategy)
 	if cfg.Workers == 0 && len(parts) > 1 {
 		cfg.Workers = runtime.GOMAXPROCS(0) / len(parts)
 		if cfg.Workers < 1 {
@@ -107,44 +160,24 @@ func NewRouterFromRepository(repo *schema.Repository, n int, cfg Config) *Router
 	for i, part := range parts {
 		shards[i] = NewFromRepository(part, cfg)
 	}
-	return NewRouter(shards)
-}
-
-// PartitionRepository splits a repository into up to n disjoint shard
-// repositories. Trees are cloned (a tree belongs to exactly one repository)
-// and distributed with a greedy balance: largest tree first, each into the
-// currently lightest shard by node count, ties to the lowest shard index —
-// deterministic for a given repository. n is clamped to [1, number of
-// trees], so no shard is ever empty (an empty repository yields one empty
-// shard).
-func PartitionRepository(repo *schema.Repository, n int) []*schema.Repository {
-	trees := repo.Trees()
-	if n > len(trees) {
-		n = len(trees)
-	}
-	if n < 1 {
-		n = 1
-	}
-	order := make([]*schema.Tree, len(trees))
-	copy(order, trees)
-	sort.SliceStable(order, func(i, j int) bool { return order[i].Len() > order[j].Len() })
-
-	parts := make([]*schema.Repository, n)
-	load := make([]int, n)
-	for i := range parts {
-		parts[i] = schema.NewRepository()
-	}
-	for _, t := range order {
-		lightest := 0
-		for i := 1; i < n; i++ {
-			if load[i] < load[lightest] {
-				lightest = i
-			}
+	r := NewRouter(shards)
+	r.fullRunner = pipeline.NewRunner(repo)
+	// The pre-pass runs on request goroutines (it must complete even when
+	// its leader's own shard work would be queued); bound its concurrency
+	// to the summed shard worker budget so a burst of distinct cold
+	// requests cannot run more CPU-bound matching than the operator sized
+	// the service for.
+	r.prepassSem = make(chan struct{}, cfg.withDefaults().Workers*len(parts))
+	r.cloneOf = cloneOf
+	r.shardOfOrig = make(map[*schema.Tree]int)
+	for i, m := range cloneOf {
+		for orig := range m {
+			r.shardOfOrig[orig] = i
 		}
-		parts[lightest].MustAdd(t.Clone())
-		load[lightest] += t.Len()
 	}
-	return parts
+	r.prepass = newPrepassCache(prepassCacheSize)
+	r.maxSchemaNodes = cfg.withDefaults().MaxSchemaNodes
+	return r
 }
 
 // Match fans the request out to every shard concurrently and merges the
@@ -160,9 +193,171 @@ func PartitionRepository(repo *schema.Repository, n int) []*schema.Repository {
 // present a wrong top-N as authoritative. Shards that already completed
 // contribute their reports to their own caches, so a retry is cheap.
 func (r *Router) Match(ctx context.Context, personal *schema.Tree, opts pipeline.Options) (*pipeline.Report, error) {
+	if r.closed.Load() {
+		return nil, ErrClosed
+	}
 	if len(r.shards) == 1 {
 		return r.shards[0].Match(ctx, personal, opts)
 	}
+	if r.fullRunner == nil {
+		return r.fanOut(ctx, personal, opts, nil)
+	}
+
+	// Pre-pass: validate cheaply (the rejections the shard services would
+	// issue anyway — matching and clustering an invalid request would burn
+	// the cold-path stages for nothing), run element matching + clustering
+	// once against the full repository, project both per shard.
+	if personal == nil || personal.Root() == nil {
+		r.rejected.Add(1)
+		return nil, errors.New("serve: nil personal schema")
+	}
+	if r.maxSchemaNodes > 0 && personal.Len() > r.maxSchemaNodes {
+		r.rejected.Add(1)
+		return nil, fmt.Errorf("serve: %w: %d nodes > limit %d", ErrSchemaTooLarge, personal.Len(), r.maxSchemaNodes)
+	}
+	if err := opts.Validate(); err != nil {
+		r.rejected.Add(1)
+		return nil, err
+	}
+	e, err := r.runPrepass(ctx, personal, opts)
+	if err != nil {
+		r.errored.Add(1)
+		return nil, err
+	}
+	// A cache hit may carry an earlier request's personal-tree instance;
+	// equal pre-pass signatures guarantee structural identity, so rebind
+	// to this request's tree before projecting.
+	cands := e.cands.Rebind(personal)
+	staged := make([]stagedShard, len(r.shards))
+	for i := range r.shards {
+		staged[i].cands = cands.Project(r.cloneOf[i])
+		staged[i].clusters = []*cluster.Cluster{} // non-nil: a shard may legitimately get zero clusters
+		staged[i].iterations = e.iterations
+	}
+	for _, cl := range e.clusters {
+		if cl.Len() == 0 {
+			continue
+		}
+		i, ok := r.shardOfOrig[cl.Elements[0].Node.Tree()]
+		if !ok {
+			continue // defensive: a cluster outside the partition cannot be served
+		}
+		staged[i].clusters = append(staged[i].clusters, projectCluster(cl, r.cloneOf[i]))
+	}
+	rep, err := r.fanOut(ctx, personal, opts, staged)
+	if err != nil {
+		return nil, err
+	}
+	// Shard reports carry zero match/cluster times (those stages ran
+	// here); account the pre-pass as the merged report's stage durations.
+	// A cache hit reports the original run's durations, mirroring how
+	// cached reports keep their timings.
+	if e.matchDur > rep.MatchTime {
+		rep.MatchTime = e.matchDur
+	}
+	if e.clusterDur > rep.ClusterTime {
+		rep.ClusterTime = e.clusterDur
+	}
+	return rep, nil
+}
+
+// stagedShard is one shard's slice of the pre-pass result.
+type stagedShard struct {
+	cands      *matcher.Candidates
+	clusters   []*cluster.Cluster
+	iterations int
+}
+
+// projectCluster translates a full-repository cluster onto a shard: every
+// member node (and the medoid) is replaced by the clone tree's node with
+// the same preorder rank. The global cluster ID is kept, so report
+// ClusterIDs match an unsharded run's.
+func projectCluster(cl *cluster.Cluster, cloneOf map[*schema.Tree]*schema.Tree) *cluster.Cluster {
+	clone := cloneOf[cl.Elements[0].Node.Tree()]
+	out := &cluster.Cluster{
+		ID:       cl.ID,
+		TreeID:   clone.ID,
+		Elements: make([]cluster.Element, len(cl.Elements)),
+	}
+	if cl.Medoid != nil {
+		out.Medoid = clone.NodeAt(cl.Medoid.Pre)
+	}
+	for i, e := range cl.Elements {
+		out.Elements[i] = cluster.Element{
+			Node:    clone.NodeAt(e.Node.Pre),
+			Mask:    e.Mask,
+			BestSim: e.BestSim,
+		}
+	}
+	return out
+}
+
+// runPrepass returns the full-repository matching + clustering result for
+// the request, sharing and caching the computation per pre-pass signature.
+// Execution is CPU-bound and runs on the caller's goroutine, so leaders
+// first acquire a slot from prepassSem — sized to the shard worker budget
+// — honouring their context while they wait; a leader that gives up
+// records the context error, drops the cache entry and releases its
+// followers. Followers whose own context expires return ctx.Err() without
+// abandoning the shared computation; followers that inherit a leader's
+// context error retry with their own live context, like the flight group's
+// follower-retry in Service.Match.
+func (r *Router) runPrepass(ctx context.Context, personal *schema.Tree, opts pipeline.Options) (*prepassEntry, error) {
+	key := prepassSignature(personal, opts)
+	for {
+		e, leader := r.prepass.join(key)
+		if leader {
+			// Check the context before the select: with a free slot AND an
+			// expired context both ready, select would choose arbitrarily,
+			// and an already-dead request must never start the computation.
+			err := ctx.Err()
+			if err == nil {
+				select {
+				case r.prepassSem <- struct{}{}:
+				case <-ctx.Done():
+					err = ctx.Err()
+				}
+			}
+			if err != nil {
+				e.err = err
+				r.prepass.drop(key, e)
+				close(e.done)
+				return nil, err
+			}
+			m := opts.Matcher
+			if m == nil {
+				m = matcher.NameMatcher{}
+			}
+			t0 := time.Now()
+			e.cands = matcher.FindCandidates(personal, r.fullRunner.Repository(), m, matcher.Config{MinSim: opts.MinSim})
+			e.matchDur = time.Since(t0)
+			t1 := time.Now()
+			e.clusters, e.iterations, e.err = pipeline.ComputeClusters(r.fullRunner.Index(), e.cands, opts)
+			e.clusterDur = time.Since(t1)
+			<-r.prepassSem
+			r.prepassRuns.Add(1)
+			close(e.done)
+		} else {
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if e.err != nil && ctxError(e.err) && ctx.Err() == nil {
+				continue // inherited another caller's expiry; retry fresh
+			}
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e, nil
+	}
+}
+
+// fanOut sends the request to every shard concurrently — with the i-th
+// pre-staged slice when the pre-pass ran, through plain Match when staged
+// is nil — and merges the per-shard reports.
+func (r *Router) fanOut(ctx context.Context, personal *schema.Tree, opts pipeline.Options, staged []stagedShard) (*pipeline.Report, error) {
 	reps := make([]*pipeline.Report, len(r.shards))
 	errs := make([]error, len(r.shards))
 	var wg sync.WaitGroup
@@ -170,7 +365,12 @@ func (r *Router) Match(ctx context.Context, personal *schema.Tree, opts pipeline
 	for i, s := range r.shards {
 		go func(i int, s *Service) {
 			defer wg.Done()
-			reps[i], errs[i] = s.Match(ctx, personal, opts)
+			if staged != nil {
+				reps[i], errs[i] = s.MatchWithClusters(ctx, personal, opts,
+					staged[i].cands, staged[i].clusters, staged[i].iterations)
+			} else {
+				reps[i], errs[i] = s.Match(ctx, personal, opts)
+			}
 		}(i, s)
 	}
 	wg.Wait()
@@ -249,9 +449,26 @@ func (r *Router) RewriteQuery(q string, personal *schema.Tree, mp mapgen.Mapping
 }
 
 // Stats returns the per-shard snapshots rolled up into one (see MergeStats
-// for the summing semantics).
+// for the summing semantics), plus the router-level counters — pre-pass
+// executions, and the requests rejected or failed above the shards on the
+// pre-pass path — which appear only in the rollup, never in ShardStats.
 func (r *Router) Stats() Stats {
-	return MergeStats(r.ShardStats()...)
+	total, _ := r.Snapshot()
+	return total
+}
+
+// Snapshot implements Backend: the rollup and the per-shard snapshots it
+// was computed from, taken once — shard-derived fields of total always
+// equal the per-shard sums, with the router-level counters added on top.
+func (r *Router) Snapshot() (Stats, []Stats) {
+	shards := r.ShardStats()
+	total := MergeStats(shards...)
+	total.CandidatePrePass += r.prepassRuns.Load()
+	rejected, errored := r.rejected.Load(), r.errored.Load()
+	total.Requests += rejected + errored
+	total.Rejected += rejected
+	total.Errors += errored
+	return total, shards
 }
 
 // ShardStats returns one snapshot per shard, in shard order.
@@ -295,6 +512,10 @@ func (r *Router) Shard(i int) *Service { return r.shards[i] }
 // It is idempotent; Match calls after Close return ErrClosed.
 func (r *Router) Close() {
 	r.once.Do(func() {
+		// Mark closed before draining the shards so Match rejects new
+		// requests up front instead of burning a candidate pre-pass whose
+		// fan-out is doomed to ErrClosed.
+		r.closed.Store(true)
 		var wg sync.WaitGroup
 		wg.Add(len(r.shards))
 		for _, s := range r.shards {

@@ -181,13 +181,13 @@ func TestRouterGoldenVsUnsharded(t *testing.T) {
 	}
 }
 
-// TestRouterClusteredVariantWellFormed documents the actual guarantee for
-// the k-means variants: per-shard clustering may legitimately form
-// different clusters than a global run (centroid seeding and termination
-// are repository-wide when unsharded), so exact equality is only promised
-// for VariantTree — but the merged report must still be a valid ranked,
-// thresholded result.
-func TestRouterClusteredVariantWellFormed(t *testing.T) {
+// TestRouterClusteredVariantExactWithPrePass: a pre-pass router clusters
+// once globally, so even the k-means variants — historically a per-shard
+// approximation — now reproduce the unsharded result exactly (as a
+// multiset; equal-Δ tie order is shard-local). A NewRouter wrap without
+// the full-repository view still clusters per shard, where only
+// well-formedness is promised.
+func TestRouterClusteredVariantExactWithPrePass(t *testing.T) {
 	repo := syntheticRepo(t, 900, 7)
 	personal := schema.MustParseSpec("address(name,email)")
 	opts := pipeline.DefaultOptions()
@@ -199,20 +199,55 @@ func TestRouterClusteredVariantWellFormed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(direct.Mappings) == 0 {
+		t.Fatal("unsharded medium clustering found no mappings; comparison is vacuous")
+	}
 	r := NewRouterFromRepository(repo, 4, Config{})
 	defer r.Close()
 	sharded, err := r.Match(context.Background(), personal, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(direct.Mappings) > 0 && len(sharded.Mappings) == 0 {
-		t.Errorf("unsharded medium clustering found %d mappings, sharded found none", len(direct.Mappings))
+	want, got := reportKeys(direct), reportKeys(sharded)
+	sort.Strings(want)
+	sort.Strings(got)
+	if len(want) != len(got) {
+		t.Fatalf("sharded found %d mappings, unsharded %d", len(got), len(want))
 	}
-	for i, m := range sharded.Mappings {
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("k-means mapping multiset differs at %d:\n  unsharded %s\n  sharded   %s", i, want[i], got[i])
+		}
+	}
+	if sharded.Clusters != direct.Clusters || sharded.UsefulClusters != direct.UsefulClusters {
+		t.Errorf("clusters %d/%d, want %d/%d (global clustering must project exactly)",
+			sharded.Clusters, sharded.UsefulClusters, direct.Clusters, direct.UsefulClusters)
+	}
+	if sharded.Iterations != direct.Iterations {
+		t.Errorf("iterations %d, want %d", sharded.Iterations, direct.Iterations)
+	}
+
+	// Per-shard clustering (no pre-pass): well-formed, but no exactness
+	// claim.
+	parts := PartitionRepositoryClustered(repo, 4)
+	shards := make([]*Service, len(parts))
+	for i, p := range parts {
+		shards[i] = NewFromRepository(p, Config{})
+	}
+	noPre := NewRouter(shards)
+	defer noPre.Close()
+	perShard, err := noPre.Match(context.Background(), personal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perShard.Mappings) == 0 {
+		t.Errorf("per-shard medium clustering found no mappings")
+	}
+	for i, m := range perShard.Mappings {
 		if m.Score.Delta < opts.Threshold {
 			t.Errorf("mapping %d below threshold: Δ=%v", i, m.Score.Delta)
 		}
-		if i > 0 && m.Score.Delta > sharded.Mappings[i-1].Score.Delta {
+		if i > 0 && m.Score.Delta > perShard.Mappings[i-1].Score.Delta {
 			t.Errorf("merged list not ranked at %d", i)
 		}
 	}

@@ -8,8 +8,10 @@ import (
 	"sync"
 	"time"
 
+	"bellflower/internal/cluster"
 	"bellflower/internal/labeling"
 	"bellflower/internal/mapgen"
+	"bellflower/internal/matcher"
 	"bellflower/internal/pipeline"
 	"bellflower/internal/query"
 	"bellflower/internal/schema"
@@ -71,12 +73,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// task is one scheduled pipeline run.
+// task is one scheduled pipeline run. cands, when non-nil, is a
+// precomputed (projected) candidate set: the run skips element matching
+// via Runner.RunWithCandidates; when clusters is additionally non-nil the
+// run skips clustering too, via Runner.RunWithClusters.
 type task struct {
-	key      string
-	c        *call
-	personal *schema.Tree
-	opts     pipeline.Options
+	key        string
+	c          *call
+	personal   *schema.Tree
+	opts       pipeline.Options
+	cands      *matcher.Candidates
+	clusters   []*cluster.Cluster
+	iterations int
 }
 
 // Service is a concurrent matching service over one indexed repository.
@@ -158,7 +166,16 @@ func (s *Service) worker() {
 		case <-s.root.Done():
 			return
 		case t := <-s.queue:
-			rep, err := s.runner.RunContext(t.c.runCtx, t.personal, t.opts)
+			var rep *pipeline.Report
+			var err error
+			switch {
+			case t.clusters != nil:
+				rep, err = s.runner.RunWithClusters(t.c.runCtx, t.personal, t.cands, t.clusters, t.iterations, t.opts)
+			case t.cands != nil:
+				rep, err = s.runner.RunWithCandidates(t.c.runCtx, t.personal, t.cands, t.opts)
+			default:
+				rep, err = s.runner.RunContext(t.c.runCtx, t.personal, t.opts)
+			}
 			s.ct.runs.Add(1)
 			if err == nil {
 				s.cache.Put(t.key, rep)
@@ -178,6 +195,44 @@ func (s *Service) worker() {
 // cancelled as soon as no other caller is waiting on it. Requests without
 // a deadline get Config.DefaultTimeout when one is configured.
 func (s *Service) Match(ctx context.Context, personal *schema.Tree, opts pipeline.Options) (*pipeline.Report, error) {
+	return s.match(ctx, personal, opts, nil, nil, 0)
+}
+
+// MatchWithCandidates is Match with a precomputed element-matching result:
+// the pipeline run skips FindCandidates and proceeds straight to
+// clustering (Runner.RunWithCandidates). cands must be the candidate set
+// this service's repository would produce for (personal, opts) — in the
+// sharded setup, the router's full-repository pre-pass projected onto this
+// shard — so the report, and therefore the cache entry under the shared
+// request signature, is identical to a from-scratch Match. Cache,
+// deduplication and instrumentation behave exactly as in Match.
+func (s *Service) MatchWithCandidates(ctx context.Context, personal *schema.Tree, opts pipeline.Options, cands *matcher.Candidates) (*pipeline.Report, error) {
+	if cands == nil {
+		return nil, errors.New("serve: MatchWithCandidates needs a candidate set")
+	}
+	return s.match(ctx, personal, opts, cands, nil, 0)
+}
+
+// MatchWithClusters goes one stage deeper than MatchWithCandidates: the
+// clusters come precomputed too, and the pipeline run is generation only
+// (Runner.RunWithClusters). The sharded router's pre-pass uses it to run
+// matching and clustering once globally. clusters must be non-nil (an
+// empty, non-nil slice is a valid projection: a shard may hold none of the
+// query's clusters) and must have been built from cands under the same
+// options against this service's repository.
+func (s *Service) MatchWithClusters(ctx context.Context, personal *schema.Tree, opts pipeline.Options, cands *matcher.Candidates, clusters []*cluster.Cluster, iterations int) (*pipeline.Report, error) {
+	if cands == nil {
+		return nil, errors.New("serve: MatchWithClusters needs a candidate set")
+	}
+	if clusters == nil {
+		return nil, errors.New("serve: MatchWithClusters needs a cluster slice (possibly empty, never nil)")
+	}
+	return s.match(ctx, personal, opts, cands, clusters, iterations)
+}
+
+// match is the shared body of Match, MatchWithCandidates and
+// MatchWithClusters.
+func (s *Service) match(ctx context.Context, personal *schema.Tree, opts pipeline.Options, cands *matcher.Candidates, clusters []*cluster.Cluster, iterations int) (*pipeline.Report, error) {
 	s.ct.requests.Add(1)
 	if err := s.root.Err(); err != nil {
 		s.ct.rejected.Add(1)
@@ -215,7 +270,8 @@ func (s *Service) Match(ctx context.Context, personal *schema.Tree, opts pipelin
 
 		c, leader := s.flight.join(key, s.root)
 		if leader {
-			t := &task{key: key, c: c, personal: personal, opts: opts}
+			t := &task{key: key, c: c, personal: personal, opts: opts,
+				cands: cands, clusters: clusters, iterations: iterations}
 			select {
 			case s.queue <- t:
 			case <-ctx.Done():
@@ -340,6 +396,13 @@ func (s *Service) RewriteQuery(q string, personal *schema.Tree, mp mapgen.Mappin
 
 // ShardStats implements Backend: a plain service is its own single shard.
 func (s *Service) ShardStats() []Stats { return []Stats{s.Stats()} }
+
+// Snapshot implements Backend: one snapshot serves as both rollup and the
+// single shard's entry.
+func (s *Service) Snapshot() (Stats, []Stats) {
+	st := s.Stats()
+	return st, []Stats{st}
+}
 
 // RepositoryStats implements Backend.
 func (s *Service) RepositoryStats() schema.Stats { return s.Repository().Stats() }

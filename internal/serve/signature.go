@@ -27,6 +27,38 @@ func Signature(personal *schema.Tree, opts pipeline.Options) string {
 	return b.String()
 }
 
+// CandidateSignature identifies the inputs of the element-matching stage
+// alone: the personal schema, the element matcher and the MinSim threshold.
+// Two requests with equal candidate signatures produce the same
+// matcher.FindCandidates result against a fixed repository even when the
+// rest of their options (TopN, variant, δ ...) differ — deliberately
+// coarser than Signature.
+func CandidateSignature(personal *schema.Tree, opts pipeline.Options) string {
+	var b strings.Builder
+	writeNodeSig(&b, personal.Root())
+	fmt.Fprintf(&b, "|ms=%g", opts.MinSim)
+	if opts.Matcher != nil {
+		b.WriteString(";m=")
+		b.WriteString(matcher.Describe(opts.Matcher))
+	}
+	return b.String()
+}
+
+// prepassSignature keys the router's shared pre-pass, which hoists both
+// element matching and clustering: the candidate signature extended with
+// every option the clustering stage consumes. Still coarser than Signature
+// — requests differing only in report-shaping options (TopN, δ, ordering,
+// partials, parallelism ...) share one pre-pass.
+func prepassSignature(personal *schema.Tree, opts pipeline.Options) string {
+	var b strings.Builder
+	b.WriteString(CandidateSignature(personal, opts))
+	fmt.Fprintf(&b, "|v=%d;agg=%t", int(opts.Variant), opts.Agglomerative)
+	if opts.ClusterConfig != nil {
+		fmt.Fprintf(&b, ";cc=%+v", *opts.ClusterConfig)
+	}
+	return b.String()
+}
+
 func writeNodeSig(b *strings.Builder, n *schema.Node) {
 	if n == nil {
 		b.WriteString("()")

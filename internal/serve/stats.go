@@ -66,6 +66,14 @@ type Stats struct {
 	// PipelineRuns counts underlying pipeline executions completed.
 	PipelineRuns int64 `json:"pipeline_runs"`
 
+	// CandidatePrePass counts full-repository element-matching executions
+	// performed by a sharded router's candidate pre-pass. The pre-pass runs
+	// above the shards — without this counter a sharded snapshot
+	// under-reports cold-path work, because the per-shard pipeline runs no
+	// longer include the quadratic matching stage. Always 0 for a plain
+	// Service and in per-shard snapshots; present only in router rollups.
+	CandidatePrePass int64 `json:"candidate_pre_pass"`
+
 	// Errors counts requests that finished with an error (including
 	// cancellations and deadline expiries).
 	Errors int64 `json:"errors"`
@@ -138,6 +146,7 @@ func MergeStats(ss ...Stats) Stats {
 		out.CacheMisses += st.CacheMisses
 		out.DedupedInFlight += st.DedupedInFlight
 		out.PipelineRuns += st.PipelineRuns
+		out.CandidatePrePass += st.CandidatePrePass
 		out.Errors += st.Errors
 		out.Rejected += st.Rejected
 		out.QueueDepth += st.QueueDepth
