@@ -53,11 +53,14 @@
 // vocabulary (candidate matching is per-tree and clusters never span
 // schema trees, so partitioning loses no candidate mappings) — runs one
 // Service per shard and fans each request out across all of them, merging
-// the per-shard ranked lists into one global top-N report. A shared
-// pre-pass runs element matching and clustering once against the full
-// repository per request shape and hands each shard its projection, so
-// the merged report is exactly the unsharded one for every clustering
-// variant and the cold path pays the quadratic matching stage once.
+// the per-shard ranked lists into one global top-N report. Shards are
+// views over a single shared labelling index, so index memory stays one
+// full-repository copy regardless of shard count, and all caches answer
+// to one byte-budget memory governor. A shared pre-pass runs element
+// matching and clustering once against the full repository per request
+// shape and hands each shard its projection, so the merged report is
+// exactly the unsharded one for every clustering variant and the cold
+// path pays the quadratic matching stage once.
 //
 // The same services back the bellflower-server HTTP daemon
 // (cmd/bellflower-server), which exposes /v1/match, /v1/match/batch,
@@ -111,6 +114,10 @@ type (
 	// Report is the instrumented result of a Match run: the ranked
 	// mappings plus the efficiency counters the paper's tables report.
 	Report = pipeline.Report
+
+	// ShardError records one shard's failure inside a Report marked
+	// Incomplete by the partial-results fan-out.
+	ShardError = pipeline.ShardError
 
 	// Options configures a Match run; see DefaultOptions.
 	Options = pipeline.Options
@@ -332,20 +339,27 @@ func NewService(repo *Repository, cfg ServiceConfig) *Service {
 }
 
 // NewShardedService partitions the repository into up to shards partitions
-// with the default vocabulary-clustered strategy (trees are cloned;
-// candidate matching is per-tree and clusters never span trees, so
-// partitioning loses no candidate mappings), starts one Service per
-// partition and returns a router that fans every match request out across
-// the shards concurrently, merging the ranked lists into one global top-N
-// report — exactly the unsharded result for every clustering variant (see
-// the serve.Router documentation). With cfg.Workers == 0 the per-shard
-// worker pools split GOMAXPROCS between them, keeping the default total
-// worker budget equal to an unsharded NewService.
+// with the default vocabulary-clustered strategy and returns a router that
+// fans every match request out across the shards concurrently, merging the
+// ranked lists into one global top-N report — exactly the unsharded result
+// for every clustering variant (see the serve.Router documentation).
+// Shards are lightweight VIEWS over one shared labelling index — the
+// repository is indexed exactly once regardless of the shard count; a
+// shard is a set of member trees plus an ID translation, not a cloned
+// sub-repository (candidate matching is per-tree and clusters never span
+// trees, so partitioning loses no candidate mappings). With
+// cfg.Workers == 0 the per-shard worker pools split GOMAXPROCS between
+// them, keeping the default total worker budget equal to an unsharded
+// NewService.
 //
 // The router runs a shared pre-pass: the cold-path element matching and
 // clustering execute once against the full repository per request shape
 // and are projected onto each shard, so shards run only mapping
-// generation.
+// generation. Cache memory — every shard's report cache plus the pre-pass
+// cache — is governed by one byte budget (ServiceConfig.CacheBytes) with
+// an optional TTL (ServiceConfig.CacheTTL), and
+// ServiceConfig.PartialResults opts into merging partially failed
+// fan-outs as Incomplete reports instead of failing them.
 //
 // shards values below 1 (and above the tree count) are clamped; a one-shard
 // router behaves exactly like a plain Service. Release it with Close.
@@ -412,12 +426,14 @@ func (m *Matcher) RewriteQuery(q string, personal *Tree, mp Mapping) (string, er
 // recomputed. A fanned-out request counts once per shard in the rollup.
 func MergeServiceStats(ss ...ServiceStats) ServiceStats { return serve.MergeStats(ss...) }
 
-// WritePrometheusMetrics renders a serving backend's rolled-up stats
-// snapshot in the Prometheus text exposition format — the payload behind
-// the bellflower-server /metrics endpoint. The metric names are documented
-// in the project README.
+// WritePrometheusMetrics renders a serving backend's stats snapshot in the
+// Prometheus text exposition format — the payload behind the
+// bellflower-server /metrics endpoint: the rolled-up metrics, plus
+// per-shard series labelled {shard="N"} when the backend fans out. The
+// metric names are documented in the project README.
 func WritePrometheusMetrics(w io.Writer, b ServiceBackend) error {
-	return serve.WritePrometheus(w, b.Stats(), b.NumShards())
+	total, shards := b.Snapshot()
+	return serve.WritePrometheusSnapshot(w, total, shards)
 }
 
 // FormatMapping renders a mapping as "personal ↦ repository" pairs with the

@@ -342,6 +342,13 @@ func BenchmarkElementMatching(b *testing.B) {
 // — the same shard services wrapped without a full-repository view, so
 // every shard re-runs element matching against its partition on every cold
 // request. Requests issue from parallel clients, as a daemon would see.
+//
+// Memory footprint is part of the measurement: every variant reports
+// allocations (ReportAllocs) and an "index-bytes" gauge — the resident
+// labelling-index memory, deduplicated by index identity. The sharded
+// variants built from the repository run view-backed shards over ONE
+// shared index, so their index-bytes equal the unsharded figure; the
+// clone-based noprepass baseline shows what per-shard indexes cost.
 func BenchmarkServiceThroughput(b *testing.B) {
 	e := env(b)
 	for _, tc := range []struct {
@@ -377,6 +384,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 			}
 			defer backend.Close()
 			var uniq atomic.Int64
+			b.ReportAllocs()
 			start := time.Now()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
@@ -402,6 +410,11 @@ func BenchmarkServiceThroughput(b *testing.B) {
 			b.ReportMetric(float64(st.CacheHits), "cache-hits")
 			b.ReportMetric(float64(st.PipelineRuns), "pipeline-runs")
 			b.ReportMetric(float64(st.CandidatePrePass), "prepass-runs")
+			// Resident labelling-index bytes (distinct indexes counted
+			// once): the shared-index shard variants must sit at the
+			// unsharded figure, the clone-based baseline above it.
+			b.ReportMetric(float64(st.IndexBytes), "index-bytes")
+			b.ReportMetric(float64(st.CacheBytes), "cache-bytes")
 		})
 	}
 }

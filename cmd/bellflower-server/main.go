@@ -11,9 +11,13 @@
 // co-locating by default; -partition balanced splits by node count), each
 // served by its own worker pool; every match request fans out across all
 // shards concurrently and the per-shard ranked lists are merged into one
-// global top-N report. Cold-path element matching and clustering run once
-// per request shape in a shared pre-pass and are projected onto the
-// shards, which run only mapping generation.
+// global top-N report. Shards are views over one shared labelling index —
+// the repository is indexed once regardless of N — and cold-path element
+// matching and clustering run once per request shape in a shared pre-pass
+// projected onto the shards, which run only mapping generation. Cache
+// memory across all shards answers to one byte budget (-cache-bytes) with
+// an optional TTL (-cache-ttl); -partial serves partially failed fan-outs
+// as incomplete reports instead of errors.
 //
 // Endpoints (JSON unless noted):
 //
@@ -59,18 +63,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bellflower-server", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", ":8077", "listen address")
-		repoFile  = fs.String("repo-file", "", "load a repository saved with bellflower -save-repo")
-		synthetic = fs.Int("synthetic", 0, "generate a synthetic repository with this many nodes")
-		seed      = fs.Int64("seed", 1, "seed for the synthetic repository")
-		workers   = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
-		queue     = fs.Int("queue", 0, "request queue depth (0 = 4x workers)")
-		cacheSize = fs.Int("cache", 0, "report cache capacity (0 = 256, negative = disabled)")
-		maxNodes  = fs.Int("max-schema-nodes", 0, "reject personal schemas above this node count (0 = 64, negative = unlimited)")
-		timeout   = fs.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
-		shards    = fs.Int("shards", 1, "partition the repository into this many shards and fan match requests out across them")
-		partition = fs.String("partition", "clustered", "shard partition strategy: clustered (co-locate trees with overlapping vocabulary) or balanced (by node count)")
-		dataDir   = fs.String("data-dir", "", "directory for /v1/repository load/save files; also enables repository mutation (empty = POST /v1/repository disabled)")
+		addr       = fs.String("addr", ":8077", "listen address")
+		repoFile   = fs.String("repo-file", "", "load a repository saved with bellflower -save-repo")
+		synthetic  = fs.Int("synthetic", 0, "generate a synthetic repository with this many nodes")
+		seed       = fs.Int64("seed", 1, "seed for the synthetic repository")
+		workers    = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 0, "request queue depth (0 = 4x workers)")
+		cacheSize  = fs.Int("cache", 0, "report cache capacity in entries per shard (0 = 256, negative = disabled)")
+		cacheBytes = fs.Int64("cache-bytes", 0, "byte budget for the unified cache (all shards' reports + pre-pass results; 0 = unbounded)")
+		cacheTTL   = fs.Duration("cache-ttl", 0, "age cached entries out after this long (0 = never expire)")
+		maxNodes   = fs.Int("max-schema-nodes", 0, "reject personal schemas above this node count (0 = 64, negative = unlimited)")
+		timeout    = fs.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
+		shards     = fs.Int("shards", 1, "partition the repository into this many shards and fan match requests out across them")
+		partition  = fs.String("partition", "clustered", "shard partition strategy: clustered (co-locate trees with overlapping vocabulary) or balanced (by node count)")
+		partial    = fs.Bool("partial", false, "serve partially failed fan-outs as incomplete reports (merge the shards that succeeded) instead of failing the request")
+		dataDir    = fs.String("data-dir", "", "directory for /v1/repository load/save files; also enables repository mutation (empty = POST /v1/repository disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,8 +95,11 @@ func run(args []string) error {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheSize:      *cacheSize,
+		CacheBytes:     *cacheBytes,
+		CacheTTL:       *cacheTTL,
 		MaxSchemaNodes: *maxNodes,
 		DefaultTimeout: *timeout,
+		PartialResults: *partial,
 	}
 	logger := log.New(os.Stderr, "bellflower-server: ", log.LstdFlags)
 	srv := newServer(repo, desc, svcCfg, *shards, strategy, *dataDir, logger)

@@ -313,12 +313,20 @@ type matchResponseJSON struct {
 	Mappings []mappingJSON     `json:"mappings"`
 	Partials int               `json:"partials,omitempty"`
 	Pipeline pipelineStatsJSON `json:"pipeline"`
+
+	// Incomplete marks a partial-results merge (-partial): one or more
+	// shards failed and the mappings cover only the shards that
+	// succeeded; ShardErrors says which failed and why. The element type
+	// carries its own wire tags ({"shard":N,"error":"..."}).
+	Incomplete  bool                    `json:"incomplete,omitempty"`
+	ShardErrors []bellflower.ShardError `json:"shard_errors,omitempty"`
 }
 
 func renderReport(personal *bellflower.Tree, rep *bellflower.Report) matchResponseJSON {
 	resp := matchResponseJSON{
-		Mappings: make([]mappingJSON, 0, len(rep.Mappings)),
-		Partials: len(rep.Partials),
+		Mappings:   make([]mappingJSON, 0, len(rep.Mappings)),
+		Partials:   len(rep.Partials),
+		Incomplete: rep.Incomplete,
 		Pipeline: pipelineStatsJSON{
 			Variant:         rep.Variant.String(),
 			MappingElements: rep.MappingElements,
@@ -331,6 +339,7 @@ func renderReport(personal *bellflower.Tree, rep *bellflower.Report) matchRespon
 			GenMS:           float64(rep.GenTime) / float64(time.Millisecond),
 		},
 	}
+	resp.ShardErrors = rep.ShardErrors
 	nodes := personal.Nodes()
 	for _, m := range rep.Mappings {
 		mj := mappingJSON{

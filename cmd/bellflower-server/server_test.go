@@ -831,3 +831,90 @@ func TestStatsReportCandidatePrePass(t *testing.T) {
 		t.Errorf("single-shard candidate_pre_pass = %d, want 0", flat.CandidatePrePass)
 	}
 }
+
+// TestPartialResultsEndpoint: with -partial, a fan-out missing a shard
+// returns 200 with incomplete=true and per-shard errors on the wire, and
+// /v1/stats counts the partial merge; without it the same failure is an
+// error status.
+func TestPartialResultsEndpoint(t *testing.T) {
+	srv, ts := testShardedService(t, bellflower.ServiceConfig{PartialResults: true}, 3)
+	router, ok := srv.cur.backend.(*bellflower.ShardedService)
+	if !ok {
+		t.Fatalf("backend is %T, want *bellflower.ShardedService", srv.cur.backend)
+	}
+	router.Shard(1).Close()
+
+	resp, data := postJSON(t, ts.URL+"/v1/match", `{"personal":"book(title,author)","options":{"delta":0.5}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial match status = %d (%s)", resp.StatusCode, data)
+	}
+	var out struct {
+		Incomplete  bool `json:"incomplete"`
+		ShardErrors []struct {
+			Shard int    `json:"shard"`
+			Error string `json:"error"`
+		} `json:"shard_errors"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Incomplete {
+		t.Error("response not marked incomplete")
+	}
+	if len(out.ShardErrors) != 1 || out.ShardErrors[0].Shard != 1 || out.ShardErrors[0].Error == "" {
+		t.Errorf("shard_errors = %+v, want exactly shard 1 with a message", out.ShardErrors)
+	}
+	var stats struct {
+		Total bellflower.ServiceStats `json:"total"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Total.PartialResults != 1 {
+		t.Errorf("partial_results = %d, want 1", stats.Total.PartialResults)
+	}
+
+	// Strict server: same dead shard, hard failure.
+	strictSrv, strictTS := testShardedService(t, bellflower.ServiceConfig{}, 3)
+	strictSrv.cur.backend.(*bellflower.ShardedService).Shard(1).Close()
+	resp, _ = postJSON(t, strictTS.URL+"/v1/match", `{"personal":"book(title,author)","options":{"delta":0.5}}`)
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("strict server served a partially failed fan-out with 200")
+	}
+}
+
+// TestMetricsShardLabelsAndMemoryGauges: the scrape exposes per-shard
+// labelled series plus the unified-cache and shared-index gauges.
+func TestMetricsShardLabelsAndMemoryGauges(t *testing.T) {
+	_, ts := testShardedService(t, bellflower.ServiceConfig{CacheBytes: 1 << 20}, 2)
+	if resp, _ := postJSON(t, ts.URL+"/v1/match", `{"personal":"book(title,author)","options":{"delta":0.5}}`); resp.StatusCode != http.StatusOK {
+		t.Fatal("warmup match failed")
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{
+		`bellflower_shard_requests_total{shard="0"} 1`,
+		`bellflower_shard_requests_total{shard="1"} 1`,
+		`bellflower_shard_pipeline_runs_total{shard="0"}`,
+		"bellflower_index_bytes ",
+		"bellflower_cache_bytes ",
+		"bellflower_cache_byte_budget 1048576",
+	} {
+		if !strings.Contains(string(data), metric) {
+			t.Errorf("metrics output missing %q", metric)
+		}
+	}
+	// /v1/stats carries the same memory figures in JSON.
+	var stats struct {
+		Total bellflower.ServiceStats `json:"total"`
+	}
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Total.IndexBytes <= 0 || stats.Total.CacheByteBudget != 1<<20 {
+		t.Errorf("stats memory figures = index:%d budget:%d", stats.Total.IndexBytes, stats.Total.CacheByteBudget)
+	}
+}

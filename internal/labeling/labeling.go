@@ -8,6 +8,14 @@
 // is that substrate: an Index is built once per repository in O(N log N) and
 // answers Distance/LCA queries in O(1) using an Euler tour with a sparse
 // table for range-minimum queries.
+//
+// For sharded serving, a View restricts one shared Index to a subset of the
+// repository's trees: shards answer every structural query through the
+// single resident index (member nodes are the repository's own node
+// objects) and carry only a dense global↔local node-ID translation, so
+// index memory stays one full-repository copy regardless of shard count.
+// Index.MemoryBytes and View.MemoryBytes expose the resident footprint for
+// stats and benchmarks.
 package labeling
 
 import (
@@ -121,6 +129,19 @@ func (ix *Index) buildSparse() {
 
 // Repository returns the repository the index was built over.
 func (ix *Index) Repository() *schema.Repository { return ix.repo }
+
+// MemoryBytes estimates the index's resident bytes: the per-node label
+// arrays, the Euler tour and the sparse RMQ table (whose level 0 aliases
+// the tour and is counted once). This is the figure sharding de-duplicates
+// — serve stats and the throughput benchmark report it so a second
+// full-repository copy cannot reappear unnoticed.
+func (ix *Index) MemoryBytes() int64 {
+	b := int64(len(ix.depth)+len(ix.tree)+len(ix.first)+len(ix.euler)) * 4
+	for k := 1; k < len(ix.sparse); k++ { // sparse[0] aliases euler
+		b += int64(len(ix.sparse[k])) * 4
+	}
+	return b + int64(len(ix.log2))
+}
 
 // SameTree reports whether the two nodes belong to the same tree.
 func (ix *Index) SameTree(a, b *schema.Node) bool {

@@ -1,0 +1,166 @@
+package labeling
+
+import (
+	"testing"
+
+	"bellflower/internal/schema"
+)
+
+func viewRepo(t *testing.T) *schema.Repository {
+	t.Helper()
+	repo := schema.NewRepository()
+	for _, spec := range []string{
+		"lib(book(title,author(first,last)),shelf)",
+		"store(item(name,price),clerk)",
+		"archive(tome(heading))",
+	} {
+		repo.MustAdd(schema.MustParseSpec(spec))
+	}
+	if err := repo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+func TestViewMembershipAndTranslation(t *testing.T) {
+	repo := viewRepo(t)
+	ix := NewIndex(repo)
+	v := NewView(ix, []*schema.Tree{repo.Tree(0), repo.Tree(2)})
+
+	if v.Index() != ix || v.Repository() != repo {
+		t.Fatal("view does not share the index/repository it was built over")
+	}
+	if v.NumTrees() != 2 {
+		t.Fatalf("NumTrees = %d, want 2", v.NumTrees())
+	}
+	wantLen := repo.Tree(0).Len() + repo.Tree(2).Len()
+	if v.Len() != wantLen {
+		t.Fatalf("Len = %d, want %d", v.Len(), wantLen)
+	}
+
+	// Local IDs are dense, cover exactly the member nodes, and round-trip.
+	seen := make(map[int]bool)
+	for _, n := range v.Nodes() {
+		l := v.LocalID(n)
+		if l < 0 || l >= v.Len() {
+			t.Fatalf("LocalID(%v) = %d out of range", n, l)
+		}
+		if seen[l] {
+			t.Fatalf("local ID %d assigned twice", l)
+		}
+		seen[l] = true
+		if v.GlobalID(l) != n.ID || v.Node(l) != n {
+			t.Fatalf("translation round-trip failed for %v (local %d)", n, l)
+		}
+		if !v.Contains(n) {
+			t.Fatalf("member node %v not Contains", n)
+		}
+	}
+	if len(seen) != wantLen {
+		t.Fatalf("%d local IDs for %d member nodes", len(seen), wantLen)
+	}
+
+	// Non-member tree and nodes are outside.
+	if v.ContainsTree(repo.Tree(1)) {
+		t.Error("non-member tree reported as member")
+	}
+	for _, n := range repo.Tree(1).Nodes() {
+		if v.Contains(n) || v.LocalID(n) != -1 {
+			t.Errorf("non-member node %v reported inside the view", n)
+		}
+	}
+	if !v.ContainsTree(repo.Tree(0)) || !v.ContainsTree(repo.Tree(2)) {
+		t.Error("member tree not reported as member")
+	}
+	if v.Contains(nil) || v.ContainsTree(nil) {
+		t.Error("nil accepted as member")
+	}
+	// A structurally foreign node (same IDs, different repository) must not
+	// slip through on ID alone.
+	other := viewRepo(t)
+	if v.Contains(other.Tree(0).Root()) {
+		t.Error("foreign repository's node accepted")
+	}
+}
+
+func TestViewStructuralQueriesMatchIndex(t *testing.T) {
+	repo := viewRepo(t)
+	ix := NewIndex(repo)
+	v := NewView(ix, []*schema.Tree{repo.Tree(0)})
+
+	tr := repo.Tree(0)
+	for _, a := range tr.Nodes() {
+		if v.Depth(a) != ix.Depth(a) || v.TreeID(a) != ix.TreeID(a) {
+			t.Fatalf("view disagrees with index on %v", a)
+		}
+		for _, b := range tr.Nodes() {
+			if v.Distance(a, b) != ix.Distance(a, b) {
+				t.Fatalf("Distance(%v,%v) differs from index", a, b)
+			}
+			if v.LCA(a, b) != ix.LCA(a, b) {
+				t.Fatalf("LCA(%v,%v) differs from index", a, b)
+			}
+			if !v.SameTree(a, b) {
+				t.Fatalf("SameTree(%v,%v) = false within one tree", a, b)
+			}
+		}
+	}
+
+	// Queries on nodes outside the view panic rather than answer quietly.
+	defer func() {
+		if recover() == nil {
+			t.Error("Depth of a non-member node did not panic")
+		}
+	}()
+	v.Depth(repo.Tree(1).Root())
+}
+
+func TestViewStats(t *testing.T) {
+	repo := viewRepo(t)
+	ix := NewIndex(repo)
+	v := NewView(ix, []*schema.Tree{repo.Tree(0), repo.Tree(1)})
+	st := v.Stats()
+	if st.Trees != 2 || st.Nodes != repo.Tree(0).Len()+repo.Tree(1).Len() {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.MaxTree < st.MinTree || st.MinTree <= 0 {
+		t.Errorf("tree extrema inconsistent: %+v", st)
+	}
+}
+
+func TestIndexMemoryBytes(t *testing.T) {
+	repo := viewRepo(t)
+	ix := NewIndex(repo)
+	b := ix.MemoryBytes()
+	// Lower bound: the three per-node arrays plus the Euler tour.
+	if min := int64(repo.Len())*3*4 + int64(2*repo.Len()-repo.NumTrees())*4; b < min {
+		t.Errorf("MemoryBytes = %d, want >= %d", b, min)
+	}
+	// Views must be cheap next to the index they avoid duplicating; for a
+	// tiny repository just assert the figure is positive and independent
+	// of how many views exist.
+	v1 := NewView(ix, repo.Trees())
+	v2 := NewView(ix, repo.Trees()[:1])
+	if v1.MemoryBytes() <= 0 || v2.MemoryBytes() <= 0 {
+		t.Error("view MemoryBytes not positive")
+	}
+	if ix.MemoryBytes() != b {
+		t.Error("creating views changed the index footprint")
+	}
+}
+
+func TestNewViewRejectsForeignAndDuplicateTrees(t *testing.T) {
+	repo := viewRepo(t)
+	other := viewRepo(t)
+	ix := NewIndex(repo)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("foreign tree", func() { NewView(ix, []*schema.Tree{other.Tree(0)}) })
+	mustPanic("duplicate tree", func() { NewView(ix, []*schema.Tree{repo.Tree(0), repo.Tree(0)}) })
+}

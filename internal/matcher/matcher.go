@@ -320,6 +320,16 @@ type Config struct {
 // node using m — the quadratic element-matching step ② — and returns the
 // per-node candidate sets.
 func FindCandidates(personal *schema.Tree, repo *schema.Repository, m Matcher, cfg Config) *Candidates {
+	return FindCandidatesAmong(personal, repo.Nodes(), m, cfg)
+}
+
+// FindCandidatesAmong is FindCandidates over an explicit node universe —
+// typically a shard view's member nodes (labeling.View.Nodes) instead of a
+// whole repository. Candidate ordering is (sim desc, node ID asc)
+// regardless of the order of nodes, so restricting a repository to a
+// subset of its trees produces exactly the full-repository result filtered
+// to those trees (see Candidates.Restrict).
+func FindCandidatesAmong(personal *schema.Tree, nodes []*schema.Node, m Matcher, cfg Config) *Candidates {
 	out := &Candidates{
 		Personal: personal,
 		Sets:     make([]CandidateSet, personal.Len()),
@@ -327,7 +337,7 @@ func FindCandidates(personal *schema.Tree, repo *schema.Repository, m Matcher, c
 	for i, p := range personal.Nodes() {
 		out.Sets[i].Personal = p
 		var elems []Candidate
-		for _, r := range repo.Nodes() {
+		for _, r := range nodes {
 			s := m.Similarity(p, r)
 			if s > cfg.MinSim {
 				elems = append(elems, Candidate{Node: r, Sim: s})
@@ -364,6 +374,32 @@ func (c *Candidates) Rebind(personal *schema.Tree) *Candidates {
 	}
 	for i := range c.Sets {
 		out.Sets[i] = CandidateSet{Personal: personal.NodeAt(i), Elems: c.Sets[i].Elems}
+	}
+	return out
+}
+
+// Restrict filters the candidates to the repository nodes for which keep
+// returns true — in the shared-index shard model, membership in one
+// shard's labeling.View. Unlike Project there is no clone-time remapping:
+// the surviving candidates keep their original node objects and their
+// (sim desc, node ID asc) order, so the result is byte-for-byte what
+// FindCandidatesAmong would have produced against the kept universe with
+// the same matcher and threshold. The per-set slices are freshly
+// allocated; the nodes are shared.
+func (c *Candidates) Restrict(keep func(*schema.Node) bool) *Candidates {
+	out := &Candidates{
+		Personal: c.Personal,
+		Sets:     make([]CandidateSet, len(c.Sets)),
+	}
+	for i := range c.Sets {
+		src := &c.Sets[i]
+		dst := &out.Sets[i]
+		dst.Personal = src.Personal
+		for _, cand := range src.Elems {
+			if keep(cand.Node) {
+				dst.Elems = append(dst.Elems, cand)
+			}
+		}
 	}
 	return out
 }

@@ -394,3 +394,61 @@ func TestRebind(t *testing.T) {
 		}
 	}
 }
+
+// TestRestrictEqualsFindCandidatesAmong: restricting a full-repository
+// candidate set to one shard's trees is byte-for-byte what element
+// matching against only those trees' nodes would have produced — the
+// exactness the shared-index shard projection relies on, with no clone
+// remapping and no re-sort.
+func TestRestrictEqualsFindCandidatesAmong(t *testing.T) {
+	repo := schema.NewRepository()
+	for _, spec := range []string{
+		"lib(book(title,author),shelf)",
+		"store(book(title,isbn),clerk(name))",
+		"archive(tome(title,writer))",
+	} {
+		repo.MustAdd(schema.MustParseSpec(spec))
+	}
+	personal := schema.MustParseSpec("book(title,author)")
+	cfg := Config{MinSim: 0.3}
+	full := FindCandidates(personal, repo, NameMatcher{}, cfg)
+
+	// "Shard" = trees 0 and 2.
+	member := map[*schema.Tree]bool{repo.Tree(0): true, repo.Tree(2): true}
+	keep := func(n *schema.Node) bool { return member[n.Tree()] }
+	var shardNodes []*schema.Node
+	for _, tr := range []*schema.Tree{repo.Tree(0), repo.Tree(2)} {
+		shardNodes = append(shardNodes, tr.Nodes()...)
+	}
+
+	got := full.Restrict(keep)
+	want := FindCandidatesAmong(personal, shardNodes, NameMatcher{}, cfg)
+	if got.Personal != personal || len(got.Sets) != len(want.Sets) {
+		t.Fatalf("shape mismatch: %d sets vs %d", len(got.Sets), len(want.Sets))
+	}
+	for i := range want.Sets {
+		g, w := got.Sets[i].Elems, want.Sets[i].Elems
+		if len(g) != len(w) {
+			t.Fatalf("set %d: %d candidates, want %d", i, len(g), len(w))
+		}
+		for j := range w {
+			if g[j].Node != w[j].Node || g[j].Sim != w[j].Sim {
+				t.Fatalf("set %d candidate %d: got (%v,%v), want (%v,%v)",
+					i, j, g[j].Node, g[j].Sim, w[j].Node, w[j].Sim)
+			}
+		}
+		for _, c := range g {
+			if !keep(c.Node) {
+				t.Fatalf("set %d kept non-member node %v", i, c.Node)
+			}
+		}
+	}
+	// The restriction shares node objects with the original (no clones).
+	for i := range got.Sets {
+		for _, c := range got.Sets[i].Elems {
+			if repo.Node(c.Node.ID) != c.Node {
+				t.Fatalf("restricted candidate %v is not the repository's own node", c.Node)
+			}
+		}
+	}
+}

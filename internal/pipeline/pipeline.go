@@ -211,6 +211,28 @@ type Report struct {
 	// With OrderClusters it measures the cluster-ordering extension's
 	// time-to-first-mapping benefit.
 	FirstGoodAfter int
+
+	// Incomplete marks a merged report that is missing one or more
+	// shards' contributions: the serving router's opt-in partial-results
+	// fan-out merges the shards that succeeded instead of failing the
+	// whole request. An Incomplete report's top-N is a lower bound, not
+	// authoritative; ShardErrors says what is missing and why. Always
+	// false for unsharded runs and for strict (default) routing.
+	Incomplete bool
+
+	// ShardErrors lists the per-shard failures of an Incomplete report,
+	// in shard order.
+	ShardErrors []ShardError
+}
+
+// ShardError records one shard's failure inside an Incomplete merged
+// report.
+type ShardError struct {
+	// Shard is the failing shard's index in the router's shard order.
+	Shard int `json:"shard"`
+
+	// Err is the shard's error text.
+	Err string `json:"error"`
 }
 
 // TotalTime returns the end-to-end duration of the run.
@@ -227,16 +249,20 @@ func (r *Report) Deltas() []float64 {
 }
 
 // Runner executes matching runs against a fixed repository, reusing the
-// labelling index across runs.
+// labelling index across runs. A Runner may be scoped to a shard view
+// (NewViewRunner): element matching then considers only the view's member
+// trees while every structural query still goes through the one shared
+// index — this is how sharded serving keeps a single resident index.
 //
-// A Runner is safe for concurrent use: the repository and labelling index
-// are built once by NewRunner and only read afterwards, and every Run /
-// RunContext call keeps its working state (candidates, clusters, report)
-// on its own stack. Many goroutines may call Run on one Runner at once —
-// the serve subsystem depends on this.
+// A Runner is safe for concurrent use: the repository, labelling index and
+// view are built once by the constructors and only read afterwards, and
+// every Run / RunContext call keeps its working state (candidates,
+// clusters, report) on its own stack. Many goroutines may call Run on one
+// Runner at once — the serve subsystem depends on this.
 type Runner struct {
 	repo *schema.Repository
 	ix   *labeling.Index
+	view *labeling.View // non-nil: matching restricted to the view's trees
 }
 
 // NewRunner builds the labelling index for the repository.
@@ -244,11 +270,52 @@ func NewRunner(repo *schema.Repository) *Runner {
 	return &Runner{repo: repo, ix: labeling.NewIndex(repo)}
 }
 
-// Repository returns the runner's repository.
+// NewRunnerFromIndex wraps an already-built labelling index, sharing it
+// instead of re-indexing the repository — the serving router uses this for
+// its full-repository pre-pass runner so router and shards hold one index.
+func NewRunnerFromIndex(ix *labeling.Index) *Runner {
+	return &Runner{repo: ix.Repository(), ix: ix}
+}
+
+// NewViewRunner builds a runner restricted to a shard view: candidate
+// matching covers only the view's member trees, and precomputed candidates
+// or clusters handed to RunWithCandidates / RunWithClusters must lie inside
+// the view. The underlying index (and its memory) is shared with every
+// other runner over the same index.
+func NewViewRunner(view *labeling.View) *Runner {
+	return &Runner{repo: view.Repository(), ix: view.Index(), view: view}
+}
+
+// Repository returns the runner's repository — always the full repository,
+// even for view-scoped runners (views do not clone trees).
 func (r *Runner) Repository() *schema.Repository { return r.repo }
 
 // Index returns the runner's labelling index.
 func (r *Runner) Index() *labeling.Index { return r.ix }
+
+// View returns the shard view the runner is scoped to, or nil for a
+// whole-repository runner.
+func (r *Runner) View() *labeling.View { return r.view }
+
+// matchNodes is the node universe element matching runs against.
+func (r *Runner) matchNodes() []*schema.Node {
+	if r.view != nil {
+		return r.view.Nodes()
+	}
+	return r.repo.Nodes()
+}
+
+// checkOwned verifies that a precomputed candidate or cluster node belongs
+// to this runner's repository and, for view-scoped runners, to the view.
+func (r *Runner) checkOwned(n *schema.Node, what string) error {
+	if n.ID < 0 || n.ID >= r.repo.Len() || r.repo.Node(n.ID) != n {
+		return fmt.Errorf("pipeline: %s %v does not belong to this runner's repository", what, n)
+	}
+	if r.view != nil && !r.view.Contains(n) {
+		return fmt.Errorf("pipeline: %s %v is outside this runner's shard view", what, n)
+	}
+	return nil
+}
 
 // Run executes the full pipeline for one personal schema. It is equivalent
 // to RunContext with context.Background().
@@ -275,7 +342,7 @@ func (r *Runner) RunContext(ctx context.Context, personal *schema.Tree, opts Opt
 		return nil, err
 	}
 	t0 := time.Now()
-	cands := matcher.FindCandidates(personal, r.repo, m, matcher.Config{MinSim: opts.MinSim})
+	cands := matcher.FindCandidatesAmong(personal, r.matchNodes(), m, matcher.Config{MinSim: opts.MinSim})
 	return r.runFromCandidates(ctx, personal, cands, time.Since(t0), opts)
 }
 
@@ -302,17 +369,16 @@ func (r *Runner) RunWithCandidates(ctx context.Context, personal *schema.Tree, c
 		return nil, fmt.Errorf("pipeline: candidate set was computed for a different personal schema")
 	}
 	// Spot-check node ownership: a candidate set computed against (or
-	// projected onto) another repository would index foreign IDs into this
-	// runner's dense per-node arrays. Checking each set's head is cheap and
-	// catches the realistic mistake — handing a shard the full-repository
-	// set, or another shard's projection.
+	// restricted to) another repository or another shard's view would index
+	// foreign IDs into this runner's dense per-node arrays. Checking each
+	// set's head is cheap and catches the realistic mistake — handing a
+	// shard the full-repository set, or another shard's restriction.
 	for i := range cands.Sets {
 		if len(cands.Sets[i].Elems) == 0 {
 			continue
 		}
-		n := cands.Sets[i].Elems[0].Node
-		if n.ID < 0 || n.ID >= r.repo.Len() || r.repo.Node(n.ID) != n {
-			return nil, fmt.Errorf("pipeline: candidate node %v does not belong to this runner's repository", n)
+		if err := r.checkOwned(cands.Sets[i].Elems[0].Node, "candidate node"); err != nil {
+			return nil, err
 		}
 	}
 	return r.runFromCandidates(ctx, personal, cands, 0, opts)
@@ -347,9 +413,8 @@ func (r *Runner) RunWithClusters(ctx context.Context, personal *schema.Tree, can
 		if cl.Len() == 0 {
 			continue
 		}
-		n := cl.Elements[0].Node
-		if n.ID < 0 || n.ID >= r.repo.Len() || r.repo.Node(n.ID) != n {
-			return nil, fmt.Errorf("pipeline: cluster %d element %v does not belong to this runner's repository", cl.ID, n)
+		if err := r.checkOwned(cl.Elements[0].Node, fmt.Sprintf("cluster %d element", cl.ID)); err != nil {
+			return nil, err
 		}
 	}
 	if err := ctx.Err(); err != nil {

@@ -19,7 +19,7 @@
 // immediately, and when the last waiter of a shared run has gone the run
 // itself is cancelled via pipeline.Runner.RunContext.
 //
-// # Sharding
+// # Sharding: one index, shard views
 //
 // A Router scales the same service horizontally: the repository splits
 // into per-shard tree subsets (candidate matching is per-tree and clusters
@@ -33,22 +33,62 @@
 // concentrate in the shards that speak its vocabulary. Service and Router
 // both implement Backend, the surface the HTTP daemon serves.
 //
+// Shards built by the Router constructors are VIEWS, not copies: the
+// router indexes the repository exactly once and each shard service runs
+// on a labeling.View — a set of member trees plus a dense global↔local
+// node-ID translation — over that single shared labeling.Index
+// (PartitionRepositoryViews). Structural queries, mapping generation and
+// query rewriting all read the one immutable index, so resident index
+// memory is independent of the shard count (Stats.IndexBytes, which
+// counts distinct indexes once, pins this; it used to be ~2× the index
+// for a sharded deployment). The clone-based PartitionRepository helpers
+// remain for topologies that need genuinely separate repositories, e.g.
+// Services wrapped by NewRouter or future out-of-process shards — for
+// which the view's tree-ID descriptor is the natural wire payload.
+//
 // # Candidate pre-pass
 //
 // Routers built from a whole repository run the cold-path stages once per
 // request shape instead of once per shard: element matching and clustering
 // execute against the full repository, keyed by a pre-pass signature
-// (personal schema + matcher + MinSim + clustering options) in a small LRU
-// with in-flight sharing, and the results are projected onto each shard —
-// matcher.Candidates.Project for the candidates, a preorder-rank
-// translation for the clusters, which never span trees. Shards then run
-// only mapping generation (Service.MatchWithClusters →
+// (personal schema + matcher + MinSim + clustering options) with in-flight
+// sharing, and the results are projected onto each shard. Because shards
+// are views of the same repository, projection is pure filtering —
+// matcher.Candidates.Restrict keeps each shard's member-tree candidates
+// with their original node objects and order, and each global cluster
+// (clusters never span trees) is handed wholesale to its owning shard.
+// Shards then run only mapping generation (Service.MatchWithClusters →
 // pipeline.Runner.RunWithClusters). The projection is exact, so reports
 // are identical to per-shard computation — and because clustering is
 // global, even the k-means variants reproduce the unsharded result
 // exactly, which per-shard clustering only approximates. The pre-pass
 // executions are counted by Stats.CandidatePrePass, surfaced in /v1/stats
 // and as bellflower_candidate_prepass_total in the Prometheus scrape.
+//
+// # Memory governance
+//
+// All serving caches answer to one byte-budget memory governor: every
+// shard's report cache and the router's pre-pass cache charge their
+// entries — size-estimated in bytes — into a single account
+// (Config.CacheBytes). When the budget is exceeded the governor evicts
+// the globally least-recently-used entry across every member cache,
+// whichever kind it is; per-cache entry-count caps (Config.CacheSize, the
+// pre-pass's 64) remain as secondary limits, and an optional TTL
+// (Config.CacheTTL) ages entries out so stale reports die between
+// repository swaps. Stats exposes the account (CacheBytes,
+// CacheByteBudget, CacheEvictions, CacheExpired) alongside IndexBytes.
+//
+// # Partial-results fan-out
+//
+// Router fan-out is strict by default: any shard error fails the whole
+// request, because a merge missing one shard's mappings would present a
+// wrong top-N as authoritative. Config.PartialResults (or
+// Router.SetPartialResults) opts availability-over-completeness callers
+// into merging the shards that succeeded when others fail: the report is
+// marked Incomplete and carries per-shard errors
+// (pipeline.Report.ShardErrors); requests that fail on every shard, or
+// during the pre-pass, still error. Stats.PartialResults counts the
+// degraded merges.
 //
 // # Concurrency
 //

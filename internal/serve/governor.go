@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"bellflower/internal/cluster"
+	"bellflower/internal/matcher"
+	"bellflower/internal/pipeline"
+)
+
+// memGovernor is the unified memory governor behind every cache the
+// serving layer keeps: the per-shard report caches and the router's
+// candidate pre-pass cache all charge their entries, size-estimated in
+// bytes, into one governor. Eviction is size-aware and global — when the
+// byte budget is exceeded, the least-recently-used entry across ALL
+// member caches goes, whatever kind it is — so an operator bounds total
+// cache memory with a single knob (Config.CacheBytes / -cache-bytes)
+// instead of sizing N shard caches and a pre-pass LRU independently.
+// Per-cache entry-count caps (Config.CacheSize, prepassCacheSize) are
+// still enforced as secondary limits, and an optional TTL
+// (Config.CacheTTL / -cache-ttl) ages entries out of every member cache
+// so stale reports cannot outlive backend swaps indefinitely.
+//
+// A governor is safe for concurrent use. All state is guarded by one
+// mutex; member caches (cacheSpace) share the governor's LRU list and
+// byte account but keep their own key maps, so identical request
+// signatures in different shards never collide.
+type memGovernor struct {
+	mu       sync.Mutex
+	maxBytes int64         // 0 = no byte bound
+	ttl      time.Duration // 0 = entries never expire
+	now      func() time.Time
+
+	used      int64
+	order     *list.List // *govEntry; front = most recently used
+	evictions int64      // entries evicted for space (bytes or count)
+	expired   int64      // entries dropped because their TTL passed
+}
+
+// govEntry is one resident cache entry, owned by a cacheSpace and
+// accounted by the governor.
+type govEntry struct {
+	space  *cacheSpace
+	key    string
+	val    any
+	bytes  int64
+	expire time.Time // zero: never expires
+}
+
+// cacheSpace is one member cache of a governor: its own key namespace and
+// entry-count cap over the shared LRU order and byte budget.
+type cacheSpace struct {
+	gov   *memGovernor
+	cap   int // max entries; <= 0 disables the space entirely
+	byKey map[string]*list.Element
+	bytes int64 // resident bytes of this space's entries
+}
+
+func newGovernor(maxBytes int64, ttl time.Duration) *memGovernor {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	if ttl < 0 {
+		ttl = 0
+	}
+	return &memGovernor{maxBytes: maxBytes, ttl: ttl, now: time.Now, order: list.New()}
+}
+
+// space registers a member cache holding up to capacity entries; a
+// non-positive capacity disables the space (every get misses, puts are
+// dropped), preserving the historical CacheSize < 0 semantics.
+func (g *memGovernor) space(capacity int) *cacheSpace {
+	return &cacheSpace{gov: g, cap: capacity, byKey: make(map[string]*list.Element)}
+}
+
+// snapshot returns the governor-level gauges and counters.
+func (g *memGovernor) snapshot() (used, budget, evictions, expired int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.used, g.maxBytes, g.evictions, g.expired
+}
+
+// expiry computes a new entry's expiration time under the governor's TTL.
+func (g *memGovernor) expiry() time.Time {
+	if g.ttl <= 0 {
+		return time.Time{}
+	}
+	return g.now().Add(g.ttl)
+}
+
+// remove unlinks an entry and returns its bytes to the account. Callers
+// hold g.mu.
+func (g *memGovernor) remove(el *list.Element) {
+	e := el.Value.(*govEntry)
+	g.order.Remove(el)
+	delete(e.space.byKey, e.key)
+	g.used -= e.bytes
+	e.space.bytes -= e.bytes
+}
+
+// enforce evicts until the space's entry cap and the governor's byte
+// budget both hold. Count-cap eviction removes the space's own oldest
+// entry; byte eviction removes the globally oldest entry regardless of
+// which space owns it. Callers hold g.mu.
+func (g *memGovernor) enforce(s *cacheSpace) {
+	for s.cap > 0 && len(s.byKey) > s.cap {
+		for el := g.order.Back(); el != nil; el = el.Prev() {
+			if el.Value.(*govEntry).space == s {
+				g.remove(el)
+				g.evictions++
+				break
+			}
+		}
+	}
+	for g.maxBytes > 0 && g.used > g.maxBytes {
+		el := g.order.Back()
+		if el == nil {
+			return
+		}
+		g.remove(el)
+		g.evictions++
+	}
+}
+
+// get returns the live entry for key, expiring it lazily when its TTL has
+// passed.
+func (s *cacheSpace) get(key string) (any, bool) {
+	if s.cap <= 0 {
+		return nil, false
+	}
+	g := s.gov
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	el, ok := s.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*govEntry)
+	if !e.expire.IsZero() && g.now().After(e.expire) {
+		g.remove(el)
+		g.expired++
+		return nil, false
+	}
+	g.order.MoveToFront(el)
+	return e.val, true
+}
+
+// put inserts or replaces the entry for key, charging bytes to the
+// governor and evicting as needed. An entry larger than the whole byte
+// budget is evicted immediately — oversized values simply don't cache.
+func (s *cacheSpace) put(key string, val any, bytes int64) {
+	if s.cap <= 0 {
+		return
+	}
+	g := s.gov
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		e := el.Value.(*govEntry)
+		g.used += bytes - e.bytes
+		s.bytes += bytes - e.bytes
+		e.val, e.bytes = val, bytes
+		e.expire = g.expiry()
+		g.order.MoveToFront(el)
+	} else {
+		e := &govEntry{space: s, key: key, val: val, bytes: bytes, expire: g.expiry()}
+		s.byKey[key] = g.order.PushFront(e)
+		g.used += bytes
+		s.bytes += bytes
+	}
+	g.enforce(s)
+}
+
+// getOrCreate returns the live entry for key, or inserts the value built
+// by create (charged at zero bytes — callers report the real size with
+// resize once it is known) and reports created = true. The check and
+// insert are one atomic step, which is what in-flight sharing needs.
+func (s *cacheSpace) getOrCreate(key string, create func() any) (val any, created bool) {
+	g := s.gov
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		e := el.Value.(*govEntry)
+		if e.expire.IsZero() || !g.now().After(e.expire) {
+			g.order.MoveToFront(el)
+			return e.val, false
+		}
+		g.remove(el)
+		g.expired++
+	}
+	v := create()
+	e := &govEntry{space: s, key: key, val: v, expire: g.expiry()}
+	s.byKey[key] = g.order.PushFront(e)
+	g.enforce(s)
+	return v, true
+}
+
+// resize re-accounts the entry under key with its now-known byte size, if
+// it is still resident and still holds val.
+func (s *cacheSpace) resize(key string, val any, bytes int64) {
+	g := s.gov
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	el, ok := s.byKey[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*govEntry)
+	if e.val != val {
+		return
+	}
+	g.used += bytes - e.bytes
+	s.bytes += bytes - e.bytes
+	e.bytes = bytes
+	g.enforce(s)
+}
+
+// drop removes the entry under key if it still holds val, so a transient
+// failure is not served to later identical requests.
+func (s *cacheSpace) drop(key string, val any) {
+	g := s.gov
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if el, ok := s.byKey[key]; ok && el.Value.(*govEntry).val == val {
+		g.remove(el)
+	}
+}
+
+// len returns the space's resident entry count.
+func (s *cacheSpace) len() int {
+	s.gov.mu.Lock()
+	defer s.gov.mu.Unlock()
+	return len(s.byKey)
+}
+
+// residentBytes returns the space's accounted bytes.
+func (s *cacheSpace) residentBytes() int64 {
+	s.gov.mu.Lock()
+	defer s.gov.mu.Unlock()
+	return s.bytes
+}
+
+// --- size estimators ---
+//
+// The estimates cover the dominant growth terms (slices of mappings,
+// candidates, cluster elements) plus a flat struct overhead; pointer-shared
+// schema nodes are NOT charged — they belong to the repository, which the
+// governor does not manage. What matters for governance is that the
+// accounting is internally consistent: the governor's used figure always
+// equals the sum of its resident entries' charges (asserted by tests).
+
+const (
+	wordBytes   = 8
+	structSlack = 128 // flat per-entry overhead: struct fields + map/list bookkeeping
+)
+
+// mappingBytes estimates one ranked mapping's resident size.
+func mappingBytes(images, sims int) int64 {
+	return int64(images)*wordBytes + int64(sims)*wordBytes + 64
+}
+
+// reportBytes estimates a completed report's resident size.
+func reportBytes(rep *pipeline.Report) int64 {
+	b := int64(structSlack)
+	b += int64(len(rep.ClusterSizes)) * wordBytes
+	for i := range rep.Mappings {
+		b += mappingBytes(len(rep.Mappings[i].Images), len(rep.Mappings[i].Sims))
+	}
+	for i := range rep.Partials {
+		b += mappingBytes(len(rep.Partials[i].Images), len(rep.Partials[i].Sims))
+	}
+	for i := range rep.ShardErrors {
+		b += int64(len(rep.ShardErrors[i].Err)) + 24
+	}
+	return b
+}
+
+// candidatesBytes estimates an element-matching result's resident size.
+func candidatesBytes(c *matcher.Candidates) int64 {
+	b := int64(len(c.Sets)) * 40 // CandidateSet headers
+	for i := range c.Sets {
+		b += int64(len(c.Sets[i].Elems)) * 16 // Candidate{*Node, float64}
+	}
+	return b
+}
+
+// clustersBytes estimates a clustering result's resident size.
+func clustersBytes(cls []*cluster.Cluster) int64 {
+	b := int64(len(cls)) * wordBytes
+	for _, cl := range cls {
+		b += 64 + int64(len(cl.Elements))*24 // Element{*Node, uint64, float64}
+	}
+	return b
+}
+
+// prepassEntryBytes estimates a completed pre-pass entry's resident size.
+func prepassEntryBytes(e *prepassEntry) int64 {
+	b := int64(structSlack)
+	if e.cands != nil {
+		b += candidatesBytes(e.cands)
+	}
+	return b + clustersBytes(e.clusters)
+}

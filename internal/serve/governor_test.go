@@ -1,0 +1,410 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"bellflower/internal/mapgen"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/schema"
+)
+
+// auditGovernor recomputes the governor's byte account from its resident
+// entries; the invariant under test everywhere is used == Σ entry bytes,
+// i.e. the accounting matches what eviction actually left resident.
+func auditGovernor(t *testing.T, g *memGovernor) int64 {
+	t.Helper()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var sum int64
+	var perSpace = map[*cacheSpace]int64{}
+	count := 0
+	for el := g.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*govEntry)
+		sum += e.bytes
+		perSpace[e.space] += e.bytes
+		if e.space.byKey[e.key] != el {
+			t.Fatalf("entry %q not reachable through its space", e.key)
+		}
+		count++
+	}
+	total := 0
+	for s, b := range perSpace {
+		if s.bytes != b {
+			t.Fatalf("space accounts %d bytes, entries sum to %d", s.bytes, b)
+		}
+		total += len(s.byKey)
+	}
+	if total != count {
+		t.Fatalf("%d entries in order list, %d in space maps", count, total)
+	}
+	if g.used != sum {
+		t.Fatalf("governor accounts %d bytes, resident entries sum to %d", g.used, sum)
+	}
+	return sum
+}
+
+func TestGovernorByteBudgetEviction(t *testing.T) {
+	g := newGovernor(100, 0)
+	s := g.space(100)
+
+	s.put("a", "A", 40)
+	s.put("b", "B", 40)
+	auditGovernor(t, g)
+	if used, _, _, _ := g.snapshot(); used != 80 {
+		t.Fatalf("used = %d, want 80", used)
+	}
+
+	// 30 more bytes exceed the budget: the LRU entry (a) must go, and the
+	// account must reflect exactly the survivors.
+	s.put("c", "C", 30)
+	if _, ok := s.get("a"); ok {
+		t.Error("a survived past the byte budget")
+	}
+	if _, ok := s.get("b"); !ok {
+		t.Error("b evicted although evicting a sufficed")
+	}
+	if got := auditGovernor(t, g); got != 70 {
+		t.Errorf("resident bytes = %d, want 70", got)
+	}
+	if _, _, evictions, _ := g.snapshot(); evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+
+	// Touching b, then overflowing, must evict c (the new LRU), not b.
+	s.get("b")
+	s.put("d", "D", 50) // 70+50=120 > 100 → evict c (30) → 90
+	if _, ok := s.get("c"); ok {
+		t.Error("c survived although it was least recently used")
+	}
+	if _, ok := s.get("b"); !ok {
+		t.Error("recently-touched b was evicted")
+	}
+	if got := auditGovernor(t, g); got != 90 {
+		t.Errorf("resident bytes = %d, want 90", got)
+	}
+
+	// An entry larger than the whole budget never stays resident.
+	s.put("huge", "H", 1000)
+	if _, ok := s.get("huge"); ok {
+		t.Error("oversized entry stayed cached")
+	}
+	if used, _, _, _ := g.snapshot(); used > 100 {
+		t.Errorf("used = %d exceeds the budget", used)
+	}
+	auditGovernor(t, g)
+}
+
+func TestGovernorEvictsAcrossSpaces(t *testing.T) {
+	g := newGovernor(100, 0)
+	reports := g.space(100)
+	prepass := g.space(100)
+
+	reports.put("r1", "R", 60)
+	prepass.put("p1", "P", 30)
+	// The next put overflows; the globally oldest entry is r1 from the
+	// OTHER space — unified governance means it goes first.
+	prepass.put("p2", "P", 40)
+	if _, ok := reports.get("r1"); ok {
+		t.Error("byte pressure did not evict across spaces")
+	}
+	if _, ok := prepass.get("p1"); !ok {
+		t.Error("younger entry in the charging space was evicted instead")
+	}
+	auditGovernor(t, g)
+}
+
+func TestGovernorCountCapPerSpace(t *testing.T) {
+	g := newGovernor(0, 0) // no byte bound: count caps alone
+	a := g.space(2)
+	b := g.space(100)
+
+	b.put("keep", "K", 1)
+	a.put("x", 1, 1)
+	a.put("y", 2, 1)
+	a.put("z", 3, 1) // a over cap: evict a's own oldest (x), never b's
+	if _, ok := a.get("x"); ok {
+		t.Error("x survived past the space cap")
+	}
+	if _, ok := b.get("keep"); !ok {
+		t.Error("count cap of one space evicted another space's entry")
+	}
+	if a.len() != 2 || b.len() != 1 {
+		t.Errorf("lens = %d/%d, want 2/1", a.len(), b.len())
+	}
+	auditGovernor(t, g)
+}
+
+func TestGovernorTTL(t *testing.T) {
+	g := newGovernor(0, time.Minute)
+	now := time.Unix(1000, 0)
+	g.now = func() time.Time { return now }
+	s := g.space(10)
+
+	s.put("a", "A", 10)
+	if _, ok := s.get("a"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	now = now.Add(59 * time.Second)
+	if _, ok := s.get("a"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	// get refreshes recency but not the TTL clock: expiry is from insert.
+	now = now.Add(2 * time.Second)
+	if _, ok := s.get("a"); ok {
+		t.Fatal("entry served after its TTL")
+	}
+	if _, _, _, expired := g.snapshot(); expired != 1 {
+		t.Errorf("expired = %d, want 1", expired)
+	}
+	if used, _, _, _ := g.snapshot(); used != 0 {
+		t.Errorf("expired entry still accounted: used = %d", used)
+	}
+	auditGovernor(t, g)
+
+	// getOrCreate treats an expired entry as absent and recreates it.
+	s.put("b", "B", 5)
+	now = now.Add(2 * time.Minute)
+	v, created := s.getOrCreate("b", func() any { return "B2" })
+	if !created || v != "B2" {
+		t.Errorf("getOrCreate over an expired entry returned (%v, %v)", v, created)
+	}
+	auditGovernor(t, g)
+}
+
+func TestGovernorResizeAndDrop(t *testing.T) {
+	g := newGovernor(100, 0)
+	s := g.space(10)
+
+	v, created := s.getOrCreate("k", func() any { return "V" })
+	if !created {
+		t.Fatal("first getOrCreate did not create")
+	}
+	if used, _, _, _ := g.snapshot(); used != 0 {
+		t.Fatalf("in-flight entry charged %d bytes before settling", used)
+	}
+	s.resize("k", v, 42)
+	if used, _, _, _ := g.snapshot(); used != 42 {
+		t.Fatalf("settled entry accounts %d bytes, want 42", used)
+	}
+	// Resizing with a stale value is a no-op; dropping with the live value
+	// returns the bytes.
+	s.resize("k", "other", 9999)
+	if used, _, _, _ := g.snapshot(); used != 42 {
+		t.Error("resize with a foreign value re-accounted the entry")
+	}
+	s.drop("k", "other")
+	if _, ok := s.get("k"); !ok {
+		t.Error("drop with a foreign value removed the entry")
+	}
+	s.drop("k", v)
+	if _, ok := s.get("k"); ok {
+		t.Error("entry survived drop")
+	}
+	if used, _, _, _ := g.snapshot(); used != 0 {
+		t.Errorf("dropped entry still accounted: used = %d", used)
+	}
+	auditGovernor(t, g)
+}
+
+func TestGovernorDisabledSpace(t *testing.T) {
+	g := newGovernor(100, 0)
+	s := g.space(0)
+	s.put("a", "A", 10)
+	if _, ok := s.get("a"); ok {
+		t.Error("disabled space stored an entry")
+	}
+	if used, _, _, _ := g.snapshot(); used != 0 {
+		t.Errorf("disabled space charged %d bytes", used)
+	}
+}
+
+// TestServiceCacheByteAccounting drives the governor through the real
+// Service surface: reports cached under a tiny byte budget must evict, the
+// stats gauges must track the governor, and the accounting must equal the
+// resident reports' estimates.
+func TestServiceCacheByteAccounting(t *testing.T) {
+	repo := testRepo(t)
+	// Budget sized to hold roughly one report: the second distinct request
+	// must push the first out.
+	s := NewFromRepository(repo, Config{Workers: 2, CacheBytes: 600})
+	defer s.Close()
+
+	opts := testOpts()
+	rep1, err := s.Match(context.Background(), personal(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.CacheBytes != reportBytes(rep1) {
+		t.Errorf("CacheBytes = %d, want the cached report's estimate %d", st.CacheBytes, reportBytes(rep1))
+	}
+	if st.CacheByteBudget != 600 {
+		t.Errorf("CacheByteBudget = %d, want 600", st.CacheByteBudget)
+	}
+	if st.IndexBytes != s.Index().MemoryBytes() {
+		t.Errorf("IndexBytes = %d, want %d", st.IndexBytes, s.Index().MemoryBytes())
+	}
+
+	// Distinct requests with distinct signatures churn the cache; the
+	// resident bytes must never exceed the budget (unless a single report
+	// alone does, in which case nothing is resident).
+	for i := 0; i < 6; i++ {
+		o := opts
+		o.TopN = 50 + i
+		if _, err := s.Match(context.Background(), personal(), o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = s.Stats()
+	if st.CacheBytes > 600 {
+		t.Errorf("resident cache bytes %d exceed the 600-byte budget", st.CacheBytes)
+	}
+	if st.CacheEvictions == 0 {
+		t.Error("no evictions recorded although the budget forced churn")
+	}
+	auditGovernor(t, s.gov)
+}
+
+// TestServiceCacheTTLExpiresReports: a cached report older than the TTL is
+// recomputed, not served.
+func TestServiceCacheTTLExpiresReports(t *testing.T) {
+	s := NewFromRepository(testRepo(t), Config{Workers: 2, CacheTTL: time.Hour})
+	defer s.Close()
+	now := time.Unix(5000, 0)
+	s.gov.mu.Lock()
+	s.gov.now = func() time.Time { return now }
+	s.gov.mu.Unlock()
+
+	if _, err := s.Match(context.Background(), personal(), testOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Match(context.Background(), personal(), testOpts()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.PipelineRuns != 1 {
+		t.Fatalf("warm path broken before expiry: hits=%d runs=%d", st.CacheHits, st.PipelineRuns)
+	}
+
+	now = now.Add(2 * time.Hour)
+	if _, err := s.Match(context.Background(), personal(), testOpts()); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.PipelineRuns != 2 {
+		t.Errorf("pipeline runs = %d, want 2 (expired report must be recomputed)", st.PipelineRuns)
+	}
+	if st.CacheExpired != 1 {
+		t.Errorf("CacheExpired = %d, want 1", st.CacheExpired)
+	}
+}
+
+// TestRouterUnifiedGovernor: the shards of one view-backed router and its
+// pre-pass cache all charge one governor, and the rollup reports the
+// governor's account (reports + pre-pass), a single shared budget, and a
+// single shared index.
+func TestRouterUnifiedGovernor(t *testing.T) {
+	r := NewRouterFromRepository(testRepo(t), 3, Config{Workers: 1, CacheBytes: 1 << 20, CacheTTL: time.Hour})
+	defer r.Close()
+
+	for i := 0; i < 3; i++ {
+		opts := testOpts()
+		opts.TopN = 10 + i
+		if _, err := r.Match(context.Background(), personal(), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range r.shards {
+		if s.gov != r.gov {
+			t.Fatalf("shard %d owns a private governor", i)
+		}
+		if s.Index() != r.fullRunner.Index() {
+			t.Fatalf("shard %d owns a private index", i)
+		}
+	}
+	total, shards := r.Snapshot()
+	var shardCache int64
+	for _, st := range shards {
+		shardCache += st.CacheBytes
+	}
+	prepassBytes := r.prepass.space.residentBytes()
+	if prepassBytes <= 0 {
+		t.Error("pre-pass entries not byte-accounted")
+	}
+	if total.CacheBytes != shardCache+prepassBytes {
+		t.Errorf("rollup CacheBytes = %d, want shard reports %d + prepass %d",
+			total.CacheBytes, shardCache, prepassBytes)
+	}
+	if total.CacheByteBudget != 1<<20 {
+		t.Errorf("rollup budget = %d, want %d", total.CacheByteBudget, 1<<20)
+	}
+	if want := r.fullRunner.Index().MemoryBytes(); total.IndexBytes != want {
+		t.Errorf("rollup IndexBytes = %d, want exactly one full index (%d)", total.IndexBytes, want)
+	}
+	auditGovernor(t, r.gov)
+}
+
+// TestRouterSharedIndexFootprint pins the tentpole claim with numbers: a
+// view-backed router's resident index bytes equal an unsharded service's,
+// for every shard count, while the clone-based NewRouter topology grows
+// with its per-shard indexes (plus holds no full index at all).
+func TestRouterSharedIndexFootprint(t *testing.T) {
+	repo := syntheticRepo(t, 400, 5)
+	unsharded := NewFromRepository(repo, Config{Workers: 1})
+	defer unsharded.Close()
+	want := unsharded.Stats().IndexBytes
+	if want <= 0 {
+		t.Fatal("unsharded index bytes not positive")
+	}
+
+	for shards := 1; shards <= 8; shards++ {
+		r := NewRouterFromRepository(repo, shards, Config{Workers: 1})
+		total, _ := r.Snapshot()
+		if total.IndexBytes != want {
+			t.Errorf("shards=%d: resident index bytes %d, want %d (one shared index regardless of shard count)",
+				shards, total.IndexBytes, want)
+		}
+		r.Close()
+	}
+
+	// The legacy clone-based wrap keeps per-shard indexes: its footprint is
+	// the sum of the partition indexes, which the dedup must count fully.
+	parts := PartitionRepositoryClustered(repo, 4)
+	cloneShards := make([]*Service, len(parts))
+	var sum int64
+	for i, p := range parts {
+		cloneShards[i] = NewFromRepository(p, Config{Workers: 1})
+		sum += cloneShards[i].Index().MemoryBytes()
+	}
+	nr := NewRouter(cloneShards)
+	defer nr.Close()
+	total, _ := nr.Snapshot()
+	if total.IndexBytes != sum {
+		t.Errorf("clone-based router IndexBytes = %d, want the per-shard sum %d", total.IndexBytes, sum)
+	}
+}
+
+// TestReportBytesGrowsWithContent sanity-checks the size estimator the
+// governor charges reports at.
+func TestReportBytesGrowsWithContent(t *testing.T) {
+	small := &pipeline.Report{}
+	big := &pipeline.Report{ClusterSizes: make([]int, 100)}
+	for i := 0; i < 50; i++ {
+		big.Mappings = append(big.Mappings, mappingOfWidth(3))
+	}
+	if reportBytes(big) <= reportBytes(small) {
+		t.Errorf("reportBytes(big)=%d <= reportBytes(small)=%d", reportBytes(big), reportBytes(small))
+	}
+	withErr := &pipeline.Report{ShardErrors: []pipeline.ShardError{{Shard: 1, Err: "boom"}}}
+	if reportBytes(withErr) <= reportBytes(small) {
+		t.Error("shard errors not accounted")
+	}
+}
+
+func mappingOfWidth(w int) (m mapgen.Mapping) {
+	m.Images = make([]*schema.Node, w)
+	m.Sims = make([]float64, w)
+	return m
+}

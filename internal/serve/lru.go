@@ -1,74 +1,41 @@
 package serve
 
 import (
-	"container/list"
-	"sync"
-
 	"bellflower/internal/pipeline"
 )
 
-// reportCache is a mutex-guarded LRU of completed reports keyed by request
-// signature. Cached *pipeline.Report values are shared between callers and
-// must be treated as immutable.
+// reportCache is one service's completed-report cache, keyed by request
+// signature: a member space of the unified memory governor, so its entries
+// compete for the shared byte budget (and age under the shared TTL)
+// alongside every other shard's reports and the router's pre-pass results.
+// Cached *pipeline.Report values are shared between callers and must be
+// treated as immutable.
 type reportCache struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recently used; values are *cacheEntry
-	byKey map[string]*list.Element
+	space *cacheSpace
 }
 
-type cacheEntry struct {
-	key string
-	rep *pipeline.Report
-}
-
-// newReportCache returns an LRU holding up to capacity reports; a
-// non-positive capacity disables caching (every Get misses).
-func newReportCache(capacity int) *reportCache {
-	return &reportCache{
-		cap:   capacity,
-		order: list.New(),
-		byKey: make(map[string]*list.Element),
-	}
+// newReportCache registers a report space holding up to capacity entries
+// with the governor; a non-positive capacity disables caching (every Get
+// misses).
+func newReportCache(gov *memGovernor, capacity int) *reportCache {
+	return &reportCache{space: gov.space(capacity)}
 }
 
 func (c *reportCache) Get(key string) (*pipeline.Report, bool) {
-	if c.cap <= 0 {
-		return nil, false
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
+	v, ok := c.space.get(key)
 	if !ok {
 		return nil, false
 	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).rep, true
+	return v.(*pipeline.Report), true
 }
 
 func (c *reportCache) Put(key string, rep *pipeline.Report) {
-	if c.cap <= 0 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).rep = rep
-		c.order.MoveToFront(el)
-		return
-	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, rep: rep})
-	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*cacheEntry).key)
-	}
+	c.space.put(key, rep, reportBytes(rep))
 }
 
-func (c *reportCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
-}
+func (c *reportCache) Len() int { return c.space.len() }
 
-func (c *reportCache) Cap() int { return c.cap }
+func (c *reportCache) Cap() int { return c.space.cap }
+
+// Bytes returns the cache's resident accounted bytes.
+func (c *reportCache) Bytes() int64 { return c.space.residentBytes() }

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"bellflower/internal/pipeline"
+	"bellflower/internal/schema"
+)
+
+// TestRouterPartialResultsFanOut: with partial results enabled, a fan-out
+// in which some shards fail returns the merge of the shards that
+// succeeded, marked Incomplete with the per-shard errors; with the
+// default strict routing the same failure fails the request.
+func TestRouterPartialResultsFanOut(t *testing.T) {
+	repo := testRepo(t)
+
+	// Strict (default): killing one shard fails every fanned-out request.
+	strict := NewRouterFromRepository(repo, 3, Config{Workers: 1})
+	defer strict.Close()
+	strict.Shard(1).Close()
+	if _, err := strict.Match(context.Background(), personal(), testOpts()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("strict router err = %v, want ErrClosed", err)
+	}
+
+	// Partial: the same topology merges the two healthy shards.
+	r := NewRouterFromRepository(repo, 3, Config{Workers: 1, PartialResults: true})
+	defer r.Close()
+	if !r.PartialResults() {
+		t.Fatal("Config.PartialResults did not enable the option")
+	}
+	whole, err := r.Match(context.Background(), personal(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Incomplete || len(whole.ShardErrors) != 0 {
+		t.Fatalf("fully successful fan-out marked incomplete: %+v", whole.ShardErrors)
+	}
+
+	r.Shard(1).Close()
+	opts := testOpts()
+	opts.TopN = 77 // fresh signature: the healthy shards must recompute, not serve caches
+	rep, err := r.Match(context.Background(), personal(), opts)
+	if err != nil {
+		t.Fatalf("partial router failed outright: %v", err)
+	}
+	if !rep.Incomplete {
+		t.Error("partially failed merge not marked Incomplete")
+	}
+	if len(rep.ShardErrors) != 1 || rep.ShardErrors[0].Shard != 1 {
+		t.Fatalf("ShardErrors = %+v, want exactly shard 1", rep.ShardErrors)
+	}
+	if rep.ShardErrors[0].Err == "" {
+		t.Error("shard error carries no message")
+	}
+	// The merge covers exactly the healthy shards' trees: every returned
+	// mapping lives outside the dead shard.
+	for i, m := range rep.Mappings {
+		if len(m.Images) == 0 {
+			continue
+		}
+		if shard, ok := r.shardOf[m.Images[0].Tree()]; !ok || shard == 1 {
+			t.Errorf("mapping %d drawn from the failed shard", i)
+		}
+	}
+	if got := r.Stats().PartialResults; got != 1 {
+		t.Errorf("PartialResults counter = %d, want 1", got)
+	}
+
+	// All shards failing still fails the request, Incomplete or not.
+	r.Shard(0).Close()
+	r.Shard(2).Close()
+	opts.TopN = 78
+	if _, err := r.Match(context.Background(), personal(), opts); !errors.Is(err, ErrClosed) {
+		t.Fatalf("all-shards-failed err = %v, want ErrClosed", err)
+	}
+}
+
+// TestRouterSetPartialResultsRuntimeToggle: the option can be flipped on a
+// live router, including one wrapped around pre-existing services.
+func TestRouterSetPartialResultsRuntimeToggle(t *testing.T) {
+	parts := PartitionRepositoryClustered(testRepo(t), 2)
+	shards := make([]*Service, len(parts))
+	for i, p := range parts {
+		shards[i] = NewFromRepository(p, Config{Workers: 1})
+	}
+	r := NewRouter(shards)
+	defer r.Close()
+	if r.PartialResults() {
+		t.Fatal("NewRouter enabled partial results by default")
+	}
+	r.Shard(0).Close()
+	if _, err := r.Match(context.Background(), personal(), testOpts()); err == nil {
+		t.Fatal("strict wrap served a partially failed fan-out")
+	}
+	r.SetPartialResults(true)
+	rep, err := r.Match(context.Background(), personal(), testOpts())
+	if err != nil {
+		t.Fatalf("partial wrap failed: %v", err)
+	}
+	if !rep.Incomplete || len(rep.ShardErrors) != 1 || rep.ShardErrors[0].Shard != 0 {
+		t.Fatalf("report = incomplete:%v errors:%+v, want incomplete with shard 0", rep.Incomplete, rep.ShardErrors)
+	}
+	r.SetPartialResults(false)
+	if _, err := r.Match(context.Background(), personal(), mutateTopN(testOpts(), 91)); err == nil {
+		t.Fatal("disabling partial results did not restore strict routing")
+	}
+}
+
+func mutateTopN(o pipeline.Options, n int) pipeline.Options {
+	o.TopN = n
+	return o
+}
+
+// TestPartialResultsDoNotMaskCallerExpiry: when the REQUEST's own context
+// expires, partial mode must still error even though some shards
+// succeeded — a client timeout or disconnect must never come back as a
+// 200 Incomplete merge.
+func TestPartialResultsDoNotMaskCallerExpiry(t *testing.T) {
+	// A no-pre-pass wrap so matching runs per shard: the fast shard
+	// completes, the slow shard outlives the request deadline — a mixed
+	// outcome at fan-out merge time, with the caller's context expired.
+	fast := schema.NewRepository()
+	fast.MustAdd(schema.MustParseSpec("store(book(title,author))"))
+	slow := schema.NewRepository()
+	slow.MustAdd(schema.MustParseSpec("archive(tome(slowpoke,author))"))
+	r := NewRouter([]*Service{
+		NewFromRepository(fast, Config{Workers: 1}),
+		NewFromRepository(slow, Config{Workers: 1}),
+	})
+	defer r.Close()
+	r.SetPartialResults(true)
+
+	opts := testOpts()
+	opts.Matcher = slowMatcher{trigger: "slowpoke", delay: 300 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	rep, err := r.Match(ctx, personal(), opts)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v (report %v), want DeadlineExceeded — partial mode must not absorb the caller's own expiry", err, rep)
+	}
+	if got := r.Stats().PartialResults; got != 0 {
+		t.Errorf("PartialResults counter = %d after a caller expiry, want 0", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"bellflower/internal/labeling"
 	"bellflower/internal/schema"
 )
 
@@ -57,6 +58,25 @@ func ParsePartitionStrategy(s string) (PartitionStrategy, error) {
 	}
 }
 
+// PartitionRepositoryViews splits the index's repository into up to n
+// disjoint shard VIEWS: each shard is a labeling.View over the one shared
+// index — a set of member trees plus a global↔local ID translation —
+// instead of a cloned sub-repository with an index of its own. This is the
+// partitioner the Router constructors use; it keeps every distribution
+// guarantee of the clone-based helpers (each tree in exactly one shard, no
+// shard empty, deterministic split, n clamped to [1, number of trees])
+// while the resident index memory stays one full-repository copy
+// regardless of n. The tree-ID descriptors inside the views are also the
+// natural wire payload for a future out-of-process shard client.
+func PartitionRepositoryViews(ix *labeling.Index, n int, strategy PartitionStrategy) []*labeling.View {
+	assigned := assignTrees(ix.Repository().Trees(), n, strategy)
+	views := make([]*labeling.View, len(assigned))
+	for i, trees := range assigned {
+		views[i] = labeling.NewView(ix, trees)
+	}
+	return views
+}
+
 // PartitionRepository splits a repository into up to n disjoint shard
 // repositories with the balanced strategy. Trees are cloned (a tree belongs
 // to exactly one repository) and distributed largest first, each into the
@@ -64,6 +84,11 @@ func ParsePartitionStrategy(s string) (PartitionStrategy, error) {
 // deterministic for a given repository. n is clamped to [1, number of
 // trees], so no shard is ever empty (an empty repository yields one empty
 // shard).
+//
+// The clone-based partitioners exist for deployments that need genuinely
+// independent repositories (separate processes, or Services wrapped by
+// NewRouter); in-process sharding uses PartitionRepositoryViews, which
+// shares one index across the shards instead of cloning.
 func PartitionRepository(repo *schema.Repository, n int) []*schema.Repository {
 	parts, _ := partitionRepository(repo, n, PartitionBalanced)
 	return parts

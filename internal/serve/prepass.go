@@ -1,18 +1,17 @@
 package serve
 
 import (
-	"container/list"
-	"sync"
 	"time"
 
 	"bellflower/internal/cluster"
 	"bellflower/internal/matcher"
 )
 
-// prepassCacheSize bounds the router's candidate pre-pass LRU. Candidate
-// sets and clusters are small relative to the repository (post-threshold
-// pairs only), and unlike reports they are kept per pre-pass signature —
-// schema + matcher + MinSim + clustering options — so a handful of active
+// prepassCacheSize bounds the router's candidate pre-pass cache by entry
+// count (a secondary limit under the unified byte budget). Candidate sets
+// and clusters are small relative to the repository (post-threshold pairs
+// only), and unlike reports they are kept per pre-pass signature — schema
+// + matcher + MinSim + clustering options — so a handful of active
 // personal schemas covers most traffic.
 const prepassCacheSize = 64
 
@@ -35,58 +34,41 @@ type prepassEntry struct {
 	err error
 }
 
-// prepassCache is a mutex-guarded LRU of pre-pass entries keyed by the
-// pre-pass signature (prepassSignature: schema + matcher + MinSim +
-// clustering options), with built-in in-flight sharing. Entries evicted —
-// or dropped — while still computing stay valid for the waiters holding
-// them; every entry eventually has its done channel closed.
+// prepassCache stores pre-pass entries keyed by the pre-pass signature
+// (prepassSignature: schema + matcher + MinSim + clustering options), with
+// built-in in-flight sharing, as a member space of the unified memory
+// governor: completed entries are byte-accounted (settle) and compete with
+// the report caches for the shared budget. Entries evicted — or dropped —
+// while still computing stay valid for the waiters holding them; every
+// entry eventually has its done channel closed.
 type prepassCache struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recently used; values are *prepassItem
-	byKey map[string]*list.Element
+	space *cacheSpace
 }
 
-type prepassItem struct {
-	key   string
-	entry *prepassEntry
-}
-
-func newPrepassCache(capacity int) *prepassCache {
-	return &prepassCache{
-		cap:   capacity,
-		order: list.New(),
-		byKey: make(map[string]*list.Element),
-	}
+func newPrepassCache(gov *memGovernor, capacity int) *prepassCache {
+	return &prepassCache{space: gov.space(capacity)}
 }
 
 // join returns the entry for key, creating it when absent. leader is true
-// for the caller that must compute the entry and close done.
+// for the caller that must compute the entry, settle (or drop) it, and
+// close done.
 func (c *prepassCache) join(key string) (e *prepassEntry, leader bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
-		c.order.MoveToFront(el)
-		return el.Value.(*prepassItem).entry, false
-	}
-	e = &prepassEntry{done: make(chan struct{})}
-	c.byKey[key] = c.order.PushFront(&prepassItem{key: key, entry: e})
-	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*prepassItem).key)
-	}
-	return e, true
+	v, created := c.space.getOrCreate(key, func() any {
+		return &prepassEntry{done: make(chan struct{})}
+	})
+	return v.(*prepassEntry), created
+}
+
+// settle charges a completed entry's actual size to the governor (entries
+// enter the cache at zero bytes because their size is unknown until the
+// leader finishes).
+func (c *prepassCache) settle(key string, e *prepassEntry) {
+	c.space.resize(key, e, prepassEntryBytes(e))
 }
 
 // drop removes the entry from the cache if it is still the one stored
 // under key, so a later identical request starts a fresh computation
 // instead of inheriting a transient failure.
 func (c *prepassCache) drop(key string, e *prepassEntry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok && el.Value.(*prepassItem).entry == e {
-		c.order.Remove(el)
-		delete(c.byKey, key)
-	}
+	c.space.drop(key, e)
 }

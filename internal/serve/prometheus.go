@@ -29,8 +29,11 @@ func WritePrometheus(w io.Writer, st Stats, shards int) error {
 	counter("bellflower_deduped_in_flight_total", "Requests that joined an identical in-flight run.", st.DedupedInFlight)
 	counter("bellflower_pipeline_runs_total", "Matching pipeline executions completed.", st.PipelineRuns)
 	counter("bellflower_candidate_prepass_total", "Full-repository candidate pre-pass executions (router-level element matching, shared across shards).", st.CandidatePrePass)
+	counter("bellflower_partial_results_total", "Fanned-out requests served as Incomplete merges under the partial-results option.", st.PartialResults)
 	counter("bellflower_errors_total", "Requests that finished with an error, including cancellations and deadline expiries.", st.Errors)
 	counter("bellflower_rejected_total", "Requests refused before running (closed service, oversized or nil schema).", st.Rejected)
+	counter("bellflower_cache_evictions_total", "Cache entries evicted for space (byte budget or entry-count cap).", st.CacheEvictions)
+	counter("bellflower_cache_expired_total", "Cache entries dropped because their TTL passed.", st.CacheExpired)
 
 	gauge("bellflower_shards", "Repository shards served by this process.", int64(shards))
 	gauge("bellflower_workers", "Pipeline worker goroutines across all shards.", int64(st.Workers))
@@ -39,6 +42,9 @@ func WritePrometheus(w io.Writer, st Stats, shards int) error {
 	gauge("bellflower_in_flight", "Distinct deduplicated runs executing or queued.", int64(st.InFlight))
 	gauge("bellflower_report_cache_entries", "Reports currently cached.", int64(st.CacheLen))
 	gauge("bellflower_report_cache_capacity", "Report cache capacity.", int64(st.CacheCap))
+	gauge("bellflower_cache_bytes", "Resident size-estimated bytes across the unified cache (reports + pre-pass).", st.CacheBytes)
+	gauge("bellflower_cache_byte_budget", "Unified cache byte budget (0 = unbounded).", st.CacheByteBudget)
+	gauge("bellflower_index_bytes", "Resident labelling-index bytes (distinct indexes counted once; view-backed shards share one).", st.IndexBytes)
 
 	const hist = "bellflower_request_latency_seconds"
 	fmt.Fprintf(ew, "# HELP %s End-to-end request latency.\n# TYPE %s histogram\n", hist, hist)
@@ -52,6 +58,50 @@ func WritePrometheus(w io.Writer, st Stats, shards int) error {
 	fmt.Fprintf(ew, "%s_bucket{le=\"+Inf\"} %d\n", hist, st.Latency.Count)
 	fmt.Fprintf(ew, "%s_sum %g\n", hist, st.Latency.SumMS/1000)
 	fmt.Fprintf(ew, "%s_count %d\n", hist, st.Latency.Count)
+	return ew.err
+}
+
+// shardSeries is the per-shard metric family written by
+// WritePrometheusSnapshot: one labelled series per shard alongside the
+// unlabelled rollup.
+var shardSeries = []struct {
+	name, typ, help string
+	value           func(Stats) int64
+}{
+	{"bellflower_shard_requests_total", "counter", "Match requests received by the shard.", func(s Stats) int64 { return s.Requests }},
+	{"bellflower_shard_cache_hits_total", "counter", "Shard requests served from its report cache.", func(s Stats) int64 { return s.CacheHits }},
+	{"bellflower_shard_cache_misses_total", "counter", "Shard requests that consulted the flight group.", func(s Stats) int64 { return s.CacheMisses }},
+	{"bellflower_shard_deduped_in_flight_total", "counter", "Shard requests that joined an identical in-flight run.", func(s Stats) int64 { return s.DedupedInFlight }},
+	{"bellflower_shard_pipeline_runs_total", "counter", "Pipeline executions completed by the shard.", func(s Stats) int64 { return s.PipelineRuns }},
+	{"bellflower_shard_errors_total", "counter", "Shard requests that finished with an error.", func(s Stats) int64 { return s.Errors }},
+	{"bellflower_shard_rejected_total", "counter", "Shard requests refused before running.", func(s Stats) int64 { return s.Rejected }},
+	{"bellflower_shard_queue_depth", "gauge", "Runs waiting for one of the shard's workers right now.", func(s Stats) int64 { return int64(s.QueueDepth) }},
+	{"bellflower_shard_in_flight", "gauge", "Distinct deduplicated runs executing or queued on the shard.", func(s Stats) int64 { return int64(s.InFlight) }},
+	{"bellflower_shard_report_cache_entries", "gauge", "Reports currently cached by the shard.", func(s Stats) int64 { return int64(s.CacheLen) }},
+	{"bellflower_shard_cache_bytes", "gauge", "Resident size-estimated bytes of the shard's report cache.", func(s Stats) int64 { return s.CacheBytes }},
+}
+
+// WritePrometheusSnapshot renders a backend's coherent snapshot
+// (Backend.Snapshot): the rolled-up metrics of WritePrometheus, followed —
+// when the backend actually fans out (len(shards) > 1) — by per-shard
+// series labelled {shard="N"}, N being the shard's index in the router's
+// shard order. The rollup names stay exactly those of WritePrometheus, so
+// existing dashboards keep working; the labelled families add the
+// per-shard breakdown under distinct bellflower_shard_* names.
+func WritePrometheusSnapshot(w io.Writer, total Stats, shards []Stats) error {
+	if err := WritePrometheus(w, total, len(shards)); err != nil {
+		return err
+	}
+	if len(shards) <= 1 {
+		return nil
+	}
+	ew := &errWriter{w: w}
+	for _, m := range shardSeries {
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		for i, st := range shards {
+			fmt.Fprintf(ew, "%s{shard=\"%d\"} %d\n", m.name, i, m.value(st))
+		}
+	}
 	return ew.err
 }
 

@@ -123,3 +123,66 @@ func TestWritePrometheusCandidatePrePass(t *testing.T) {
 		t.Errorf("scrape missing bellflower_candidate_prepass_total 1:\n%s", b.String())
 	}
 }
+
+// TestWritePrometheusShardLabels: WritePrometheusSnapshot adds per-shard
+// labelled series next to the unlabelled rollup, and the labelled
+// families sum to the rollup for pure per-shard counters.
+func TestWritePrometheusShardLabels(t *testing.T) {
+	r := NewRouterFromRepository(testRepo(t), 3, Config{})
+	defer r.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := r.Match(context.Background(), personal(), testOpts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total, shards := r.Snapshot()
+	var b strings.Builder
+	if err := WritePrometheusSnapshot(&b, total, shards); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// The rollup names are unchanged...
+	if !strings.Contains(out, "bellflower_requests_total ") {
+		t.Error("rollup series missing from labelled scrape")
+	}
+	// ...and every shard appears in the labelled families.
+	sum := int64(0)
+	for i, st := range shards {
+		line := "bellflower_shard_requests_total{shard=\"" + strconv.Itoa(i) + "\"} " + strconv.FormatInt(st.Requests, 10)
+		if !strings.Contains(out, line) {
+			t.Errorf("scrape missing %q:\n%s", line, out)
+		}
+		sum += st.Requests
+	}
+	if sum != total.Requests {
+		t.Errorf("labelled shard requests sum to %d, rollup says %d", sum, total.Requests)
+	}
+	for _, name := range []string{
+		"bellflower_shard_cache_hits_total{shard=\"0\"}",
+		"bellflower_shard_pipeline_runs_total{shard=\"2\"}",
+		"bellflower_shard_cache_bytes{shard=\"1\"}",
+		"bellflower_index_bytes ",
+		"bellflower_cache_bytes ",
+		"bellflower_partial_results_total 0",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("scrape missing %q", name)
+		}
+	}
+	if strings.Count(out, "# HELP") != strings.Count(out, "# TYPE") {
+		t.Error("HELP/TYPE metadata out of balance in labelled scrape")
+	}
+
+	// A single-shard backend emits no labelled families.
+	s := NewFromRepository(testRepo(t), Config{})
+	defer s.Close()
+	st, ss := s.Snapshot()
+	var single strings.Builder
+	if err := WritePrometheusSnapshot(&single, st, ss); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(single.String(), "{shard=") {
+		t.Error("single-shard scrape contains shard labels")
+	}
+}

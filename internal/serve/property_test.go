@@ -50,10 +50,13 @@ func canonicalReport(rep *pipeline.Report) string {
 
 // TestShardedEquivalenceProperty is the randomized equivalence harness:
 // for seeded random repositories and personal schemas, the sharded report
-// must be byte-identical (canonical form) to the unsharded one for BOTH
-// partition strategies across shard counts 1–8, and truncated (top-N)
-// reports must carry the byte-identical Δ sequence with every mapping
-// drawn from the unsharded result. (Within an equal-Δ group straddling the
+// — served by view-backed shards sharing ONE labelling index — must be
+// byte-identical (canonical form) to the unsharded one for BOTH partition
+// strategies across shard counts 1–8, with partial-results mode both off
+// and on (alternating by shard count; a healthy fan-out must be identical
+// and never marked Incomplete either way), and truncated (top-N) reports
+// must carry the byte-identical Δ sequence with every mapping drawn from
+// the unsharded result. (Within an equal-Δ group straddling the
 // top-N cut the tie member chosen is shard-order-dependent by documented
 // design — the same latitude ID-based tie-breaking already has — so exact
 // byte identity is asserted on the untruncated report.) Both tree
@@ -103,15 +106,33 @@ func TestShardedEquivalenceProperty(t *testing.T) {
 
 		for _, strategy := range []PartitionStrategy{PartitionBalanced, PartitionClustered} {
 			for shards := 1; shards <= 8; shards++ {
-				r := NewRouterWithPartition(repo, shards, Config{Workers: 2}, strategy)
+				// Both routing modes must agree byte-for-byte on healthy
+				// fan-outs: partial results only changes what happens when
+				// shards FAIL, never what a successful merge contains.
+				partial := shards%2 == 0
+				r := NewRouterWithPartition(repo, shards, Config{Workers: 2, PartialResults: partial}, strategy)
+				// Shards are views over ONE shared index: that is the
+				// memory model the equivalence is now proving exact.
+				for i := 0; i < r.NumShards(); i++ {
+					if r.Shard(i).Index() != r.fullRunner.Index() {
+						t.Fatalf("seed %d %v shards=%d: shard %d owns a private index", tc.seed, strategy, shards, i)
+					}
+					if r.Shard(i).Runner().View() == nil {
+						t.Fatalf("seed %d %v shards=%d: shard %d is not view-backed", tc.seed, strategy, shards, i)
+					}
+				}
 				rep, err := r.Match(context.Background(), personal, opts)
 				if err != nil {
 					r.Close()
 					t.Fatalf("seed %d %v shards=%d: %v", tc.seed, strategy, shards, err)
 				}
+				if rep.Incomplete || len(rep.ShardErrors) != 0 {
+					t.Errorf("seed %d %v shards=%d: healthy fan-out marked incomplete (partial=%v)",
+						tc.seed, strategy, shards, partial)
+				}
 				if got := canonicalReport(rep); got != want {
-					t.Errorf("seed %d %v shards=%d: sharded report differs from unsharded\n--- unsharded\n%s\n--- sharded\n%s",
-						tc.seed, strategy, shards, want, got)
+					t.Errorf("seed %d %v shards=%d: sharded report differs from unsharded (partial=%v)\n--- unsharded\n%s\n--- sharded\n%s",
+						tc.seed, strategy, shards, partial, want, got)
 				}
 				// Stage-1 instrumentation must agree too: the pre-pass
 				// projections cover exactly the unsharded candidate set.

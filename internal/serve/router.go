@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"bellflower/internal/cluster"
+	"bellflower/internal/labeling"
 	"bellflower/internal/mapgen"
 	"bellflower/internal/matcher"
 	"bellflower/internal/pipeline"
@@ -76,14 +77,18 @@ var (
 // of controlled approximation the clustering step itself introduces.
 //
 // Routers built from a whole repository (NewRouterFromRepository,
-// NewRouterWithPartition) additionally run a shared pre-pass: element
-// matching — the O(|personal| × |repo|) cold-path stage — and clustering
-// execute once against the full repository per pre-pass signature
-// (personal schema + matcher + MinSim + clustering options; see
-// CandidateSignature), are cached in a small LRU, and the results are
-// projected onto each shard (matcher.Candidates.Project plus a cluster
-// projection — clusters never span trees, so a global clustering splits
-// exactly along shard boundaries). Shard services then run only mapping
+// NewRouterWithPartition) index the repository exactly ONCE and run their
+// shards as labeling.Views over that shared index — a shard is a set of
+// member trees plus an ID translation, not a cloned sub-repository, so
+// resident index memory does not grow with the shard count. They
+// additionally run a shared pre-pass: element matching — the
+// O(|personal| × |repo|) cold-path stage — and clustering execute once
+// against the full repository per pre-pass signature (personal schema +
+// matcher + MinSim + clustering options; see CandidateSignature), are
+// cached under the unified memory governor, and the results are projected
+// onto each shard by pure filtering (matcher.Candidates.Restrict for the
+// candidates; clusters never span trees, so each global cluster is handed
+// wholesale to its owning shard). Shard services then run only mapping
 // generation, via Service.MatchWithClusters. The projection is exact, and
 // because clustering is global the k-means variants produce the SAME
 // clusters as an unsharded run — pre-pass routers drop the per-shard
@@ -98,11 +103,12 @@ type Router struct {
 	shardOf map[*schema.Tree]int // routes mappings back to their shard
 	once    sync.Once
 	closed  atomic.Bool
+	partial atomic.Bool // opt-in partial-results fan-out
 
 	// Pre-pass state; fullRunner == nil disables the pre-pass.
-	fullRunner     *pipeline.Runner                // runner over the unpartitioned repository
-	cloneOf        []map[*schema.Tree]*schema.Tree // per shard: original tree → clone
-	shardOfOrig    map[*schema.Tree]int            // original tree → shard, for cluster projection
+	fullRunner     *pipeline.Runner // shares the one index with the shard views
+	views          []*labeling.View // per shard: the view its service runs on
+	gov            *memGovernor     // unified cache governor shared with the shards
 	prepass        *prepassCache
 	prepassSem     chan struct{} // bounds concurrent pre-pass executions to the shard worker budget
 	maxSchemaNodes int           // mirror of the shard services' guard
@@ -110,13 +116,15 @@ type Router struct {
 	// Router-level instrumentation: work and rejections that happen above
 	// the shards on the pre-pass path and would otherwise be invisible in
 	// every per-shard snapshot. Folded into Stats().
-	prepassRuns atomic.Int64 // full-repository pre-pass executions
-	rejected    atomic.Int64 // requests refused before reaching any shard
-	errored     atomic.Int64 // requests failed during the pre-pass (ctx expiry)
+	prepassRuns   atomic.Int64 // full-repository pre-pass executions
+	rejected      atomic.Int64 // requests refused before reaching any shard
+	errored       atomic.Int64 // requests failed during the pre-pass (ctx expiry)
+	partialMerges atomic.Int64 // fan-outs served as Incomplete merges
 }
 
 // NewRouter wraps existing shard services in a router, taking ownership of
-// them (Router.Close closes every shard). It panics on an empty shard list.
+// them (Router.Close closes every shard). The services' served trees
+// (Service.Trees) must be disjoint. It panics on an empty shard list.
 func NewRouter(shards []*Service) *Router {
 	if len(shards) == 0 {
 		panic("serve: NewRouter needs at least one shard")
@@ -126,7 +134,7 @@ func NewRouter(shards []*Service) *Router {
 		shardOf: make(map[*schema.Tree]int),
 	}
 	for i, s := range r.shards {
-		for _, t := range s.Repository().Trees() {
+		for _, t := range s.Trees() {
 			r.shardOf[t] = i
 		}
 	}
@@ -142,43 +150,62 @@ func NewRouterFromRepository(repo *schema.Repository, n int, cfg Config) *Router
 }
 
 // NewRouterWithPartition partitions the repository with the given strategy
-// (see PartitionStrategy), starts one Service per shard and enables the
-// shared candidate pre-pass (the router keeps the full repository to match
-// against once per request signature). When cfg.Workers is 0 each shard
-// gets GOMAXPROCS divided by the shard count (at least 1), so the default
-// total worker budget matches an unsharded Service instead of multiplying
-// by n.
+// (see PartitionStrategy) into shard VIEWS over one shared labelling index
+// — the repository is indexed exactly once, and each shard service runs on
+// a lightweight labeling.View (member trees plus ID translation) instead
+// of a cloned sub-repository with an index of its own. It starts one
+// Service per shard and enables the shared candidate pre-pass, which runs
+// against the same index. When cfg.Workers is 0 each shard gets GOMAXPROCS
+// divided by the shard count (at least 1), so the default total worker
+// budget matches an unsharded Service instead of multiplying by n.
+//
+// The router also owns the unified memory governor: every shard's report
+// cache and the pre-pass cache charge into one byte budget
+// (cfg.CacheBytes) with a shared TTL (cfg.CacheTTL). cfg.PartialResults
+// opts into the partial-results fan-out (see SetPartialResults).
 func NewRouterWithPartition(repo *schema.Repository, n int, cfg Config, strategy PartitionStrategy) *Router {
-	parts, cloneOf := partitionRepository(repo, n, strategy)
-	if cfg.Workers == 0 && len(parts) > 1 {
-		cfg.Workers = runtime.GOMAXPROCS(0) / len(parts)
+	ix := labeling.NewIndex(repo)
+	views := PartitionRepositoryViews(ix, n, strategy)
+	if cfg.Workers == 0 && len(views) > 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0) / len(views)
 		if cfg.Workers < 1 {
 			cfg.Workers = 1
 		}
 	}
-	shards := make([]*Service, len(parts))
-	for i, part := range parts {
-		shards[i] = NewFromRepository(part, cfg)
+	gov := newGovernor(cfg.CacheBytes, cfg.CacheTTL)
+	shardCfg := cfg
+	shardCfg.gov = gov
+	shards := make([]*Service, len(views))
+	for i, v := range views {
+		shards[i] = New(pipeline.NewViewRunner(v), shardCfg)
 	}
 	r := NewRouter(shards)
-	r.fullRunner = pipeline.NewRunner(repo)
+	r.fullRunner = pipeline.NewRunnerFromIndex(ix)
+	r.views = views
+	r.gov = gov
+	r.partial.Store(cfg.PartialResults)
 	// The pre-pass runs on request goroutines (it must complete even when
 	// its leader's own shard work would be queued); bound its concurrency
 	// to the summed shard worker budget so a burst of distinct cold
 	// requests cannot run more CPU-bound matching than the operator sized
 	// the service for.
-	r.prepassSem = make(chan struct{}, cfg.withDefaults().Workers*len(parts))
-	r.cloneOf = cloneOf
-	r.shardOfOrig = make(map[*schema.Tree]int)
-	for i, m := range cloneOf {
-		for orig := range m {
-			r.shardOfOrig[orig] = i
-		}
-	}
-	r.prepass = newPrepassCache(prepassCacheSize)
+	r.prepassSem = make(chan struct{}, cfg.withDefaults().Workers*len(views))
+	r.prepass = newPrepassCache(gov, prepassCacheSize)
 	r.maxSchemaNodes = cfg.withDefaults().MaxSchemaNodes
 	return r
 }
+
+// SetPartialResults switches the partial-results fan-out on or off at
+// runtime (Config.PartialResults sets the initial state): when enabled, a
+// fanned-out request whose shards PARTIALLY fail returns a merged report
+// built from the successful shards, marked Incomplete with per-shard
+// errors, instead of failing outright. Requests that fail on every shard
+// — or during the pre-pass, before any shard ran — still return an error.
+// Safe to call concurrently with Match.
+func (r *Router) SetPartialResults(on bool) { r.partial.Store(on) }
+
+// PartialResults reports whether the partial-results fan-out is enabled.
+func (r *Router) PartialResults() bool { return r.partial.Load() }
 
 // Match fans the request out to every shard concurrently and merges the
 // per-shard reports into one global report: mappings rank-merged (stable,
@@ -192,6 +219,11 @@ func NewRouterWithPartition(repo *schema.Repository, n int, cfg Config, strategy
 // silently incomplete merge: a report missing one shard's mappings would
 // present a wrong top-N as authoritative. Shards that already completed
 // contribute their reports to their own caches, so a retry is cheap.
+// With partial results enabled (Config.PartialResults /
+// SetPartialResults) a partially failed fan-out instead returns the
+// successful shards' merge marked Incomplete with per-shard errors —
+// unless ctx itself has expired, every shard failed, or the pre-pass
+// failed, which still error.
 func (r *Router) Match(ctx context.Context, personal *schema.Tree, opts pipeline.Options) (*pipeline.Report, error) {
 	if r.closed.Load() {
 		return nil, ErrClosed
@@ -226,11 +258,14 @@ func (r *Router) Match(ctx context.Context, personal *schema.Tree, opts pipeline
 	}
 	// A cache hit may carry an earlier request's personal-tree instance;
 	// equal pre-pass signatures guarantee structural identity, so rebind
-	// to this request's tree before projecting.
+	// to this request's tree before restricting per shard.
 	cands := e.cands.Rebind(personal)
 	staged := make([]stagedShard, len(r.shards))
 	for i := range r.shards {
-		staged[i].cands = cands.Project(r.cloneOf[i])
+		// Shards are views of the same repository the pre-pass matched
+		// against, so projection is pure filtering — candidates keep their
+		// original node objects and order; no clone-time ID remapping.
+		staged[i].cands = cands.Restrict(r.views[i].Contains)
 		staged[i].clusters = []*cluster.Cluster{} // non-nil: a shard may legitimately get zero clusters
 		staged[i].iterations = e.iterations
 	}
@@ -238,11 +273,14 @@ func (r *Router) Match(ctx context.Context, personal *schema.Tree, opts pipeline
 		if cl.Len() == 0 {
 			continue
 		}
-		i, ok := r.shardOfOrig[cl.Elements[0].Node.Tree()]
+		i, ok := r.shardOf[cl.Elements[0].Node.Tree()]
 		if !ok {
 			continue // defensive: a cluster outside the partition cannot be served
 		}
-		staged[i].clusters = append(staged[i].clusters, projectCluster(cl, r.cloneOf[i]))
+		// Clusters never span trees, so a global cluster belongs wholesale
+		// to one shard and is handed over as-is (shared, read-only) — the
+		// preorder-rank translation the clone model needed is gone.
+		staged[i].clusters = append(staged[i].clusters, cl)
 	}
 	rep, err := r.fanOut(ctx, personal, opts, staged)
 	if err != nil {
@@ -266,30 +304,6 @@ type stagedShard struct {
 	cands      *matcher.Candidates
 	clusters   []*cluster.Cluster
 	iterations int
-}
-
-// projectCluster translates a full-repository cluster onto a shard: every
-// member node (and the medoid) is replaced by the clone tree's node with
-// the same preorder rank. The global cluster ID is kept, so report
-// ClusterIDs match an unsharded run's.
-func projectCluster(cl *cluster.Cluster, cloneOf map[*schema.Tree]*schema.Tree) *cluster.Cluster {
-	clone := cloneOf[cl.Elements[0].Node.Tree()]
-	out := &cluster.Cluster{
-		ID:       cl.ID,
-		TreeID:   clone.ID,
-		Elements: make([]cluster.Element, len(cl.Elements)),
-	}
-	if cl.Medoid != nil {
-		out.Medoid = clone.NodeAt(cl.Medoid.Pre)
-	}
-	for i, e := range cl.Elements {
-		out.Elements[i] = cluster.Element{
-			Node:    clone.NodeAt(e.Node.Pre),
-			Mask:    e.Mask,
-			BestSim: e.BestSim,
-		}
-	}
-	return out
 }
 
 // runPrepass returns the full-repository matching + clustering result for
@@ -336,6 +350,9 @@ func (r *Router) runPrepass(ctx context.Context, personal *schema.Tree, opts pip
 			e.clusterDur = time.Since(t1)
 			<-r.prepassSem
 			r.prepassRuns.Add(1)
+			// Charge the completed entry's actual size to the unified
+			// governor (it entered the cache at zero bytes).
+			r.prepass.settle(key, e)
 			close(e.done)
 		} else {
 			select {
@@ -356,7 +373,10 @@ func (r *Router) runPrepass(ctx context.Context, personal *schema.Tree, opts pip
 
 // fanOut sends the request to every shard concurrently — with the i-th
 // pre-staged slice when the pre-pass ran, through plain Match when staged
-// is nil — and merges the per-shard reports.
+// is nil — and merges the per-shard reports. Under strict routing (the
+// default) any shard error fails the request; with partial results
+// enabled, a partially failed fan-out merges the shards that succeeded
+// and marks the report Incomplete with the per-shard errors.
 func (r *Router) fanOut(ctx context.Context, personal *schema.Tree, opts pipeline.Options, staged []stagedShard) (*pipeline.Report, error) {
 	reps := make([]*pipeline.Report, len(r.shards))
 	errs := make([]error, len(r.shards))
@@ -374,10 +394,32 @@ func (r *Router) fanOut(ctx context.Context, personal *schema.Tree, opts pipelin
 		}(i, s)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	var ok []*pipeline.Report // successful reports, in shard order
+	var failed []pipeline.ShardError
+	var firstErr error
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			failed = append(failed, pipeline.ShardError{Shard: i, Err: err.Error()})
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
+		ok = append(ok, reps[i])
+	}
+	if firstErr != nil {
+		// A degraded merge is for SHARD failures. When the request's own
+		// context has expired, the caller asked to stop — answering 200
+		// Incomplete would convert every client timeout or disconnect
+		// into a degraded success.
+		if !r.partial.Load() || len(ok) == 0 || ctx.Err() != nil {
+			return nil, firstErr
+		}
+		rep := mergeReports(ok, opts.TopN)
+		rep.Incomplete = true
+		rep.ShardErrors = failed
+		r.partialMerges.Add(1)
+		return rep, nil
 	}
 	return mergeReports(reps, opts.TopN), nil
 }
@@ -435,8 +477,9 @@ func (r *Router) MatchBatch(ctx context.Context, reqs []Request) []Result {
 }
 
 // RewriteQuery routes the rewrite to the shard the mapping was discovered
-// in: node identities and the labelling index are shard-local, so the
-// mapping's images identify their owning shard through their tree.
+// in: the mapping's images identify their owning shard through their tree
+// (for view-backed shards every shard shares one index, but routing by
+// tree also keeps clone-based NewRouter topologies correct).
 func (r *Router) RewriteQuery(q string, personal *schema.Tree, mp mapgen.Mapping) (string, error) {
 	if len(mp.Images) == 0 {
 		return "", errors.New("serve: empty mapping")
@@ -460,6 +503,12 @@ func (r *Router) Stats() Stats {
 // Snapshot implements Backend: the rollup and the per-shard snapshots it
 // was computed from, taken once — shard-derived fields of total always
 // equal the per-shard sums, with the router-level counters added on top.
+// Resident-memory gauges are refined here with knowledge MergeStats lacks:
+// IndexBytes counts each distinct labelling index once (view-backed shards
+// all share the router's single index, so a sharded rollup equals the
+// unsharded figure; clone-based NewRouter shards sum their separate
+// indexes), and CacheBytes covers the unified governor's whole account —
+// every shard's reports plus the pre-pass cache.
 func (r *Router) Snapshot() (Stats, []Stats) {
 	shards := r.ShardStats()
 	total := MergeStats(shards...)
@@ -468,7 +517,54 @@ func (r *Router) Snapshot() (Stats, []Stats) {
 	total.Requests += rejected + errored
 	total.Rejected += rejected
 	total.Errors += errored
+	total.PartialResults += r.partialMerges.Load()
+	total.IndexBytes = r.indexBytes()
+	total.CacheBytes, total.CacheByteBudget, total.CacheEvictions, total.CacheExpired = r.governorStats()
 	return total, shards
+}
+
+// governorStats sums the cache-governor figures across the router,
+// counting each distinct governor exactly once: a view-backed router's
+// shards all share its one governor (so the figures ARE that governor's,
+// pre-pass included), while clone-based NewRouter shards each own one and
+// their accounts add up.
+func (r *Router) governorStats() (used, budget, evictions, expired int64) {
+	seen := make(map[*memGovernor]bool, len(r.shards)+1)
+	add := func(g *memGovernor) {
+		if g == nil || seen[g] {
+			return
+		}
+		seen[g] = true
+		u, b, e, x := g.snapshot()
+		used += u
+		budget += b
+		evictions += e
+		expired += x
+	}
+	add(r.gov)
+	for _, s := range r.shards {
+		add(s.gov)
+	}
+	return used, budget, evictions, expired
+}
+
+// indexBytes sums the resident labelling-index memory across the router,
+// counting each distinct index exactly once.
+func (r *Router) indexBytes() int64 {
+	seen := make(map[*labeling.Index]bool, len(r.shards)+1)
+	var b int64
+	if r.fullRunner != nil {
+		ix := r.fullRunner.Index()
+		seen[ix] = true
+		b += ix.MemoryBytes()
+	}
+	for _, s := range r.shards {
+		if ix := s.Index(); !seen[ix] {
+			seen[ix] = true
+			b += ix.MemoryBytes()
+		}
+	}
+	return b
 }
 
 // ShardStats returns one snapshot per shard, in shard order.
@@ -480,12 +576,13 @@ func (r *Router) ShardStats() []Stats {
 	return out
 }
 
-// RepositoryStats aggregates the shard repositories' statistics: tree and
-// node counts summed, extrema taken across shards.
+// RepositoryStats aggregates the shards' served-tree statistics (view or
+// repository scope, see Service.RepositoryStats): tree and node counts
+// summed, extrema taken across shards.
 func (r *Router) RepositoryStats() schema.Stats {
 	var out schema.Stats
 	for i, s := range r.shards {
-		st := s.Repository().Stats()
+		st := s.RepositoryStats()
 		out.Trees += st.Trees
 		out.Nodes += st.Nodes
 		if st.MaxDepth > out.MaxDepth {

@@ -344,7 +344,7 @@ func TestStatsLatencyHistogram(t *testing.T) {
 }
 
 func TestReportCacheEviction(t *testing.T) {
-	c := newReportCache(2)
+	c := newReportCache(newGovernor(0, 0), 2)
 	r := func() *pipeline.Report { return &pipeline.Report{} }
 	c.Put("a", r())
 	c.Put("b", r())
@@ -363,7 +363,7 @@ func TestReportCacheEviction(t *testing.T) {
 		t.Errorf("len = %d, want 2", c.Len())
 	}
 
-	disabled := newReportCache(0)
+	disabled := newReportCache(newGovernor(0, 0), 0)
 	disabled.Put("x", r())
 	if _, ok := disabled.Get("x"); ok {
 		t.Error("disabled cache stored an entry")

@@ -40,6 +40,30 @@ type Config struct {
 	// negative disables caching.
 	CacheSize int
 
+	// CacheBytes bounds the unified cache memory in bytes: completed
+	// reports and (for a sharded router) pre-pass results are
+	// size-estimated and charged to one memory governor, which evicts the
+	// globally least-recently-used entry when the budget is exceeded.
+	// 0 or negative = no byte bound (entry-count caps still apply).
+	CacheBytes int64
+
+	// CacheTTL ages cache entries out: an entry older than the TTL is
+	// dropped on access instead of served, so stale reports do not
+	// outlive repository swaps indefinitely. 0 or negative = no expiry.
+	CacheTTL time.Duration
+
+	// PartialResults opts a sharded Router into partial-results fan-out:
+	// when some (not all) shards fail, the merged report is built from
+	// the shards that succeeded and marked Incomplete with per-shard
+	// errors, instead of the whole request failing. Ignored by a plain
+	// Service. See Router.SetPartialResults.
+	PartialResults bool
+
+	// gov, when set by a Router, makes this service charge its report
+	// cache into the router's shared memory governor instead of owning
+	// one; CacheBytes/CacheTTL are then the router's to interpret.
+	gov *memGovernor
+
 	// MaxSchemaNodes rejects personal schemas with more nodes than this
 	// before any work happens (the search space grows exponentially with
 	// personal-schema size, so this is the service's overload guard).
@@ -96,6 +120,7 @@ type Service struct {
 
 	queue  chan *task
 	flight *flightGroup
+	gov    *memGovernor
 	cache  *reportCache
 	ct     counters
 
@@ -108,13 +133,18 @@ type Service struct {
 // New starts a service around an existing runner (sharing its index).
 func New(runner *pipeline.Runner, cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	gov := cfg.gov
+	if gov == nil {
+		gov = newGovernor(cfg.CacheBytes, cfg.CacheTTL)
+	}
 	root, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		runner: runner,
 		cfg:    cfg,
 		queue:  make(chan *task, cfg.QueueDepth),
 		flight: newFlightGroup(),
-		cache:  newReportCache(cfg.CacheSize),
+		gov:    gov,
+		cache:  newReportCache(gov, cfg.CacheSize),
 		root:   root,
 		cancel: cancel,
 	}
@@ -133,10 +163,22 @@ func NewFromRepository(repo *schema.Repository, cfg Config) *Service {
 // Runner returns the underlying pipeline runner.
 func (s *Service) Runner() *pipeline.Runner { return s.runner }
 
-// Repository returns the repository being served.
+// Repository returns the repository being served. For a view-backed shard
+// this is the FULL shared repository (views do not clone trees); use Trees
+// for the shard's own member trees.
 func (s *Service) Repository() *schema.Repository { return s.runner.Repository() }
 
+// Trees returns the trees this service actually serves: the shard view's
+// member trees for a view-backed shard, the whole repository otherwise.
+func (s *Service) Trees() []*schema.Tree {
+	if v := s.runner.View(); v != nil {
+		return v.Trees()
+	}
+	return s.runner.Repository().Trees()
+}
+
 // Index returns the runner's labelling index (used for query rewriting).
+// View-backed shards of one router all return the same shared index.
 func (s *Service) Index() *labeling.Index { return s.runner.Index() }
 
 // Close stops the workers, cancels in-flight runs and fails queued
@@ -404,15 +446,29 @@ func (s *Service) Snapshot() (Stats, []Stats) {
 	return st, []Stats{st}
 }
 
-// RepositoryStats implements Backend.
-func (s *Service) RepositoryStats() schema.Stats { return s.Repository().Stats() }
+// RepositoryStats implements Backend: the served slice of the forest —
+// the view's member trees for a view-backed shard (so a router's rollup
+// sums to the whole repository exactly once), the whole repository
+// otherwise.
+func (s *Service) RepositoryStats() schema.Stats {
+	if v := s.runner.View(); v != nil {
+		return v.Stats()
+	}
+	return s.Repository().Stats()
+}
 
 // NumShards implements Backend; a plain service is one shard.
 func (s *Service) NumShards() int { return 1 }
 
 // Stats returns a point-in-time snapshot of the service's counters.
 func (s *Service) Stats() Stats {
+	_, budget, evictions, expired := s.gov.snapshot()
 	return Stats{
+		CacheBytes:      s.cache.Bytes(),
+		CacheByteBudget: budget,
+		CacheEvictions:  evictions,
+		CacheExpired:    expired,
+		IndexBytes:      s.runner.Index().MemoryBytes(),
 		Requests:        s.ct.requests.Load(),
 		CacheHits:       s.ct.cacheHits.Load(),
 		CacheMisses:     s.ct.cacheMisses.Load(),

@@ -99,6 +99,36 @@ type Stats struct {
 	CacheLen int `json:"cache_len"`
 	CacheCap int `json:"cache_cap"`
 
+	// CacheBytes is the resident size-estimated bytes of this backend's
+	// cached entries. For a Service it covers its report cache; a Router's
+	// rollup covers every shard's reports plus the pre-pass cache —
+	// everything the unified memory governor accounts.
+	CacheBytes int64 `json:"cache_bytes"`
+
+	// CacheByteBudget is the governor's byte budget (Config.CacheBytes);
+	// 0 means unbounded. Shards of one router share a single governor, so
+	// the rollup reports the shared budget once (max, not sum).
+	CacheByteBudget int64 `json:"cache_byte_budget"`
+
+	// CacheEvictions counts entries evicted for space — byte budget or
+	// entry-count cap — and CacheExpired counts entries dropped by the
+	// TTL. Governor-level: shards sharing a governor report the same
+	// figures, and the rollup carries them once (max, not sum).
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheExpired   int64 `json:"cache_expired"`
+
+	// IndexBytes is the resident labelling-index memory serving this
+	// backend. View-backed shards share one full-repository index, so a
+	// sharded rollup equals the unsharded figure — the gauge that proves
+	// the per-shard index duplication is gone. Backends compute it
+	// deduplicating by index identity (see Router.Snapshot).
+	IndexBytes int64 `json:"index_bytes"`
+
+	// PartialResults counts fanned-out requests served as Incomplete
+	// merges under the partial-results option (router-level; always 0
+	// for a plain Service and in per-shard snapshots).
+	PartialResults int64 `json:"partial_results"`
+
 	// Latency is the end-to-end request latency histogram.
 	Latency LatencyStats `json:"latency"`
 }
@@ -138,9 +168,34 @@ func (c *counters) snapshotLatency() LatencyStats {
 // request out to every shard, a rolled-up snapshot counts one fanned-out
 // request once per shard; shard-relative ratios (hit rates, dedupe rates)
 // remain meaningful.
+//
+// Gauges of possibly-shared resources — IndexBytes, CacheByteBudget,
+// CacheEvictions, CacheExpired — merge as the maximum, not the sum:
+// view-backed shards of one router share a single index and a single
+// memory governor, and summing would multiply one resident structure by
+// the shard count. The max is only a fallback for bare snapshot merging
+// (it under-reports shards that own independent governors/indexes);
+// Router.Snapshot overrides all of these by deduplicating the actual
+// indexes and governors by identity, which is exact for every topology —
+// prefer Snapshot figures when a backend is at hand. CacheBytes sums:
+// per-shard report spaces are disjoint.
 func MergeStats(ss ...Stats) Stats {
 	var out Stats
 	for i, st := range ss {
+		out.CacheBytes += st.CacheBytes
+		if st.CacheByteBudget > out.CacheByteBudget {
+			out.CacheByteBudget = st.CacheByteBudget
+		}
+		if st.CacheEvictions > out.CacheEvictions {
+			out.CacheEvictions = st.CacheEvictions
+		}
+		if st.CacheExpired > out.CacheExpired {
+			out.CacheExpired = st.CacheExpired
+		}
+		if st.IndexBytes > out.IndexBytes {
+			out.IndexBytes = st.IndexBytes
+		}
+		out.PartialResults += st.PartialResults
 		out.Requests += st.Requests
 		out.CacheHits += st.CacheHits
 		out.CacheMisses += st.CacheMisses
