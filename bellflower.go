@@ -71,13 +71,17 @@ package bellflower
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"time"
 
 	"bellflower/internal/cluster"
 	"bellflower/internal/cost"
 	"bellflower/internal/dtd"
+	"bellflower/internal/labeling"
 	"bellflower/internal/mapgen"
 	"bellflower/internal/matcher"
 	"bellflower/internal/objective"
@@ -86,6 +90,7 @@ import (
 	"bellflower/internal/repogen"
 	"bellflower/internal/schema"
 	"bellflower/internal/serve"
+	"bellflower/internal/shardrpc"
 	"bellflower/internal/xmldoc"
 	"bellflower/internal/xsd"
 )
@@ -182,6 +187,17 @@ type (
 
 	// MatchResult pairs a MatchBatch entry's report with its error.
 	MatchResult = serve.Result
+
+	// ShardBackend is the narrow per-shard serving surface a
+	// ShardedService fans out over — implemented by Service (in-process
+	// shards) and by the remote shard client behind NewDistributedService.
+	ShardBackend = serve.ShardBackend
+
+	// ShardHost hosts one shard of a deterministically partitioned
+	// repository for remote serving: its HandleMatch / HandleStats methods
+	// are the /v1/shard/match and /v1/shard/stats endpoints of
+	// bellflower-server's -shard-of mode. See NewShardHost.
+	ShardHost = shardrpc.ShardServer
 )
 
 // Service sentinel errors, for errors.Is.
@@ -371,6 +387,108 @@ func NewShardedService(repo *Repository, shards int, cfg ServiceConfig) *Sharded
 // partition strategy (PartitionBalanced or PartitionClustered).
 func NewShardedServicePartitioned(repo *Repository, shards int, cfg ServiceConfig, strategy PartitionStrategy) *ShardedService {
 	return serve.NewRouterWithPartition(repo, shards, cfg, strategy)
+}
+
+// NewShardHost builds the serving side of one DISTRIBUTED shard: the
+// repository is partitioned deterministically into shards views with the
+// given strategy — exactly as the router process partitions its own copy —
+// and shard (0-based) is hosted by a view-backed Service behind the shard
+// wire protocol. Mount the host's HandleMatch and HandleStats handlers (or
+// run bellflower-server -shard-of SHARD/SHARDS) and point
+// NewDistributedService at the address. Release with ShardHost.Close.
+//
+// The shard's worker pool is sized by cfg alone (default GOMAXPROCS): a
+// shard host is assumed to own its process, unlike in-process shards that
+// split one budget.
+func NewShardHost(repo *Repository, shard, shards int, cfg ServiceConfig, strategy PartitionStrategy) (*ShardHost, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("bellflower: shard count %d must be at least 1", shards)
+	}
+	ix := labeling.NewIndex(repo)
+	views := serve.PartitionRepositoryViews(ix, shards, strategy)
+	if len(views) != shards {
+		return nil, fmt.Errorf("bellflower: repository has %d trees, too few for %d shards (at most one shard per tree)", repo.NumTrees(), shards)
+	}
+	if shard < 0 || shard >= len(views) {
+		return nil, fmt.Errorf("bellflower: shard index %d outside [0,%d)", shard, len(views))
+	}
+	v := views[shard]
+	svc := serve.New(pipeline.NewViewRunner(v), cfg)
+	return shardrpc.NewShardServer(svc, v, shardrpc.ViewDescriptor(v, shard, len(views), strategy)), nil
+}
+
+// NewDistributedService builds a sharded service whose shards live in
+// OTHER processes: the repository (the same file or synthetic seed the
+// shard servers loaded) is partitioned into len(shardAddrs) views, shard i
+// is served by the bellflower-server -shard-of i/n process at
+// shardAddrs[i], and every match request runs the shared pre-pass locally
+// — element matching and clustering once against the full repository —
+// then ships each shard its candidate projection and clusters over the
+// wire (view-local node IDs). Merged reports are byte-identical to an
+// unsharded run, exactly like the in-process NewShardedService.
+//
+// Every shard is health-checked at construction: a shard answering with a
+// DIFFERENT descriptor (wrong -shard-of index, different partition
+// strategy or repository) always fails — that topology would return wrong
+// mappings. An UNREACHABLE shard fails under strict routing, but with
+// cfg.PartialResults it is tolerated: requests are served from the live
+// shards as Incomplete reports until the dead shard returns. Per-request,
+// shard failures feed the same partial-results machinery
+// (Report.Incomplete, ShardErrors, per-shard metrics).
+//
+// cfg.DefaultTimeout doubles as the per-shard request timeout (each
+// attempt; transport failures are retried once). Release with Close —
+// which releases the clients, never the remote servers.
+func NewDistributedService(repo *Repository, shardAddrs []string, cfg ServiceConfig, strategy PartitionStrategy) (*ShardedService, error) {
+	if len(shardAddrs) == 0 {
+		return nil, errors.New("bellflower: NewDistributedService needs at least one shard address")
+	}
+	ix := labeling.NewIndex(repo)
+	views := serve.PartitionRepositoryViews(ix, len(shardAddrs), strategy)
+	if len(views) != len(shardAddrs) {
+		return nil, fmt.Errorf("bellflower: %d shard servers for a repository of %d trees (at most one shard per tree)", len(shardAddrs), repo.NumTrees())
+	}
+	backends := make([]serve.ShardBackend, len(views))
+	remotes := make([]*shardrpc.RemoteShard, len(views))
+	descs := shardrpc.ViewDescriptors(views, strategy)
+	for i, v := range views {
+		remotes[i] = shardrpc.NewRemoteShard(shardAddrs[i], v, descs[i],
+			shardrpc.RemoteShardConfig{Timeout: cfg.DefaultTimeout})
+		backends[i] = remotes[i]
+	}
+	// Health-check every shard CONCURRENTLY under one deadline: a shard
+	// that hangs must not eat the others' budget — a reachable but
+	// misconfigured shard has the full window to answer, so a descriptor
+	// mismatch is never misread as mere unreachability. The window follows
+	// the operator's request timeout when that is the longer of the two
+	// (a shard slow to come up deserves the same patience as a request).
+	window := 5 * time.Second
+	if cfg.DefaultTimeout > window {
+		window = cfg.DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	checkErrs := make([]error, len(remotes))
+	var wg sync.WaitGroup
+	wg.Add(len(remotes))
+	for i, rs := range remotes {
+		go func(i int, rs *shardrpc.RemoteShard) {
+			defer wg.Done()
+			checkErrs[i] = rs.Check(ctx)
+		}(i, rs)
+	}
+	wg.Wait()
+	for _, err := range checkErrs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, shardrpc.ErrDescriptorMismatch) || !cfg.PartialResults {
+			return nil, err
+		}
+		// Unreachable but tolerated: partial-results mode serves Incomplete
+		// reports from the healthy shards until this one returns.
+	}
+	return serve.NewRouterWithShardBackends(ix, views, backends, cfg), nil
 }
 
 // Matcher runs clustered schema matching against a fixed repository. It

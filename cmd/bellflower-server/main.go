@@ -19,6 +19,21 @@
 // an optional TTL (-cache-ttl); -partial serves partially failed fan-outs
 // as incomplete reports instead of errors.
 //
+// The same fan-out also runs ACROSS PROCESSES. Every process loads the
+// same repository (same -repo-file or the same -synthetic/-seed pair) and
+// partitions it identically; shard servers host one shard each and the
+// router ships per-request candidate projections over HTTP:
+//
+//	bellflower-server -synthetic 9759 -shard-of 0/2 -addr :8081
+//	bellflower-server -synthetic 9759 -shard-of 1/2 -addr :8082
+//	bellflower-server -synthetic 9759 -remote-shards :8081,:8082 -addr :8077
+//
+// A -shard-of process serves only the shard wire protocol
+// (/v1/shard/match, /v1/shard/stats) plus /healthz and /metrics; the
+// -remote-shards router serves the full public API and merges remote
+// reports byte-identically to an unsharded run. With -partial, a dead
+// shard server degrades requests to incomplete reports instead of errors.
+//
 // Endpoints (JSON unless noted):
 //
 //	POST /v1/match        {"personal":"book(title,author)","options":{"delta":0.75,"timeout_ms":2000}}
@@ -47,6 +62,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,24 +80,35 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bellflower-server", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", ":8077", "listen address")
-		repoFile   = fs.String("repo-file", "", "load a repository saved with bellflower -save-repo")
-		synthetic  = fs.Int("synthetic", 0, "generate a synthetic repository with this many nodes")
-		seed       = fs.Int64("seed", 1, "seed for the synthetic repository")
-		workers    = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
-		queue      = fs.Int("queue", 0, "request queue depth (0 = 4x workers)")
-		cacheSize  = fs.Int("cache", 0, "report cache capacity in entries per shard (0 = 256, negative = disabled)")
-		cacheBytes = fs.Int64("cache-bytes", 0, "byte budget for the unified cache (all shards' reports + pre-pass results; 0 = unbounded)")
-		cacheTTL   = fs.Duration("cache-ttl", 0, "age cached entries out after this long (0 = never expire)")
-		maxNodes   = fs.Int("max-schema-nodes", 0, "reject personal schemas above this node count (0 = 64, negative = unlimited)")
-		timeout    = fs.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
-		shards     = fs.Int("shards", 1, "partition the repository into this many shards and fan match requests out across them")
-		partition  = fs.String("partition", "clustered", "shard partition strategy: clustered (co-locate trees with overlapping vocabulary) or balanced (by node count)")
-		partial    = fs.Bool("partial", false, "serve partially failed fan-outs as incomplete reports (merge the shards that succeeded) instead of failing the request")
-		dataDir    = fs.String("data-dir", "", "directory for /v1/repository load/save files; also enables repository mutation (empty = POST /v1/repository disabled)")
+		addr         = fs.String("addr", ":8077", "listen address")
+		repoFile     = fs.String("repo-file", "", "load a repository saved with bellflower -save-repo")
+		synthetic    = fs.Int("synthetic", 0, "generate a synthetic repository with this many nodes")
+		seed         = fs.Int64("seed", 1, "seed for the synthetic repository")
+		workers      = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		queue        = fs.Int("queue", 0, "request queue depth (0 = 4x workers)")
+		cacheSize    = fs.Int("cache", 0, "report cache capacity in entries per shard (0 = 256, negative = disabled)")
+		cacheBytes   = fs.Int64("cache-bytes", 0, "byte budget for the unified cache (all shards' reports + pre-pass results; 0 = unbounded)")
+		cacheTTL     = fs.Duration("cache-ttl", 0, "age cached entries out after this long (0 = never expire)")
+		maxNodes     = fs.Int("max-schema-nodes", 0, "reject personal schemas above this node count (0 = 64, negative = unlimited)")
+		timeout      = fs.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
+		shards       = fs.Int("shards", 1, "partition the repository into this many shards and fan match requests out across them")
+		partition    = fs.String("partition", "clustered", "shard partition strategy: clustered (co-locate trees with overlapping vocabulary) or balanced (by node count)")
+		partial      = fs.Bool("partial", false, "serve partially failed fan-outs as incomplete reports (merge the shards that succeeded) instead of failing the request")
+		shardOf      = fs.String("shard-of", "", "host one shard of the partitioned repository for a distributed router: INDEX/COUNT (e.g. 0/4); serves /v1/shard/match and /v1/shard/stats instead of the public API")
+		remoteShards = fs.String("remote-shards", "", "comma-separated shard-server addresses (host:port,...); fan match requests out to those processes instead of in-process shards")
+		dataDir      = fs.String("data-dir", "", "directory for /v1/repository load/save files; also enables repository mutation (empty = POST /v1/repository disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shardOf != "" && *remoteShards != "" {
+		return errors.New("-shard-of and -remote-shards are different roles; pick one")
+	}
+	if (*shardOf != "" || *remoteShards != "") && *shards != 1 {
+		return errors.New("-shards applies only to in-process sharding; distributed roles take their fan-out from -shard-of / -remote-shards")
+	}
+	if (*shardOf != "" || *remoteShards != "") && *dataDir != "" {
+		return errors.New("-data-dir (repository mutation) is not supported in distributed roles: every process must keep the same repository")
 	}
 
 	repo, desc, err := buildRepository(*repoFile, *synthetic, *seed)
@@ -102,14 +130,50 @@ func run(args []string) error {
 		PartialResults: *partial,
 	}
 	logger := log.New(os.Stderr, "bellflower-server: ", log.LstdFlags)
-	srv := newServer(repo, desc, svcCfg, *shards, strategy, *dataDir, logger)
 	st := repo.Stats()
-	// Log the backend's actual shard count: -shards clamps to the number
-	// of repository trees.
-	logger.Printf("serving %s: %d trees, %d nodes, %d shard(s) on %s", desc, st.Trees, st.Nodes, srv.numShards(), *addr)
+
+	var handler http.Handler
+	var closeNow func()
+	switch {
+	case *shardOf != "":
+		idx, n, err := parseShardOf(*shardOf)
+		if err != nil {
+			return err
+		}
+		host, err := bellflower.NewShardHost(repo, idx, n, svcCfg, strategy)
+		if err != nil {
+			return err
+		}
+		hostStats := host.Service().RepositoryStats()
+		logger.Printf("hosting shard %d/%d of %s (%s partition): %d of %d trees, %d of %d nodes on %s",
+			idx, n, desc, strategy, hostStats.Trees, st.Trees, hostStats.Nodes, st.Nodes, *addr)
+		handler = shardRoutes(host, logger)
+		closeNow = host.Close
+	case *remoteShards != "":
+		addrs, err := splitShardAddrs(*remoteShards)
+		if err != nil {
+			return err
+		}
+		backend, err := bellflower.NewDistributedService(repo, addrs, svcCfg, strategy)
+		if err != nil {
+			return err
+		}
+		srv := newRemoteServer(backend, repo, desc, logger)
+		logger.Printf("serving %s: %d trees, %d nodes across %d remote shard(s) [%s] on %s",
+			desc, st.Trees, st.Nodes, backend.NumShards(), *remoteShards, *addr)
+		handler = srv.routes()
+		closeNow = srv.closeNow
+	default:
+		srv := newServer(repo, desc, svcCfg, *shards, strategy, *dataDir, logger)
+		// Log the backend's actual shard count: -shards clamps to the number
+		// of repository trees.
+		logger.Printf("serving %s: %d trees, %d nodes, %d shard(s) on %s", desc, st.Trees, st.Nodes, srv.numShards(), *addr)
+		handler = srv.routes()
+		closeNow = srv.closeNow
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.routes(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -127,7 +191,7 @@ func run(args []string) error {
 		// their handlers for up to the default timeout) fail fast with
 		// 503, letting Shutdown drain within its budget instead of
 		// timing out behind a slow pipeline run.
-		srv.closeNow()
+		closeNow()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -135,6 +199,41 @@ func run(args []string) error {
 		}
 		return nil
 	}
+}
+
+// parseShardOf parses the -shard-of INDEX/COUNT argument. Both sides must
+// be clean integers — trailing junk ("1/2/4", "0/2x") is a typo the
+// operator needs to hear about, not a prefix to silently accept.
+func parseShardOf(s string) (idx, n int, err error) {
+	a, b, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard-of %q: want INDEX/COUNT, e.g. 0/4", s)
+	}
+	idx, errIdx := strconv.Atoi(a)
+	n, errN := strconv.Atoi(b)
+	if errIdx != nil || errN != nil {
+		return 0, 0, fmt.Errorf("-shard-of %q: want INDEX/COUNT, e.g. 0/4", s)
+	}
+	if n < 1 || idx < 0 || idx >= n {
+		return 0, 0, fmt.Errorf("-shard-of %q: index must be in [0,%d)", s, n)
+	}
+	return idx, n, nil
+}
+
+// splitShardAddrs parses the -remote-shards list, trimming whitespace and
+// rejecting empty entries — a trailing comma would otherwise materialize
+// as a permanently dead shard that -partial then quietly tolerates.
+func splitShardAddrs(s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("-remote-shards %q: empty address entry", s)
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 func buildRepository(repoFile string, synthetic int, seed int64) (*bellflower.Repository, string, error) {

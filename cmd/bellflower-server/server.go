@@ -87,6 +87,20 @@ func newServer(repo *bellflower.Repository, repoDesc string, svcCfg bellflower.S
 	}
 }
 
+// newRemoteServer wraps a prebuilt distributed backend
+// (bellflower.NewDistributedService). Repository mutation stays disabled
+// (dataDir empty → POST /v1/repository is 403): the shard servers hold
+// their own repository copies, and swapping only the router's copy would
+// desynchronize the partition descriptors.
+func newRemoteServer(backend bellflower.ServiceBackend, repo *bellflower.Repository, desc string, logger *log.Logger) *server {
+	if logger == nil {
+		logger = log.New(os.Stderr, "bellflower-server: ", log.LstdFlags)
+	}
+	ref := &backendRef{backend: backend, repo: repo, desc: desc}
+	ref.refs.Store(1)
+	return &server{cur: ref, maxBody: defaultMaxBody, logger: logger}
+}
+
 // acquire returns the current generation with one reference added; callers
 // must release it when the request is done.
 func (s *server) acquire() *backendRef {
@@ -160,15 +174,35 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/repository", s.handleRepository)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return s.logRequests(mux)
+	return logRequests(s.logger, mux)
 }
 
-func (s *server) logRequests(next http.Handler) http.Handler {
+// shardRoutes is the -shard-of mode's surface: the shard wire protocol
+// (match + stats), liveness, and the shard service's own Prometheus
+// metrics. The public matching endpoints are deliberately absent — a shard
+// server answers its router, not end clients.
+func shardRoutes(host *bellflower.ShardHost, logger *log.Logger) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "mode": "shard"})
+	})
+	mux.HandleFunc("/v1/shard/match", host.HandleMatch)
+	mux.HandleFunc("/v1/shard/stats", host.HandleStats)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := bellflower.WritePrometheusMetrics(w, host.Service()); err != nil {
+			logger.Printf("metrics: %v", err)
+		}
+	})
+	return logRequests(logger, mux)
+}
+
+func logRequests(logger *log.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
-		s.logger.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+		logger.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
 	})
 }
 
@@ -381,7 +415,11 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// matchStatus maps a service error to an HTTP status.
+// matchStatus maps a service error to an HTTP status. The shard wire
+// protocol keeps an equivalent mapping (internal/shardrpc: matchStatus +
+// RemoteShard.statusError); a new error class added here should be
+// mirrored there so it survives the router→shard hop instead of
+// degrading to a generic 500.
 func matchStatus(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):

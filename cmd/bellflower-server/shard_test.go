@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bellflower"
+)
+
+func TestParseShardOf(t *testing.T) {
+	if idx, n, err := parseShardOf("2/5"); err != nil || idx != 2 || n != 5 {
+		t.Errorf("parseShardOf(2/5) = %d,%d,%v", idx, n, err)
+	}
+	for _, bad := range []string{"", "x", "3", "5/2", "2/2", "-1/2", "1/0", "1/2/4", "0/2x", "x0/2", "0 /2"} {
+		if _, _, err := parseShardOf(bad); err == nil {
+			t.Errorf("parseShardOf(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSplitShardAddrs(t *testing.T) {
+	got, err := splitShardAddrs("a:1, b:2 ,c:3")
+	if err != nil || len(got) != 3 || got[1] != "b:2" {
+		t.Errorf("splitShardAddrs = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a:1,", ",a:1", "a:1,,b:2", " , "} {
+		if _, err := splitShardAddrs(bad); err == nil {
+			t.Errorf("splitShardAddrs(%q) accepted an empty entry", bad)
+		}
+	}
+}
+
+// TestShardModeRoutes: the -shard-of surface serves the wire protocol,
+// liveness and metrics — and does NOT serve the public matching API.
+func TestShardModeRoutes(t *testing.T) {
+	repo, err := bellflower.Synthetic(syntheticCfg(600, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := bellflower.NewShardHost(repo, 0, 2, bellflower.ServiceConfig{Workers: 1}, bellflower.PartitionClustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	srv := httptest.NewServer(shardRoutes(host, log.New(discard{}, "", 0)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	var hz map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil || hz["mode"] != "shard" {
+		t.Errorf("healthz body = %v (%v), want mode=shard", hz, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/v1/shard/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard stats: %v %v", resp, err)
+	}
+	var st struct {
+		Descriptor struct {
+			Shard     int `json:"shard"`
+			NumShards int `json:"num_shards"`
+		} `json:"descriptor"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || st.Descriptor.NumShards != 2 {
+		t.Errorf("shard stats descriptor = %+v (%v), want 0/2", st, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v %v", resp, err)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	resp.Body.Close()
+	if !strings.Contains(string(buf[:n]), "bellflower_requests_total") {
+		t.Error("shard /metrics carries no bellflower series")
+	}
+
+	// The public API must be absent in shard mode.
+	resp, err = http.Post(srv.URL+"/v1/match", "application/json", strings.NewReader(`{"personal":"a(b)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("public /v1/match in shard mode: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRunFlagValidation: the distributed-role flag combinations that can
+// only be misconfigurations are rejected before any listener starts.
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-synthetic", "100", "-shard-of", "0/2", "-remote-shards", "x:1"},
+		{"-synthetic", "100", "-shard-of", "0/2", "-shards", "3"},
+		{"-synthetic", "100", "-remote-shards", "x:1", "-shards", "2"},
+		{"-synthetic", "100", "-shard-of", "0/2", "-data-dir", t.TempDir()},
+		{"-synthetic", "100", "-remote-shards", "x:1", "-data-dir", t.TempDir()},
+		{"-synthetic", "100", "-shard-of", "9/2"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted an invalid flag combination", args)
+		}
+	}
+}
+
+func syntheticCfg(nodes int, seed int64) bellflower.SyntheticConfig {
+	cfg := bellflower.DefaultSyntheticConfig()
+	cfg.TargetNodes = nodes
+	cfg.Seed = seed
+	return cfg
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -25,9 +25,10 @@ type View struct {
 	ix    *Index
 	trees []*schema.Tree
 
-	memberTree []bool  // indexed by tree ID
-	local      []int32 // global node ID → local ID, -1 outside the view
-	global     []int32 // local ID → global node ID
+	memberTree []bool         // indexed by tree ID
+	local      []int32        // global node ID → local ID, -1 outside the view
+	global     []int32        // local ID → global node ID
+	nodes      []*schema.Node // member nodes in local-ID order, built once
 }
 
 // NewView builds a view of the index restricted to the given trees, which
@@ -61,6 +62,7 @@ func NewView(ix *Index, trees []*schema.Tree) *View {
 		for _, node := range t.Nodes() {
 			v.local[node.ID] = int32(len(v.global))
 			v.global = append(v.global, int32(node.ID))
+			v.nodes = append(v.nodes, node)
 		}
 	}
 	return v
@@ -111,16 +113,11 @@ func (v *View) GlobalID(l int) int { return int(v.global[l]) }
 func (v *View) Node(l int) *schema.Node { return v.ix.Repository().Node(int(v.global[l])) }
 
 // Nodes returns every member node (the repository's own node objects, not
-// copies) in local-ID order. The slice is rebuilt per call; shard hot paths
-// that iterate repeatedly should hold the result.
-func (v *View) Nodes() []*schema.Node {
-	repo := v.ix.Repository()
-	out := make([]*schema.Node, len(v.global))
-	for i, id := range v.global {
-		out[i] = repo.Node(int(id))
-	}
-	return out
-}
+// copies) in local-ID order. The slice is built once at view construction
+// and shared by every caller — Runner.matchNodes sits on the cold-path
+// element-matching loop, so a per-call materialization would allocate
+// O(view) per request. The returned slice must not be modified.
+func (v *View) Nodes() []*schema.Node { return v.nodes }
 
 // Depth returns the member node's depth within its tree (Index.Depth
 // restricted to the view). It panics for nodes outside the view.
@@ -188,10 +185,11 @@ func (v *View) Stats() schema.Stats {
 }
 
 // MemoryBytes estimates the view's own resident bytes — the translation
-// arrays and tree list, NOT the shared index (see Index.MemoryBytes). The
-// point of views is that this figure stays O(repository) int32s per view
-// while the index is held once.
+// arrays, the cached member-node slice and the tree list, NOT the shared
+// index (see Index.MemoryBytes). The point of views is that this figure
+// stays O(repository) words per view while the index is held once.
 func (v *View) MemoryBytes() int64 {
 	return int64(len(v.local))*4 + int64(len(v.global))*4 +
-		int64(len(v.memberTree)) + int64(len(v.trees))*8
+		int64(len(v.memberTree)) + int64(len(v.trees))*8 +
+		int64(len(v.nodes))*8
 }

@@ -297,7 +297,10 @@ func (r *Runner) Index() *labeling.Index { return r.ix }
 // whole-repository runner.
 func (r *Runner) View() *labeling.View { return r.view }
 
-// matchNodes is the node universe element matching runs against.
+// matchNodes is the node universe element matching runs against. Both
+// branches return a slice built once and shared (views cache their
+// member-node slice at construction), so the cold path allocates nothing
+// here.
 func (r *Runner) matchNodes() []*schema.Node {
 	if r.view != nil {
 		return r.view.Nodes()
@@ -350,8 +353,10 @@ func (r *Runner) RunContext(ctx context.Context, personal *schema.Tree, opts Opt
 // against precomputed element-matching candidates, skipping the quadratic
 // FindCandidates step. The serving layer's shared candidate pre-pass uses
 // it: the router matches the personal schema against the full repository
-// once, projects the candidate set onto each shard
-// (matcher.Candidates.Project) and hands every shard its slice.
+// once, restricts the candidate set onto each shard view
+// (matcher.Candidates.Restrict) and hands every shard its slice — in the
+// distributed topology the slice additionally crosses a process boundary
+// in the view's local-ID space (internal/shardrpc) before landing here.
 //
 // cands must describe personal and reference nodes of this runner's
 // repository (a projected set must be projected onto this repository's

@@ -43,8 +43,20 @@
 // counts distinct indexes once, pins this; it used to be ~2× the index
 // for a sharded deployment). The clone-based PartitionRepository helpers
 // remain for topologies that need genuinely separate repositories, e.g.
-// Services wrapped by NewRouter or future out-of-process shards — for
-// which the view's tree-ID descriptor is the natural wire payload.
+// Services wrapped by NewRouter.
+//
+// # Transport-agnostic shards
+//
+// The Router reaches its shards only through the narrow ShardBackend
+// interface — the three match entry points plus stats and close — so a
+// shard need not live in this process at all. NewRouterWithShardBackends
+// assembles a router over externally built backends;
+// internal/shardrpc.RemoteShard implements ShardBackend as an HTTP client
+// for a shard hosted by another process (bellflower-server -shard-of),
+// with the shard view's dense local-ID space as the wire ID space.
+// Remote-shard failures flow through the same partial-results machinery
+// as local ones: per-shard errors, Report.Incomplete, per-shard metric
+// series.
 //
 // # Candidate pre-pass
 //
@@ -86,8 +98,12 @@
 // Router.SetPartialResults) opts availability-over-completeness callers
 // into merging the shards that succeeded when others fail: the report is
 // marked Incomplete and carries per-shard errors
-// (pipeline.Report.ShardErrors); requests that fail on every shard, or
-// during the pre-pass, still error. Stats.PartialResults counts the
+// (pipeline.Report.ShardErrors); requests that fail on every shard still
+// error. A failed PRE-PASS also degrades under partial results: the
+// request falls back to full per-shard pipelines instead of failing
+// (counted by Stats.PrePassFallbacks; the k-means variants then cluster
+// per shard, the documented no-pre-pass approximation), unless the
+// caller's own context has expired. Stats.PartialResults counts the
 // degraded merges.
 //
 // # Concurrency

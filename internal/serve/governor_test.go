@@ -316,7 +316,7 @@ func TestRouterUnifiedGovernor(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for i, s := range r.shards {
+	for i, s := range r.locals {
 		if s.gov != r.gov {
 			t.Fatalf("shard %d owns a private governor", i)
 		}

@@ -30,6 +30,7 @@ func WritePrometheus(w io.Writer, st Stats, shards int) error {
 	counter("bellflower_pipeline_runs_total", "Matching pipeline executions completed.", st.PipelineRuns)
 	counter("bellflower_candidate_prepass_total", "Full-repository candidate pre-pass executions (router-level element matching, shared across shards).", st.CandidatePrePass)
 	counter("bellflower_partial_results_total", "Fanned-out requests served as Incomplete merges under the partial-results option.", st.PartialResults)
+	counter("bellflower_prepass_fallback_total", "Requests degraded to full per-shard pipelines after a pre-pass failure (partial-results option).", st.PrePassFallbacks)
 	counter("bellflower_errors_total", "Requests that finished with an error, including cancellations and deadline expiries.", st.Errors)
 	counter("bellflower_rejected_total", "Requests refused before running (closed service, oversized or nil schema).", st.Rejected)
 	counter("bellflower_cache_evictions_total", "Cache entries evicted for space (byte budget or entry-count cap).", st.CacheEvictions)

@@ -15,6 +15,7 @@ import (
 	"bellflower/internal/mapgen"
 	"bellflower/internal/matcher"
 	"bellflower/internal/pipeline"
+	"bellflower/internal/query"
 	"bellflower/internal/schema"
 )
 
@@ -62,6 +63,56 @@ var (
 	_ Backend = (*Router)(nil)
 )
 
+// ShardBackend is the narrow surface the Router demands of one shard: the
+// three match entry points (full pipeline, generation after a projected
+// candidate set, generation after projected candidates AND clusters), a
+// stats snapshot and teardown. A shard is ANY implementation — an
+// in-process view-backed Service, or a client for a shard hosted in
+// another process (internal/shardrpc.RemoteShard speaks the wire protocol
+// behind bellflower-server's -shard-of mode). The router reaches shards
+// only through this interface, so local and remote topologies are
+// interchangeable; everything shard-internal (report caches, worker pools,
+// indexes) stays behind it.
+//
+// Implementations must be safe for concurrent use. The candidate sets and
+// clusters handed to the staged entry points are projections onto the
+// shard's tree set (see labeling.View); implementations must treat them as
+// read-only.
+type ShardBackend interface {
+	// Match serves one request through the shard's full pipeline; see
+	// Service.Match.
+	Match(ctx context.Context, personal *schema.Tree, opts pipeline.Options) (*pipeline.Report, error)
+
+	// MatchWithCandidates is Match with element matching precomputed; see
+	// Service.MatchWithCandidates.
+	MatchWithCandidates(ctx context.Context, personal *schema.Tree, opts pipeline.Options, cands *matcher.Candidates) (*pipeline.Report, error)
+
+	// MatchWithClusters is Match with matching AND clustering precomputed;
+	// see Service.MatchWithClusters.
+	MatchWithClusters(ctx context.Context, personal *schema.Tree, opts pipeline.Options, cands *matcher.Candidates, clusters []*cluster.Cluster, iterations int) (*pipeline.Report, error)
+
+	// Stats returns a snapshot of the shard's instrumentation.
+	Stats() Stats
+
+	// Close releases the shard; matches after Close fail with an error.
+	Close()
+}
+
+var _ ShardBackend = (*Service)(nil)
+
+// ErrShardMismatch marks a shard error that is a topology
+// MISCONFIGURATION — the shard serves a different partition, strategy or
+// repository than the router expects (wrapped by
+// shardrpc.ErrDescriptorMismatch). Unlike a crash or timeout it cannot
+// heal by itself and the shard's answers would be wrong, so the
+// partial-results fan-out refuses to degrade around it: a fan-out
+// containing a mismatch error fails even with partial results enabled.
+var ErrShardMismatch = errors.New("serve: shard topology mismatch")
+
+// defaultShardCapacityHint sizes batch fan-outs for shards that do not
+// advertise a capacity (CapacityHint); see Router.MatchBatch.
+const defaultShardCapacityHint = 8
+
 // Router fans match requests out across repository shards — one Service per
 // repository partition — and merges the per-shard ranked mapping lists into
 // a single global report. Candidate matching is per-tree and clusters never
@@ -99,7 +150,8 @@ var (
 // Create with NewRouter or NewRouterFromRepository and release with Close.
 // A Router is safe for use from many goroutines.
 type Router struct {
-	shards  []*Service
+	shards  []ShardBackend
+	locals  []*Service           // locals[i] is shards[i] when it lives in-process, nil for remote backends
 	shardOf map[*schema.Tree]int // routes mappings back to their shard
 	once    sync.Once
 	closed  atomic.Bool
@@ -116,10 +168,11 @@ type Router struct {
 	// Router-level instrumentation: work and rejections that happen above
 	// the shards on the pre-pass path and would otherwise be invisible in
 	// every per-shard snapshot. Folded into Stats().
-	prepassRuns   atomic.Int64 // full-repository pre-pass executions
-	rejected      atomic.Int64 // requests refused before reaching any shard
-	errored       atomic.Int64 // requests failed during the pre-pass (ctx expiry)
-	partialMerges atomic.Int64 // fan-outs served as Incomplete merges
+	prepassRuns      atomic.Int64 // full-repository pre-pass executions
+	rejected         atomic.Int64 // requests refused before reaching any shard
+	errored          atomic.Int64 // requests failed during the pre-pass (ctx expiry)
+	partialMerges    atomic.Int64 // fan-outs served as Incomplete merges
+	prepassFallbacks atomic.Int64 // pre-pass failures degraded to full per-shard pipelines
 }
 
 // NewRouter wraps existing shard services in a router, taking ownership of
@@ -130,10 +183,12 @@ func NewRouter(shards []*Service) *Router {
 		panic("serve: NewRouter needs at least one shard")
 	}
 	r := &Router{
-		shards:  append([]*Service(nil), shards...),
+		shards:  make([]ShardBackend, len(shards)),
+		locals:  append([]*Service(nil), shards...),
 		shardOf: make(map[*schema.Tree]int),
 	}
-	for i, s := range r.shards {
+	for i, s := range r.locals {
+		r.shards[i] = s
 		for _, t := range s.Trees() {
 			r.shardOf[t] = i
 		}
@@ -180,19 +235,58 @@ func NewRouterWithPartition(repo *schema.Repository, n int, cfg Config, strategy
 		shards[i] = New(pipeline.NewViewRunner(v), shardCfg)
 	}
 	r := NewRouter(shards)
-	r.fullRunner = pipeline.NewRunnerFromIndex(ix)
-	r.views = views
-	r.gov = gov
-	r.partial.Store(cfg.PartialResults)
 	// The pre-pass runs on request goroutines (it must complete even when
 	// its leader's own shard work would be queued); bound its concurrency
 	// to the summed shard worker budget so a burst of distinct cold
 	// requests cannot run more CPU-bound matching than the operator sized
 	// the service for.
-	r.prepassSem = make(chan struct{}, cfg.withDefaults().Workers*len(views))
+	r.enablePrepass(ix, views, gov, cfg, cfg.withDefaults().Workers*len(views))
+	return r
+}
+
+// NewRouterWithShardBackends assembles a router over externally built shard
+// backends — typically shardrpc.RemoteShard clients for shards hosted in
+// other processes, though any ShardBackend mix works. ix must be the
+// labelling index of the full repository and views[i] the shard view
+// backend i serves (the router routes clusters and rewrites by view
+// membership, and the views' tree descriptors are the backends' wire ID
+// space). The router takes ownership of the backends (Close closes them),
+// runs the shared pre-pass against ix exactly like NewRouterWithPartition,
+// and — because remote shards burn no local CPU — bounds pre-pass
+// concurrency to one local worker budget instead of the summed per-shard
+// budgets. It panics when views and backends disagree in length or are
+// empty.
+func NewRouterWithShardBackends(ix *labeling.Index, views []*labeling.View, backends []ShardBackend, cfg Config) *Router {
+	if len(backends) == 0 || len(views) != len(backends) {
+		panic(fmt.Sprintf("serve: NewRouterWithShardBackends: %d views for %d backends", len(views), len(backends)))
+	}
+	r := &Router{
+		shards:  append([]ShardBackend(nil), backends...),
+		locals:  make([]*Service, len(backends)),
+		shardOf: make(map[*schema.Tree]int),
+	}
+	for i, b := range backends {
+		r.locals[i], _ = b.(*Service)
+		for _, t := range views[i].Trees() {
+			r.shardOf[t] = i
+		}
+	}
+	r.enablePrepass(ix, views, newGovernor(cfg.CacheBytes, cfg.CacheTTL), cfg, cfg.withDefaults().Workers)
+	return r
+}
+
+// enablePrepass switches the router onto the shared pre-pass path: one
+// full-repository runner over ix, per-shard views for projection, and the
+// pre-pass cache under gov. prepassConc bounds concurrent pre-pass
+// executions.
+func (r *Router) enablePrepass(ix *labeling.Index, views []*labeling.View, gov *memGovernor, cfg Config, prepassConc int) {
+	r.fullRunner = pipeline.NewRunnerFromIndex(ix)
+	r.views = views
+	r.gov = gov
+	r.partial.Store(cfg.PartialResults)
+	r.prepassSem = make(chan struct{}, prepassConc)
 	r.prepass = newPrepassCache(gov, prepassCacheSize)
 	r.maxSchemaNodes = cfg.withDefaults().MaxSchemaNodes
-	return r
 }
 
 // SetPartialResults switches the partial-results fan-out on or off at
@@ -222,8 +316,11 @@ func (r *Router) PartialResults() bool { return r.partial.Load() }
 // With partial results enabled (Config.PartialResults /
 // SetPartialResults) a partially failed fan-out instead returns the
 // successful shards' merge marked Incomplete with per-shard errors —
-// unless ctx itself has expired, every shard failed, or the pre-pass
-// failed, which still error.
+// unless ctx itself has expired, every shard failed, or a shard reported
+// a topology mismatch (ErrShardMismatch), which still error. A FAILED
+// PRE-PASS also degrades under partial results: the request falls back to
+// full per-shard pipelines (counted by Stats.PrePassFallbacks) instead of
+// failing, unless the failure is the caller's own context expiring.
 func (r *Router) Match(ctx context.Context, personal *schema.Tree, opts pipeline.Options) (*pipeline.Report, error) {
 	if r.closed.Load() {
 		return nil, ErrClosed
@@ -253,6 +350,17 @@ func (r *Router) Match(ctx context.Context, personal *schema.Tree, opts pipeline
 	}
 	e, err := r.runPrepass(ctx, personal, opts)
 	if err != nil {
+		// Pre-pass-failure degradation: with partial results enabled, a
+		// failed pre-pass falls back to full per-shard pipelines instead of
+		// failing the request — the shards can still match and cluster
+		// their own slices (for the k-means variants that is the documented
+		// per-shard approximation, the same one no-pre-pass NewRouter
+		// topologies serve). The caller's own expiry still errors: a dead
+		// request must not be answered with a degraded success.
+		if r.partial.Load() && ctx.Err() == nil && !ctxError(err) {
+			r.prepassFallbacks.Add(1)
+			return r.fanOut(ctx, personal, opts, nil)
+		}
 		r.errored.Add(1)
 		return nil, err
 	}
@@ -383,7 +491,7 @@ func (r *Router) fanOut(ctx context.Context, personal *schema.Tree, opts pipelin
 	var wg sync.WaitGroup
 	wg.Add(len(r.shards))
 	for i, s := range r.shards {
-		go func(i int, s *Service) {
+		go func(i int, s ShardBackend) {
 			defer wg.Done()
 			if staged != nil {
 				reps[i], errs[i] = s.MatchWithClusters(ctx, personal, opts,
@@ -411,7 +519,14 @@ func (r *Router) fanOut(ctx context.Context, personal *schema.Tree, opts pipelin
 		// A degraded merge is for SHARD failures. When the request's own
 		// context has expired, the caller asked to stop — answering 200
 		// Incomplete would convert every client timeout or disconnect
-		// into a degraded success.
+		// into a degraded success. A topology mismatch is not a failure
+		// but a misconfiguration whose answers would be wrong: never
+		// degrade around it.
+		for _, err := range errs {
+			if err != nil && errors.Is(err, ErrShardMismatch) {
+				return nil, err
+			}
+		}
 		if !r.partial.Load() || len(ok) == 0 || ctx.Err() != nil {
 			return nil, firstErr
 		}
@@ -467,19 +582,26 @@ func mergeReports(reps []*pipeline.Report, topN int) *pipeline.Report {
 
 // MatchBatch serves a batch of requests concurrently through the router,
 // results in request order. The goroutine fan-out is bounded by the summed
-// capacity of the shards.
+// capacity of the shards: shards advertising CapacityHint (Service,
+// shardrpc.RemoteShard) are sized exactly, others at a flat default.
 func (r *Router) MatchBatch(ctx context.Context, reqs []Request) []Result {
 	fanout := 0
 	for _, s := range r.shards {
-		fanout += s.capacityHint()
+		if h, ok := s.(interface{ CapacityHint() int }); ok {
+			fanout += h.CapacityHint()
+		} else {
+			fanout += defaultShardCapacityHint
+		}
 	}
 	return matchBatch(ctx, reqs, fanout, r.Match)
 }
 
-// RewriteQuery routes the rewrite to the shard the mapping was discovered
-// in: the mapping's images identify their owning shard through their tree
-// (for view-backed shards every shard shares one index, but routing by
-// tree also keeps clone-based NewRouter topologies correct).
+// RewriteQuery translates a personal-schema query through a mapping
+// discovered by Match. Routers with a full-repository index (every
+// pre-pass router, including remote-shard topologies) rewrite locally —
+// the mapping's image nodes are the router's own repository nodes, so no
+// shard round-trip is needed. Clone-based NewRouter topologies have no
+// shared index and route to the owning shard's service instead.
 func (r *Router) RewriteQuery(q string, personal *schema.Tree, mp mapgen.Mapping) (string, error) {
 	if len(mp.Images) == 0 {
 		return "", errors.New("serve: empty mapping")
@@ -488,7 +610,17 @@ func (r *Router) RewriteQuery(q string, personal *schema.Tree, mp mapgen.Mapping
 	if !ok {
 		return "", errors.New("serve: mapping does not belong to this router's shards")
 	}
-	return r.shards[i].RewriteQuery(q, personal, mp)
+	if r.fullRunner != nil {
+		parsed, err := query.Parse(q)
+		if err != nil {
+			return "", err
+		}
+		return query.Rewrite(parsed, personal, mp, r.fullRunner.Index())
+	}
+	if s := r.locals[i]; s != nil {
+		return s.RewriteQuery(q, personal, mp)
+	}
+	return "", errors.New("serve: cannot rewrite through a remote shard without a shared index")
 }
 
 // Stats returns the per-shard snapshots rolled up into one (see MergeStats
@@ -518,8 +650,22 @@ func (r *Router) Snapshot() (Stats, []Stats) {
 	total.Rejected += rejected
 	total.Errors += errored
 	total.PartialResults += r.partialMerges.Load()
+	total.PrePassFallbacks += r.prepassFallbacks.Load()
 	total.IndexBytes = r.indexBytes()
 	total.CacheBytes, total.CacheByteBudget, total.CacheEvictions, total.CacheExpired = r.governorStats()
+	// Remote shards' caches and indexes are resident in THEIR processes;
+	// their snapshots carry the figures, so the rollup adds them on top of
+	// the local dedup — the total then reflects fleet-wide residency.
+	for i, st := range shards {
+		if r.locals[i] != nil {
+			continue
+		}
+		total.CacheBytes += st.CacheBytes
+		total.CacheByteBudget += st.CacheByteBudget
+		total.CacheEvictions += st.CacheEvictions
+		total.CacheExpired += st.CacheExpired
+		total.IndexBytes += st.IndexBytes
+	}
 	return total, shards
 }
 
@@ -527,9 +673,11 @@ func (r *Router) Snapshot() (Stats, []Stats) {
 // counting each distinct governor exactly once: a view-backed router's
 // shards all share its one governor (so the figures ARE that governor's,
 // pre-pass included), while clone-based NewRouter shards each own one and
-// their accounts add up.
+// their accounts add up. Remote shards keep their caches in their own
+// process; their cache figures arrive through their Stats snapshots, not
+// through a local governor.
 func (r *Router) governorStats() (used, budget, evictions, expired int64) {
-	seen := make(map[*memGovernor]bool, len(r.shards)+1)
+	seen := make(map[*memGovernor]bool, len(r.locals)+1)
 	add := func(g *memGovernor) {
 		if g == nil || seen[g] {
 			return
@@ -542,23 +690,29 @@ func (r *Router) governorStats() (used, budget, evictions, expired int64) {
 		expired += x
 	}
 	add(r.gov)
-	for _, s := range r.shards {
-		add(s.gov)
+	for _, s := range r.locals {
+		if s != nil {
+			add(s.gov)
+		}
 	}
 	return used, budget, evictions, expired
 }
 
 // indexBytes sums the resident labelling-index memory across the router,
-// counting each distinct index exactly once.
+// counting each distinct LOCAL index exactly once (remote shards' resident
+// indexes live in their own processes and are not this process's memory).
 func (r *Router) indexBytes() int64 {
-	seen := make(map[*labeling.Index]bool, len(r.shards)+1)
+	seen := make(map[*labeling.Index]bool, len(r.locals)+1)
 	var b int64
 	if r.fullRunner != nil {
 		ix := r.fullRunner.Index()
 		seen[ix] = true
 		b += ix.MemoryBytes()
 	}
-	for _, s := range r.shards {
+	for _, s := range r.locals {
+		if s == nil {
+			continue
+		}
 		if ix := s.Index(); !seen[ix] {
 			seen[ix] = true
 			b += ix.MemoryBytes()
@@ -567,22 +721,32 @@ func (r *Router) indexBytes() int64 {
 	return b
 }
 
-// ShardStats returns one snapshot per shard, in shard order.
+// ShardStats returns one snapshot per shard, in shard order. Snapshots
+// are taken concurrently: a remote shard's Stats is a network fetch with
+// its own timeout, and a scrape of a fleet with several dead shards must
+// pay that timeout once, not once per dead shard.
 func (r *Router) ShardStats() []Stats {
 	out := make([]Stats, len(r.shards))
+	var wg sync.WaitGroup
+	wg.Add(len(r.shards))
 	for i, s := range r.shards {
-		out[i] = s.Stats()
+		go func(i int, s ShardBackend) {
+			defer wg.Done()
+			out[i] = s.Stats()
+		}(i, s)
 	}
+	wg.Wait()
 	return out
 }
 
-// RepositoryStats aggregates the shards' served-tree statistics (view or
-// repository scope, see Service.RepositoryStats): tree and node counts
-// summed, extrema taken across shards.
+// RepositoryStats aggregates the per-shard served-tree statistics: tree
+// and node counts summed, extrema taken across shards. Pre-pass routers
+// (views non-nil) read the views directly — shard backends, remote ones
+// included, never need to answer repository questions; clone-based
+// NewRouter topologies ask their local services.
 func (r *Router) RepositoryStats() schema.Stats {
 	var out schema.Stats
-	for i, s := range r.shards {
-		st := s.RepositoryStats()
+	add := func(i int, st schema.Stats) {
 		out.Trees += st.Trees
 		out.Nodes += st.Nodes
 		if st.MaxDepth > out.MaxDepth {
@@ -595,15 +759,28 @@ func (r *Router) RepositoryStats() schema.Stats {
 			out.MinTree = st.MinTree
 		}
 	}
+	if r.views != nil {
+		for i, v := range r.views {
+			add(i, v.Stats())
+		}
+		return out
+	}
+	for i, s := range r.locals {
+		add(i, s.RepositoryStats())
+	}
 	return out
 }
 
 // NumShards reports the fan-out width.
 func (r *Router) NumShards() int { return len(r.shards) }
 
-// Shard returns the i-th shard service (for inspection; the router retains
-// ownership).
-func (r *Router) Shard(i int) *Service { return r.shards[i] }
+// Shard returns the i-th shard's in-process service (for inspection; the
+// router retains ownership), or nil when that shard is a remote backend.
+func (r *Router) Shard(i int) *Service { return r.locals[i] }
+
+// ShardBackendAt returns the i-th shard backend — always non-nil, remote
+// or local. The router retains ownership.
+func (r *Router) ShardBackendAt(i int) ShardBackend { return r.shards[i] }
 
 // Close closes every shard concurrently and blocks until all have drained.
 // It is idempotent; Match calls after Close return ErrClosed.
@@ -616,7 +793,7 @@ func (r *Router) Close() {
 		var wg sync.WaitGroup
 		wg.Add(len(r.shards))
 		for _, s := range r.shards {
-			go func(s *Service) {
+			go func(s ShardBackend) {
 				defer wg.Done()
 				s.Close()
 			}(s)

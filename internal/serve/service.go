@@ -389,12 +389,12 @@ type Result struct {
 // huge batch must not pin one goroutine per entry behind the worker
 // pool); pipeline concurrency stays bounded by the pool itself.
 func (s *Service) MatchBatch(ctx context.Context, reqs []Request) []Result {
-	return matchBatch(ctx, reqs, s.capacityHint(), s.Match)
+	return matchBatch(ctx, reqs, s.CapacityHint(), s.Match)
 }
 
-// capacityHint is the number of requests the service can hold (running or
-// queued); batch fan-outs size themselves by it.
-func (s *Service) capacityHint() int { return s.cfg.Workers + s.cfg.QueueDepth }
+// CapacityHint is the number of requests the service can hold (running or
+// queued); batch fan-outs — the Router's included — size themselves by it.
+func (s *Service) CapacityHint() int { return s.cfg.Workers + s.cfg.QueueDepth }
 
 // matchBatch fans reqs out over at most fanout goroutines against match,
 // collecting results in request order.

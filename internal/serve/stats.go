@@ -129,6 +129,12 @@ type Stats struct {
 	// for a plain Service and in per-shard snapshots).
 	PartialResults int64 `json:"partial_results"`
 
+	// PrePassFallbacks counts requests whose shared pre-pass FAILED and
+	// that were degraded — under the partial-results option — to full
+	// per-shard pipelines instead of failing (router-level; always 0 for
+	// a plain Service and in per-shard snapshots).
+	PrePassFallbacks int64 `json:"prepass_fallbacks"`
+
 	// Latency is the end-to-end request latency histogram.
 	Latency LatencyStats `json:"latency"`
 }
@@ -196,6 +202,7 @@ func MergeStats(ss ...Stats) Stats {
 			out.IndexBytes = st.IndexBytes
 		}
 		out.PartialResults += st.PartialResults
+		out.PrePassFallbacks += st.PrePassFallbacks
 		out.Requests += st.Requests
 		out.CacheHits += st.CacheHits
 		out.CacheMisses += st.CacheMisses

@@ -1,0 +1,325 @@
+package shardrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"bellflower/internal/cluster"
+	"bellflower/internal/labeling"
+	"bellflower/internal/matcher"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/schema"
+	"bellflower/internal/serve"
+)
+
+// ErrDescriptorMismatch marks a remote server that answers but hosts a
+// different shard/partition/repository than the client expects — a
+// configuration error no retry can fix; match with errors.Is. It wraps
+// serve.ErrShardMismatch, so the router's fan-out hard-fails on it even
+// in partial-results mode, both at Check time and per request (the shard
+// server's 409 maps back to this error).
+var ErrDescriptorMismatch = fmt.Errorf("shardrpc: shard descriptor mismatch: %w", serve.ErrShardMismatch)
+
+// RemoteShardConfig tunes one remote shard client.
+type RemoteShardConfig struct {
+	// Timeout bounds each match attempt on top of the request context (a
+	// per-shard deadline; the fan-out's own context still applies). 0 =
+	// context only.
+	Timeout time.Duration
+
+	// StatsTimeout bounds Stats and Check probes. Default 2s.
+	StatsTimeout time.Duration
+
+	// MaxConcurrent is the shard's advertised request capacity
+	// (CapacityHint), sizing the router's batch fan-out. Default 16.
+	MaxConcurrent int
+
+	// HTTPClient overrides the transport (tests inject
+	// httptest.Server.Client()). Default http.DefaultClient semantics with
+	// no client-level timeout — deadlines come from Timeout/ctx.
+	HTTPClient *http.Client
+}
+
+// RemoteShard is a serve.ShardBackend that forwards match traffic to a
+// shard hosted in another process (bellflower-server -shard-of) over the
+// wire protocol of this package. Node references cross the wire in the
+// shard view's local-ID space; the client re-resolves them through its OWN
+// view of its OWN repository copy, so decoded reports merge exactly like
+// in-process shard reports.
+//
+// Failure semantics: transport errors are retried once (a fresh attempt,
+// honouring the caller's context), then surface as this shard's error —
+// under the router's partial-results mode that means Report.Incomplete
+// with a ShardError instead of a failed request. Remote 504/503 map back
+// to context.DeadlineExceeded / serve.ErrClosed so the daemon's status
+// mapping and the router's strict mode treat remote shards like local
+// ones.
+type RemoteShard struct {
+	base string
+	view *labeling.View
+	desc Descriptor
+	hc   *http.Client
+	cfg  RemoteShardConfig
+
+	closed       atomic.Bool
+	unreachables atomic.Int64 // REQUESTS that exhausted their attempts without an HTTP response
+}
+
+var _ serve.ShardBackend = (*RemoteShard)(nil)
+
+// NewRemoteShard returns a client for the shard server at addr
+// ("host:port" or a full http:// URL). view must be the caller's own view
+// of the shard's tree set — the wire ID space — and desc the descriptor
+// the remote side is expected to host (ViewDescriptor of view).
+func NewRemoteShard(addr string, view *labeling.View, desc Descriptor, cfg RemoteShardConfig) *RemoteShard {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	if cfg.StatsTimeout <= 0 {
+		cfg.StatsTimeout = 2 * time.Second
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 16
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &RemoteShard{
+		base: strings.TrimSuffix(addr, "/"),
+		view: view,
+		desc: desc,
+		hc:   hc,
+		cfg:  cfg,
+	}
+}
+
+// Addr returns the shard server's base URL.
+func (rs *RemoteShard) Addr() string { return rs.base }
+
+// Descriptor returns the descriptor this client expects the remote side to
+// host.
+func (rs *RemoteShard) Descriptor() Descriptor { return rs.desc }
+
+// CapacityHint implements the router's batch-sizing probe.
+func (rs *RemoteShard) CapacityHint() int { return rs.cfg.MaxConcurrent }
+
+// Close marks the client closed; later matches fail with serve.ErrClosed.
+// The remote server is NOT shut down — it belongs to its own process.
+func (rs *RemoteShard) Close() {
+	rs.closed.Store(true)
+	rs.hc.CloseIdleConnections()
+}
+
+// Match implements serve.ShardBackend over the wire (full per-shard
+// pipeline on the remote side).
+func (rs *RemoteShard) Match(ctx context.Context, personal *schema.Tree, opts pipeline.Options) (*pipeline.Report, error) {
+	return rs.match(ctx, personal, opts, nil, false, nil, false, 0)
+}
+
+// MatchWithCandidates implements serve.ShardBackend over the wire.
+func (rs *RemoteShard) MatchWithCandidates(ctx context.Context, personal *schema.Tree, opts pipeline.Options, cands *matcher.Candidates) (*pipeline.Report, error) {
+	if cands == nil {
+		return nil, fmt.Errorf("shardrpc: MatchWithCandidates needs a candidate set")
+	}
+	return rs.match(ctx, personal, opts, cands, true, nil, false, 0)
+}
+
+// MatchWithClusters implements serve.ShardBackend over the wire — the
+// router's pre-pass path: projected candidates and translated clusters
+// ship in local-ID space, the remote shard runs generation only.
+func (rs *RemoteShard) MatchWithClusters(ctx context.Context, personal *schema.Tree, opts pipeline.Options, cands *matcher.Candidates, clusters []*cluster.Cluster, iterations int) (*pipeline.Report, error) {
+	if cands == nil {
+		return nil, fmt.Errorf("shardrpc: MatchWithClusters needs a candidate set")
+	}
+	if clusters == nil {
+		return nil, fmt.Errorf("shardrpc: MatchWithClusters needs a cluster slice (possibly empty, never nil)")
+	}
+	return rs.match(ctx, personal, opts, cands, true, clusters, true, iterations)
+}
+
+func (rs *RemoteShard) match(ctx context.Context, personal *schema.Tree, opts pipeline.Options,
+	cands *matcher.Candidates, hasCands bool, clusters []*cluster.Cluster, hasClusters bool, iterations int) (*pipeline.Report, error) {
+	if rs.closed.Load() {
+		return nil, serve.ErrClosed
+	}
+	if personal == nil || personal.Root() == nil {
+		return nil, fmt.Errorf("shardrpc: nil personal schema")
+	}
+	wopts, err := EncodeOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	req := MatchRequest{
+		Descriptor: rs.desc,
+		Personal:   EncodeTree(personal),
+		Signature:  serve.Signature(personal, opts),
+		Options:    wopts,
+		Iterations: iterations,
+	}
+	if hasCands {
+		req.HasCandidates = true
+		if req.Candidates, err = EncodeCandidates(rs.view, cands); err != nil {
+			return nil, err
+		}
+	}
+	if hasClusters {
+		req.HasClusters = true
+		if req.Clusters, err = EncodeClusters(rs.view, clusters); err != nil {
+			return nil, err
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("shardrpc: encode request: %w", err)
+	}
+
+	// Retry-once: a transport failure (connection refused/reset, per-shard
+	// timeout) gets one fresh attempt while the caller's context is still
+	// live; HTTP-level errors are the shard's answer and are not retried.
+	// Only a request that EXHAUSTS its attempts counts as unreachable — a
+	// first attempt rescued by its retry is a served request, not an
+	// error (Stats would otherwise report outages that never happened).
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 && ctx.Err() != nil {
+			break
+		}
+		rep, transport, err := rs.post(ctx, body)
+		if err == nil {
+			return rep, nil
+		}
+		lastErr = err
+		if !transport {
+			return nil, err
+		}
+	}
+	// A caller whose own context expired mid-attempt did not discover an
+	// unreachable shard — don't charge phantom outages to a healthy one.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rs.unreachables.Add(1)
+	return nil, lastErr
+}
+
+// post runs one match attempt. transport reports whether the failure
+// happened below the protocol (no HTTP response decoded), i.e. whether a
+// retry could help.
+func (rs *RemoteShard) post(ctx context.Context, body []byte) (rep *pipeline.Report, transport bool, err error) {
+	cctx := ctx
+	if rs.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, rs.cfg.Timeout)
+		defer cancel()
+	}
+	hreq, err := http.NewRequestWithContext(cctx, http.MethodPost, rs.base+"/v1/shard/match", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, fmt.Errorf("shardrpc: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := rs.hc.Do(hreq)
+	if err != nil {
+		return nil, true, fmt.Errorf("shardrpc: shard %s unreachable: %w", rs.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, rs.statusError(resp)
+	}
+	var mr MatchResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxMatchBody)).Decode(&mr); err != nil {
+		return nil, true, fmt.Errorf("shardrpc: shard %s: bad response: %w", rs.base, err)
+	}
+	rep, err = DecodeReport(rs.view, mr.Report)
+	if err != nil {
+		return nil, false, err
+	}
+	return rep, false, nil
+}
+
+// statusError maps a non-200 shard response back onto the error classes
+// the serving layer distinguishes.
+func (rs *RemoteShard) statusError(resp *http.Response) error {
+	var e errorJSON
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e)
+	msg := e.Error
+	if msg == "" {
+		msg = resp.Status
+	}
+	switch resp.StatusCode {
+	case http.StatusGatewayTimeout:
+		return fmt.Errorf("shardrpc: shard %s: %s: %w", rs.base, msg, context.DeadlineExceeded)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("shardrpc: shard %s: %s: %w", rs.base, msg, serve.ErrClosed)
+	case http.StatusConflict:
+		// The shard hosts a different topology (it was reconfigured after
+		// the construction-time handshake): a misconfiguration, not a
+		// failure — the wrapped sentinel makes the router hard-fail
+		// instead of serving degraded merges around wrong answers.
+		return fmt.Errorf("shard %s: %s: %w", rs.base, msg, ErrDescriptorMismatch)
+	default:
+		return fmt.Errorf("shardrpc: shard %s: HTTP %d: %s", rs.base, resp.StatusCode, msg)
+	}
+}
+
+// Check probes the shard server's health and verifies that it hosts
+// exactly the shard this client was built for — the descriptor handshake
+// that catches topology mismatches (wrong -shard-of index, different
+// partition strategy, different repository) at wiring time.
+func (rs *RemoteShard) Check(ctx context.Context) error {
+	sr, err := rs.fetchStats(ctx)
+	if err != nil {
+		return err
+	}
+	if !sr.Descriptor.Equal(rs.desc) {
+		return fmt.Errorf("%w: shard %s hosts %s, want %s", ErrDescriptorMismatch, rs.base, sr.Descriptor, rs.desc)
+	}
+	return nil
+}
+
+// Stats implements serve.ShardBackend: the REMOTE shard's snapshot,
+// fetched best-effort with the stats timeout. Requests that exhausted
+// their transport attempts never reached the shard, so the client folds
+// them in as requests + errors (retry-rescued requests count only on the
+// shard, as the successes they are); an unreachable shard reports just
+// those client-side figures instead of going silent.
+func (rs *RemoteShard) Stats() serve.Stats {
+	ctx, cancel := context.WithTimeout(context.Background(), rs.cfg.StatsTimeout)
+	defer cancel()
+	te := rs.unreachables.Load()
+	sr, err := rs.fetchStats(ctx)
+	if err != nil {
+		return serve.Stats{Requests: te, Errors: te}
+	}
+	st := sr.Stats
+	st.Requests += te
+	st.Errors += te
+	return st
+}
+
+func (rs *RemoteShard) fetchStats(ctx context.Context) (StatsResponse, error) {
+	var sr StatsResponse
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, rs.base+"/v1/shard/stats", nil)
+	if err != nil {
+		return sr, fmt.Errorf("shardrpc: %w", err)
+	}
+	resp, err := rs.hc.Do(hreq)
+	if err != nil {
+		return sr, fmt.Errorf("shardrpc: shard %s unreachable: %w", rs.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sr, fmt.Errorf("shardrpc: shard %s: HTTP %d", rs.base, resp.StatusCode)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&sr); err != nil {
+		return sr, fmt.Errorf("shardrpc: shard %s: bad stats response: %w", rs.base, err)
+	}
+	return sr, nil
+}

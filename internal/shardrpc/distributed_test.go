@@ -1,0 +1,352 @@
+package shardrpc_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"bellflower"
+	"bellflower/internal/labeling"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/repogen"
+	"bellflower/internal/schema"
+	"bellflower/internal/serve"
+	"bellflower/internal/shardrpc"
+)
+
+// freshRepo builds a deterministic synthetic repository — each call
+// returns an INDEPENDENT copy, simulating separate processes loading the
+// same repository file.
+func freshRepo(t testing.TB, nodes int, seed int64) *schema.Repository {
+	t.Helper()
+	cfg := repogen.DefaultConfig()
+	cfg.TargetNodes = nodes
+	cfg.Seed = seed
+	repo, err := repogen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+func randomPersonal(rng *rand.Rand, repo *schema.Repository, extraNodes int) *schema.Tree {
+	nodes := repo.Nodes()
+	name := func() string { return nodes[rng.Intn(len(nodes))].Name }
+	b := schema.NewBuilder("personal")
+	parents := []*schema.Node{b.Root(name())}
+	for i := 0; i < extraNodes; i++ {
+		parents = append(parents, b.Element(parents[rng.Intn(len(parents))], name()))
+	}
+	return b.MustTree()
+}
+
+// reportKeys and canonicalReport mirror the serve package's equivalence
+// harness: shard-independent mapping keys, equal-Δ runs sorted so the only
+// legitimate divergence (tie order) is normalized away.
+func reportKeys(rep *pipeline.Report) []string {
+	keys := make([]string, len(rep.Mappings))
+	for i, m := range rep.Mappings {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%.12f", m.Score.Delta)
+		for _, img := range m.Images {
+			b.WriteString("|")
+			b.WriteString(img.Tree().Name)
+			b.WriteString(img.PathString())
+		}
+		keys[i] = b.String()
+	}
+	return keys
+}
+
+func canonicalReport(rep *pipeline.Report) string {
+	keys := reportKeys(rep)
+	i := 0
+	for i < len(keys) {
+		j := i + 1
+		for j < len(keys) && rep.Mappings[j].Score.Delta == rep.Mappings[i].Score.Delta {
+			j++
+		}
+		sort.Strings(keys[i:j])
+		i = j
+	}
+	return strings.Join(keys, "\n")
+}
+
+// shardFleet hosts n shard servers over httptest, each with its own
+// repository copy — the closest in-process approximation of n separate
+// bellflower-server -shard-of processes.
+type shardFleet struct {
+	hosts   []*bellflower.ShardHost
+	servers []*httptest.Server
+	addrs   []string
+}
+
+func startFleet(t testing.TB, nodes int, seed int64, n int, strategy bellflower.PartitionStrategy) *shardFleet {
+	t.Helper()
+	f := &shardFleet{}
+	for i := 0; i < n; i++ {
+		host, err := bellflower.NewShardHost(freshRepo(t, nodes, seed), i, n, bellflower.ServiceConfig{Workers: 2}, strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/shard/match", host.HandleMatch)
+		mux.HandleFunc("/v1/shard/stats", host.HandleStats)
+		srv := httptest.NewServer(mux)
+		f.hosts = append(f.hosts, host)
+		f.servers = append(f.servers, srv)
+		f.addrs = append(f.addrs, srv.URL)
+	}
+	t.Cleanup(f.stop)
+	return f
+}
+
+func (f *shardFleet) stop() {
+	for _, s := range f.servers {
+		s.Close()
+	}
+	for _, h := range f.hosts {
+		h.Close()
+	}
+}
+
+// TestDistributedEquivalence is the acceptance harness for remote shards:
+// a distributed match — router in this process, every shard behind a real
+// HTTP hop with its OWN repository copy — must be byte-identical
+// (canonical form) to the unsharded report, for both partition strategies,
+// several shard counts, and both the tree and k-means clustering variants
+// (the pre-pass clusters globally, so k-means stays exact even when the
+// generation runs in other processes).
+func TestDistributedEquivalence(t *testing.T) {
+	cases := []struct {
+		seed       int64
+		nodes      int
+		extraNodes int
+		variant    pipeline.Variant
+	}{
+		{seed: 21, nodes: 350, extraNodes: 2, variant: pipeline.VariantTree},
+		{seed: 22, nodes: 500, extraNodes: 3, variant: pipeline.VariantMedium},
+	}
+	for _, tc := range cases {
+		routerRepo := freshRepo(t, tc.nodes, tc.seed)
+		rng := rand.New(rand.NewSource(tc.seed * 7919))
+		personal := randomPersonal(rng, routerRepo, tc.extraNodes)
+
+		opts := bellflower.DefaultOptions()
+		opts.Variant = tc.variant
+		opts.MinSim = 0.4
+		opts.Threshold = 0.6
+
+		direct, err := bellflower.NewMatcher(freshRepo(t, tc.nodes, tc.seed)).Match(personal, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", tc.seed, err)
+		}
+		want := canonicalReport(direct)
+		if len(direct.Mappings) == 0 {
+			t.Logf("seed %d: unsharded run found no mappings; equivalence still checked", tc.seed)
+		}
+
+		for _, strategy := range []bellflower.PartitionStrategy{bellflower.PartitionBalanced, bellflower.PartitionClustered} {
+			for _, shards := range []int{2, 3, 5} {
+				fleet := startFleet(t, tc.nodes, tc.seed, shards, strategy)
+				backend, err := bellflower.NewDistributedService(routerRepo, fleet.addrs, bellflower.ServiceConfig{Workers: 2}, strategy)
+				if err != nil {
+					t.Fatalf("seed %d %v shards=%d: %v", tc.seed, strategy, shards, err)
+				}
+				rep, err := backend.Match(context.Background(), personal, opts)
+				if err != nil {
+					backend.Close()
+					t.Fatalf("seed %d %v shards=%d: %v", tc.seed, strategy, shards, err)
+				}
+				if rep.Incomplete || len(rep.ShardErrors) != 0 {
+					t.Errorf("seed %d %v shards=%d: healthy distributed fan-out marked incomplete", tc.seed, strategy, shards)
+				}
+				if got := canonicalReport(rep); got != want {
+					t.Errorf("seed %d %v shards=%d: distributed report differs from unsharded\n--- unsharded\n%s\n--- distributed\n%s",
+						tc.seed, strategy, shards, want, got)
+				}
+				if rep.MappingElements != direct.MappingElements {
+					t.Errorf("seed %d %v shards=%d: mapping elements %d, want %d",
+						tc.seed, strategy, shards, rep.MappingElements, direct.MappingElements)
+				}
+				backend.Close()
+				fleet.stop()
+			}
+		}
+	}
+}
+
+// TestDistributedShardDeath: killing one shard server fails strict
+// requests with that shard's error, while a partial-results router serves
+// the surviving shards' merge as Report.Incomplete with the dead shard
+// identified — and construction-time health checks tolerate the dead
+// shard only under partial results.
+func TestDistributedShardDeath(t *testing.T) {
+	const nodes, seed, shards = 400, 31, 3
+	fleet := startFleet(t, nodes, seed, shards, bellflower.PartitionClustered)
+	routerRepo := freshRepo(t, nodes, seed)
+	rng := rand.New(rand.NewSource(seed))
+	personal := randomPersonal(rng, routerRepo, 2)
+	opts := bellflower.DefaultOptions()
+	opts.Variant = bellflower.VariantTree
+	opts.MinSim = 0.4
+	opts.Threshold = 0.6
+
+	strict, err := bellflower.NewDistributedService(routerRepo, fleet.addrs, bellflower.ServiceConfig{Workers: 2}, bellflower.PartitionClustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer strict.Close()
+	partial, err := bellflower.NewDistributedService(freshRepo(t, nodes, seed), fleet.addrs,
+		bellflower.ServiceConfig{Workers: 2, PartialResults: true}, bellflower.PartitionClustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer partial.Close()
+
+	// Healthy baseline through both routers.
+	if _, err := strict.Match(context.Background(), personal, opts); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := partial.Match(context.Background(), personal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Incomplete {
+		t.Fatal("healthy distributed fan-out marked incomplete")
+	}
+
+	// Kill shard 1's process.
+	fleet.servers[1].Close()
+
+	if _, err := strict.Match(context.Background(), personal, opts); err == nil {
+		t.Error("strict distributed router served a fan-out with a dead shard")
+	}
+	rep, err := partial.Match(context.Background(), personal, opts)
+	if err != nil {
+		t.Fatalf("partial distributed router failed outright: %v", err)
+	}
+	if !rep.Incomplete {
+		t.Error("degraded distributed merge not marked Incomplete")
+	}
+	if len(rep.ShardErrors) != 1 || rep.ShardErrors[0].Shard != 1 {
+		t.Fatalf("ShardErrors = %+v, want exactly shard 1", rep.ShardErrors)
+	}
+	if rep.ShardErrors[0].Err == "" {
+		t.Error("dead shard's error carries no message")
+	}
+	if got := partial.Stats().PartialResults; got != 1 {
+		t.Errorf("PartialResults counter = %d, want 1", got)
+	}
+
+	// Construction with a dead shard: strict fails fast, partial tolerates.
+	if _, err := bellflower.NewDistributedService(freshRepo(t, nodes, seed), fleet.addrs,
+		bellflower.ServiceConfig{Workers: 2}, bellflower.PartitionClustered); err == nil {
+		t.Error("strict construction succeeded with a dead shard")
+	}
+	late, err := bellflower.NewDistributedService(freshRepo(t, nodes, seed), fleet.addrs,
+		bellflower.ServiceConfig{Workers: 2, PartialResults: true}, bellflower.PartitionClustered)
+	if err != nil {
+		t.Fatalf("partial construction rejected a dead shard: %v", err)
+	}
+	late.Close()
+}
+
+// TestDistributedDescriptorMismatch: a router partitioned with a different
+// strategy than the shard servers must fail the health handshake with
+// ErrDescriptorMismatch — never serve mappings from a mismatched ID space.
+func TestDistributedDescriptorMismatch(t *testing.T) {
+	const nodes, seed = 300, 41
+	fleet := startFleet(t, nodes, seed, 2, bellflower.PartitionClustered)
+	_, err := bellflower.NewDistributedService(freshRepo(t, nodes, seed), fleet.addrs,
+		bellflower.ServiceConfig{Workers: 2, PartialResults: true}, bellflower.PartitionBalanced)
+	if !errors.Is(err, shardrpc.ErrDescriptorMismatch) {
+		t.Fatalf("err = %v, want ErrDescriptorMismatch", err)
+	}
+	// Per-request enforcement too: a raw client with a doctored descriptor
+	// is rejected by the shard server even past the handshake.
+	routerRepo := freshRepo(t, nodes, seed)
+	ix := labeling.NewIndex(routerRepo)
+	views := serve.PartitionRepositoryViews(ix, 2, serve.PartitionClustered)
+	desc := shardrpc.ViewDescriptor(views[0], 0, 2, serve.PartitionClustered)
+	desc.Strategy = "balanced" // doctored
+	rs := shardrpc.NewRemoteShard(fleet.addrs[0], views[0], desc, shardrpc.RemoteShardConfig{})
+	personal := schema.MustParseSpec("book(title,author)")
+	if _, err := rs.Match(context.Background(), personal, pipeline.DefaultOptions()); !errors.Is(err, shardrpc.ErrDescriptorMismatch) {
+		t.Fatalf("doctored descriptor: err = %v, want ErrDescriptorMismatch", err)
+	}
+
+	// And through a partial-results fan-out: shard 1 is healthy, shard 0
+	// answers per-request 409s (it was "reconfigured" after the
+	// handshake). The fan-out must hard-fail the request instead of
+	// degrading to an Incomplete merge — a misconfigured shard's absence
+	// is not a failure to tolerate but wrong answers to refuse.
+	healthy := shardrpc.NewRemoteShard(fleet.addrs[1], views[1],
+		shardrpc.ViewDescriptor(views[1], 1, 2, serve.PartitionClustered), shardrpc.RemoteShardConfig{})
+	router := serve.NewRouterWithShardBackends(ix, views,
+		[]serve.ShardBackend{rs, healthy}, serve.Config{Workers: 1, PartialResults: true})
+	defer router.Close()
+	if _, err := router.Match(context.Background(), personal, pipeline.DefaultOptions()); !errors.Is(err, serve.ErrShardMismatch) {
+		t.Fatalf("partial fan-out tolerated a descriptor mismatch: err = %v", err)
+	}
+	if st := router.Stats(); st.PartialResults != 0 {
+		t.Errorf("mismatch served as a partial merge (%d)", st.PartialResults)
+	}
+}
+
+// TestRemoteShardRetryOnce: a transport-level failure on the first attempt
+// (connection killed mid-flight) is retried once and the request succeeds.
+func TestRemoteShardRetryOnce(t *testing.T) {
+	const nodes, seed = 300, 43
+	host, err := bellflower.NewShardHost(freshRepo(t, nodes, seed), 0, 1, bellflower.ServiceConfig{Workers: 2}, bellflower.PartitionClustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	killed := false
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/shard/match", func(w http.ResponseWriter, r *http.Request) {
+		if !killed {
+			killed = true
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("recorder not hijackable")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close() // first attempt dies below HTTP
+			return
+		}
+		host.HandleMatch(w, r)
+	})
+	mux.HandleFunc("/v1/shard/stats", host.HandleStats)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	routerRepo := freshRepo(t, nodes, seed)
+	ix := labeling.NewIndex(routerRepo)
+	views := serve.PartitionRepositoryViews(ix, 1, serve.PartitionClustered)
+	rs := shardrpc.NewRemoteShard(srv.URL, views[0],
+		shardrpc.ViewDescriptor(views[0], 0, 1, serve.PartitionClustered), shardrpc.RemoteShardConfig{})
+	personal := schema.MustParseSpec("address(name,email)")
+	opts := pipeline.DefaultOptions()
+	opts.MinSim = 0.4
+	rep, err := rs.Match(context.Background(), personal, opts)
+	if err != nil {
+		t.Fatalf("retry did not rescue the request: %v", err)
+	}
+	if !killed {
+		t.Fatal("test never exercised the kill path")
+	}
+	if rep == nil {
+		t.Fatal("nil report after retry")
+	}
+}

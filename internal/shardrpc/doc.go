@@ -1,0 +1,40 @@
+// Package shardrpc is the wire protocol behind distributed shard serving:
+// it lets a serve.Router fan match requests out to shards hosted in OTHER
+// processes, while keeping the merged report byte-identical to an
+// unsharded run.
+//
+// # Model
+//
+// Both sides load the same repository (same file or the same synthetic
+// seed) and partition it deterministically with the same strategy, so the
+// router and every shard server agree on the shard views without ever
+// shipping the repository over the wire. What crosses the wire per request
+// is exactly the serve layer's pre-pass handoff:
+//
+//   - the personal schema (preorder node list),
+//   - the request options (canonically encoded; matchers by name),
+//   - the projected candidate set and the translated clusters, node
+//     references encoded in the shard view's dense LOCAL ID space
+//     (labeling.View.LocalID), and
+//   - the shard Descriptor — partition shape plus the member tree IDs —
+//     which the shard server verifies before serving, so a misconfigured
+//     topology fails loudly instead of returning wrong mappings.
+//
+// The response is the shard's pipeline.Report with mapping images encoded
+// as local IDs; the router's RemoteShard client decodes them back into its
+// own repository nodes, after which merging is indistinguishable from the
+// in-process fan-out.
+//
+// # Pieces
+//
+// ShardServer adapts one view-backed serve.Service to the two HTTP
+// endpoints (/v1/shard/match, /v1/shard/stats) that bellflower-server
+// exposes in -shard-of mode. RemoteShard is the client: it implements
+// serve.ShardBackend with per-attempt timeouts, one retry on transport
+// errors, and a Check health probe that verifies the remote descriptor —
+// failures surface as per-shard errors, feeding the router's
+// partial-results machinery (Report.Incomplete, ShardErrors, per-shard
+// metrics). Integrity is belt-and-braces: requests carry the router's
+// canonical request signature and the shard recomputes it after decoding,
+// so any codec disagreement is a 400, never a silently different report.
+package shardrpc

@@ -1,0 +1,183 @@
+package shardrpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"bellflower/internal/labeling"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/serve"
+)
+
+// maxMatchBody bounds a shard match request body. Projected candidate sets
+// scale with the repository, so the bound is far above the public daemon's
+// 1 MiB but still finite — a shard endpoint is internal infrastructure,
+// not an open ingress.
+const maxMatchBody = 64 << 20
+
+// ShardServer adapts one view-backed Service to the shard wire protocol:
+// HandleMatch and HandleStats are the handlers bellflower-server mounts at
+// /v1/shard/match and /v1/shard/stats in -shard-of mode. The server
+// decodes requests against its own view, verifies the caller's descriptor
+// and request signature, and serves through the exact Service entry points
+// an in-process router would call — so a remote fan-out's per-shard
+// reports, caches and dedupe behave identically to the local topology.
+type ShardServer struct {
+	svc  *serve.Service
+	view *labeling.View
+	desc Descriptor
+}
+
+// NewShardServer wraps a Service running on view (pipeline.NewViewRunner)
+// with the shard's descriptor.
+func NewShardServer(svc *serve.Service, view *labeling.View, desc Descriptor) *ShardServer {
+	return &ShardServer{svc: svc, view: view, desc: desc}
+}
+
+// Service returns the underlying view-backed service (the caller may mount
+// additional endpoints — metrics, health — against it).
+func (s *ShardServer) Service() *serve.Service { return s.svc }
+
+// Descriptor returns the shard's descriptor.
+func (s *ShardServer) Descriptor() Descriptor { return s.desc }
+
+// Close shuts the underlying service down.
+func (s *ShardServer) Close() { s.svc.Close() }
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// matchStatus maps a shard service error onto the protocol's status
+// codes. RemoteShard.statusError is its inverse — a new error class added
+// here needs a case there (and in the public daemon's matchStatus, which
+// maps the same serve errors for end clients) or it degrades to a generic
+// 500 across the hop.
+func matchStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, serve.ErrSchemaTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, serve.ErrClosed), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// HandleMatch serves POST /v1/shard/match.
+func (s *ShardServer) HandleMatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST required"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxMatchBody)
+	var req MatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		return
+	}
+	// A descriptor mismatch means the caller partitioned differently (or
+	// holds a different repository): serving would return mappings in the
+	// wrong ID space. 409, not 400 — the request is well-formed, the
+	// topologies disagree.
+	if !req.Descriptor.Equal(s.desc) {
+		writeJSON(w, http.StatusConflict, errorJSON{
+			Error: fmt.Sprintf("descriptor mismatch: caller expects %s, this server hosts %s", req.Descriptor, s.desc),
+		})
+		return
+	}
+	personal, err := DecodeTree(req.Personal)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	opts, err := DecodeOptions(req.Options)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	// Integrity: the canonical request signature must survive the codec
+	// round trip, otherwise the shard would compute (and cache) a subtly
+	// different request than the router merged.
+	if req.Signature != "" {
+		if got := serve.Signature(personal, opts); got != req.Signature {
+			writeJSON(w, http.StatusBadRequest, errorJSON{
+				Error: fmt.Sprintf("request signature mismatch after decode: got %q, want %q", got, req.Signature),
+			})
+			return
+		}
+	}
+
+	var rep *pipeline.Report
+	switch {
+	case req.HasClusters:
+		if !req.HasCandidates {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "clusters staged without candidates"})
+			return
+		}
+		cands, err := DecodeCandidates(s.view, personal, req.Candidates)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+			return
+		}
+		// DecodeClusters returns a non-nil slice even for zero clusters —
+		// a staged-empty projection is valid (MatchWithClusters requires
+		// non-nil).
+		clusters, err := DecodeClusters(s.view, req.Clusters)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+			return
+		}
+		rep, err = s.svc.MatchWithClusters(r.Context(), personal, opts, cands, clusters, req.Iterations)
+		if err != nil {
+			writeJSON(w, matchStatus(err), errorJSON{Error: err.Error()})
+			return
+		}
+	case req.HasCandidates:
+		cands, err := DecodeCandidates(s.view, personal, req.Candidates)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+			return
+		}
+		rep, err = s.svc.MatchWithCandidates(r.Context(), personal, opts, cands)
+		if err != nil {
+			writeJSON(w, matchStatus(err), errorJSON{Error: err.Error()})
+			return
+		}
+	default:
+		rep, err = s.svc.Match(r.Context(), personal, opts)
+		if err != nil {
+			writeJSON(w, matchStatus(err), errorJSON{Error: err.Error()})
+			return
+		}
+	}
+	wr, err := EncodeReport(s.view, rep)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, MatchResponse{Report: wr})
+}
+
+// HandleStats serves GET /v1/shard/stats: the shard's instrumentation
+// snapshot plus its descriptor (the health-check handshake).
+func (s *ShardServer) HandleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "GET required"})
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{Descriptor: s.desc, Stats: s.svc.Stats()})
+}

@@ -1,0 +1,261 @@
+package shardrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"bellflower/internal/cluster"
+	"bellflower/internal/labeling"
+	"bellflower/internal/matcher"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/schema"
+	"bellflower/internal/serve"
+)
+
+// testShard is one hosted shard with its httptest server and the
+// CLIENT-side state — an independent repository copy with its own index
+// and views, the way a real router process holds them.
+type testShard struct {
+	host       *ShardServer
+	srv        *httptest.Server
+	rs         *RemoteShard
+	clientRepo *schema.Repository
+	clientIx   *labeling.Index
+	clientView *labeling.View
+}
+
+func shardUnderTest(t *testing.T) *testShard {
+	t.Helper()
+	serverRepo := testRepo(t, 400, 17)
+	six := labeling.NewIndex(serverRepo)
+	sviews := serve.PartitionRepositoryViews(six, 2, serve.PartitionClustered)
+	svc := serve.New(pipeline.NewViewRunner(sviews[0]), serve.Config{Workers: 2})
+	host := NewShardServer(svc, sviews[0], ViewDescriptor(sviews[0], 0, 2, serve.PartitionClustered))
+	t.Cleanup(host.Close)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/shard/match", host.HandleMatch)
+	mux.HandleFunc("/v1/shard/stats", host.HandleStats)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	clientRepo := testRepo(t, 400, 17)
+	cix := labeling.NewIndex(clientRepo)
+	cviews := serve.PartitionRepositoryViews(cix, 2, serve.PartitionClustered)
+	rs := NewRemoteShard(srv.URL, cviews[0], ViewDescriptor(cviews[0], 0, 2, serve.PartitionClustered), RemoteShardConfig{})
+	return &testShard{host: host, srv: srv, rs: rs, clientRepo: clientRepo, clientIx: cix, clientView: cviews[0]}
+}
+
+func postMatch(t *testing.T, srv *httptest.Server, req MatchRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/shard/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestShardServerRejections pins the protocol's failure statuses: wrong
+// method, malformed body, mismatched descriptor, malformed tree, staged
+// clusters without candidates, signature drift, and a closed service.
+func TestShardServerRejections(t *testing.T) {
+	ts := shardUnderTest(t)
+	host, srv, rs := ts.host, ts.srv, ts.rs
+	personal := schema.MustParseSpec("book(title,author)")
+	goodOpts, err := EncodeOptions(pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := MatchRequest{
+		Descriptor: host.Descriptor(),
+		Personal:   EncodeTree(personal),
+		Options:    goodOpts,
+	}
+
+	if resp, err := http.Get(srv.URL + "/v1/shard/match"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET match: %v %v, want 405", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Post(srv.URL+"/v1/shard/stats", "application/json", nil); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST stats: %v %v, want 405", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Post(srv.URL+"/v1/shard/match", "application/json", bytes.NewReader([]byte("{nope"))); err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: %v %v, want 400", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	doctored := good
+	doctored.Descriptor.Shard = 1
+	if resp := postMatch(t, srv, doctored); resp.StatusCode != http.StatusConflict {
+		t.Errorf("descriptor mismatch: %d, want 409", resp.StatusCode)
+	}
+
+	badTree := good
+	badTree.Personal = WireTree{Name: "broken", Nodes: []WireNode{{Depth: 3, Name: "x"}}}
+	if resp := postMatch(t, srv, badTree); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed tree: %d, want 400", resp.StatusCode)
+	}
+
+	clustersOnly := good
+	clustersOnly.HasClusters = true
+	if resp := postMatch(t, srv, clustersOnly); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("clusters without candidates: %d, want 400", resp.StatusCode)
+	}
+
+	drifted := good
+	drifted.Signature = "not-the-real-signature"
+	if resp := postMatch(t, srv, drifted); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("signature drift: %d, want 400", resp.StatusCode)
+	}
+
+	badOpts := good
+	badOpts.Options.Matcher = "no-such-matcher"
+	if resp := postMatch(t, srv, badOpts); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown matcher: %d, want 400", resp.StatusCode)
+	}
+
+	// Accessors, for completeness of the host surface.
+	if host.Service() == nil || rs.Addr() != srv.URL || rs.CapacityHint() <= 0 || !rs.Descriptor().Equal(host.Descriptor()) {
+		t.Error("host/client accessors inconsistent")
+	}
+
+	// A closed shard service answers 503, and the client maps it back to
+	// serve.ErrClosed.
+	host.Close()
+	if resp := postMatch(t, srv, good); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("closed service: %d, want 503", resp.StatusCode)
+	}
+	if _, err := rs.Match(context.Background(), personal, pipeline.DefaultOptions()); !errors.Is(err, serve.ErrClosed) {
+		t.Errorf("client error for closed shard = %v, want ErrClosed", err)
+	}
+	rs.Close()
+	if _, err := rs.Match(context.Background(), personal, pipeline.DefaultOptions()); !errors.Is(err, serve.ErrClosed) {
+		t.Errorf("closed client error = %v, want ErrClosed", err)
+	}
+}
+
+// TestRemoteShardStagedPaths drives MatchWithCandidates and
+// MatchWithClusters over a real HTTP hop and checks the responses equal
+// the same calls against an equivalent in-process service — including a
+// run with partial mappings, which exercise the report codec's -1
+// (uncovered rank) encoding.
+func TestRemoteShardStagedPaths(t *testing.T) {
+	ts := shardUnderTest(t)
+	rs, clientRepo, cix := ts.rs, ts.clientRepo, ts.clientIx
+	local := serve.New(pipeline.NewViewRunner(ts.clientView), serve.Config{Workers: 2})
+	defer local.Close()
+
+	personal := schema.MustParseSpec("address(name,email)")
+	opts := pipeline.DefaultOptions()
+	opts.MinSim = 0.35
+	opts.IncludePartials = true
+
+	cands := matcher.FindCandidates(personal, clientRepo, matcher.NameMatcher{}, matcher.Config{MinSim: opts.MinSim}).
+		Restrict(ts.clientView.Contains)
+	wantCand, err := local.MatchWithCandidates(context.Background(), personal, opts, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCand, err := rs.MatchWithCandidates(context.Background(), personal, opts, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node pointers differ across repository copies; compare structurally
+	// via path strings and scores.
+	assertReportsEquivalent(t, "MatchWithCandidates", gotCand, wantCand)
+
+	clusters, iters, err := pipeline.ComputeClusters(cix, matcher.FindCandidates(personal, clientRepo, matcher.NameMatcher{}, matcher.Config{MinSim: opts.MinSim}), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	myClusters := clustersForView(ts.clientView, clusters)
+	wantCl, err := local.MatchWithClusters(context.Background(), personal, opts, cands, myClusters, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCl, err := rs.MatchWithClusters(context.Background(), personal, opts, cands, myClusters, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertReportsEquivalent(t, "MatchWithClusters", gotCl, wantCl)
+
+	// Nil-argument guards.
+	if _, err := rs.MatchWithCandidates(context.Background(), personal, opts, nil); err == nil {
+		t.Error("nil candidates accepted")
+	}
+	if _, err := rs.MatchWithClusters(context.Background(), personal, opts, cands, nil, 0); err == nil {
+		t.Error("nil clusters accepted")
+	}
+
+	// Remote stats reflect the served work and the descriptor handshake.
+	if err := rs.Check(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Both staged calls share one request signature, so the shard served
+	// the second from its report cache: exactly one pipeline run.
+	if st := rs.Stats(); st.PipelineRuns != 1 || st.CacheHits != 1 {
+		t.Errorf("remote stats report %d runs / %d cache hits, want 1 / 1", st.PipelineRuns, st.CacheHits)
+	}
+	_ = ts.host
+}
+
+// clustersForView keeps the clusters whose elements live in the view's
+// trees (clusters never span trees, so membership of the first element
+// decides).
+func clustersForView(v *labeling.View, cls []*cluster.Cluster) []*cluster.Cluster {
+	out := []*cluster.Cluster{}
+	for _, cl := range cls {
+		if cl.Len() > 0 && v.ContainsTree(cl.Elements[0].Node.Tree()) {
+			out = append(out, cl)
+		}
+	}
+	return out
+}
+
+func assertReportsEquivalent(t *testing.T, what string, got, want *pipeline.Report) {
+	t.Helper()
+	if len(got.Mappings) != len(want.Mappings) || got.MappingElements != want.MappingElements ||
+		got.Clusters != want.Clusters || len(got.Partials) != len(want.Partials) {
+		t.Fatalf("%s: shape differs: got %d mappings/%d partials, want %d/%d",
+			what, len(got.Mappings), len(got.Partials), len(want.Mappings), len(want.Partials))
+	}
+	for i := range want.Mappings {
+		g, w := got.Mappings[i], want.Mappings[i]
+		if g.Score != w.Score || !reflect.DeepEqual(g.Sims, w.Sims) {
+			t.Fatalf("%s: mapping %d scores differ", what, i)
+		}
+		for j := range w.Images {
+			if g.Images[j].PathString() != w.Images[j].PathString() {
+				t.Fatalf("%s: mapping %d image %d differs", what, i, j)
+			}
+		}
+	}
+	for i := range want.Partials {
+		g, w := got.Partials[i], want.Partials[i]
+		if g.Score != w.Score || g.CoveredMask != w.CoveredMask || g.Covered != w.Covered {
+			t.Fatalf("%s: partial %d differs", what, i)
+		}
+		for j := range w.Images {
+			switch {
+			case w.Images[j] == nil && g.Images[j] != nil, w.Images[j] != nil && g.Images[j] == nil:
+				t.Fatalf("%s: partial %d image %d coverage differs", what, i, j)
+			case w.Images[j] != nil && g.Images[j].PathString() != w.Images[j].PathString():
+				t.Fatalf("%s: partial %d image %d differs", what, i, j)
+			}
+		}
+	}
+}

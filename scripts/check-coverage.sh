@@ -9,6 +9,7 @@ cd "$(dirname "$0")/.."
 declare -A floors=(
   ["./internal/serve"]=85
   ["./internal/matcher"]=85
+  ["./internal/shardrpc"]=80
 )
 
 fail=0

@@ -30,6 +30,25 @@ for fl in $(printf '%s\n' "$section" | grep -oE '`-[a-z][a-z-]*`' | tr -d '\`' |
   fi
 done
 
+# ... and the reverse: every flag the server defines must be documented in
+# the server-flags section, so new flags (e.g. the distributed -shard-of /
+# -remote-shards pair) cannot ship undocumented.
+for name in $(grep -oE 'fs\.[A-Za-z0-9]+\("[a-z][a-z-]*"' cmd/bellflower-server/main.go | sed -E 's/.*\("([a-z-]+)".*/\1/' | sort -u); do
+  if ! printf '%s\n' "$section" | grep -q -- "\`-$name\`"; then
+    echo "server flag -$name is not documented in the README server-flags section" >&2
+    fail=1
+  fi
+done
+
+# Shard wire endpoints: when the README documents the distributed mode,
+# the endpoints it names must be mounted by the shard-mode mux.
+for ep in /v1/shard/match /v1/shard/stats; do
+  if grep -q "$ep" README.md && ! grep -qF "\"$ep\"" cmd/bellflower-server/server.go; then
+    echo "README references shard endpoint $ep, which is not registered in cmd/bellflower-server/server.go" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "README.md is out of sync with the server; fix the docs or the code" >&2
   exit 1
