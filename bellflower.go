@@ -91,6 +91,7 @@ import (
 	"bellflower/internal/schema"
 	"bellflower/internal/serve"
 	"bellflower/internal/shardrpc"
+	"bellflower/internal/trace"
 	"bellflower/internal/xmldoc"
 	"bellflower/internal/xsd"
 )
@@ -198,6 +199,23 @@ type (
 	// are the /v1/shard/match and /v1/shard/stats endpoints of
 	// bellflower-server's -shard-of mode. See NewShardHost.
 	ShardHost = shardrpc.ShardServer
+
+	// RequestTrace is one request's span collection; see StartRequestTrace.
+	RequestTrace = trace.Trace
+
+	// TraceSpan is one timed operation inside a RequestTrace.
+	TraceSpan = trace.Span
+
+	// TraceNode is one node of a rendered span tree (TraceSummary.Tree).
+	TraceNode = trace.Node
+
+	// TraceSummary is a finished trace rendered for transport: trace ID,
+	// total duration and the span tree.
+	TraceSummary = trace.Summary
+
+	// TraceRecorder is a bounded in-memory ring of recent (and slow)
+	// trace summaries; see NewTraceRecorder.
+	TraceRecorder = trace.Recorder
 )
 
 // Service sentinel errors, for errors.Is.
@@ -537,6 +555,38 @@ func (m *Matcher) RewriteQuery(q string, personal *Tree, mp Mapping) (string, er
 		return "", err
 	}
 	return query.Rewrite(parsed, personal, mp, m.runner.Index())
+}
+
+// StartRequestTrace opens a new request trace: the returned context carries
+// the trace and its root span, so every pipeline and serving stage
+// downstream records spans into it (a context without a trace records
+// nothing, at no cost). End the root span before summarizing.
+func StartRequestTrace(ctx context.Context, name string) (context.Context, *RequestTrace, *TraceSpan) {
+	return trace.New(ctx, name)
+}
+
+// StartTraceSpan opens one child span on the context's trace; the returned
+// span is nil-safe — if ctx carries no trace, End and SetAttr are no-ops.
+func StartTraceSpan(ctx context.Context, name string) (context.Context, *TraceSpan) {
+	return trace.StartSpan(ctx, name)
+}
+
+// TraceFromContext returns the context's request trace, or nil.
+func TraceFromContext(ctx context.Context) *RequestTrace { return trace.FromContext(ctx) }
+
+// SetTracingEnabled turns request-trace creation on or off process-wide
+// (on by default): an operational kill switch, and the benchmark
+// harness's no-trace baseline. Disabling stops NEW traces; requests
+// already carrying one finish normally, and the always-on instrumentation
+// downstream degrades to its nil fast path.
+func SetTracingEnabled(v bool) { trace.SetEnabled(v) }
+
+// NewTraceRecorder builds a bounded ring of recent trace summaries plus a
+// separate ring for traces at least slowThreshold long (0 disables slow
+// capture). Non-positive caps select the defaults (64 recent, 32 slow).
+// The recorder backs bellflower-server's /v1/traces endpoint.
+func NewTraceRecorder(recentCap, slowCap int, slowThreshold time.Duration) *TraceRecorder {
+	return trace.NewRecorder(recentCap, slowCap, slowThreshold)
 }
 
 // MergeServiceStats rolls per-shard stats snapshots into one: counters,

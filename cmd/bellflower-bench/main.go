@@ -1,0 +1,391 @@
+// Command bellflower-bench measures the serving stack end to end and
+// writes a machine-readable BENCH_<label>.json: per-variant ns/op, bytes
+// and allocations per request, cache hit rates and per-stage latency
+// medians over a fixed workload mix, plus the warm-path overhead of
+// request tracing (traced vs untraced service throughput).
+//
+//	bellflower-bench                       # full run, writes BENCH_6.json
+//	bellflower-bench -quick -out /tmp/b.json
+//	bellflower-bench -check BENCH_6.json   # validate an existing file (CI)
+//
+// Variants cover the repository/topology grid the serving layers care
+// about: a small and a large synthetic repository unsharded, the large
+// repository sharded 4 ways in process, and the large repository split
+// across 2 distributed shard servers (hosted in process over HTTP, the
+// closest single-binary approximation of -shard-of processes). The
+// workload cycles a fixed set of personal schemas, so each variant sees
+// both cold pipeline runs and warm cache hits.
+//
+// -quick shrinks repositories and iteration counts for CI smoke runs; the
+// JSON shape is identical. -check parses a bench file and exits non-zero
+// if it is malformed or incomplete, so CI can gate on the artifact.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"bellflower"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bellflower-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type variantResult struct {
+	Name           string             `json:"name"`
+	RepoNodes      int                `json:"repo_nodes"`
+	Shards         int                `json:"shards"`
+	Distributed    bool               `json:"distributed,omitempty"`
+	Requests       int64              `json:"requests"`
+	NsPerOp        float64            `json:"ns_per_op"`
+	BytesPerReq    float64            `json:"bytes_per_req"`
+	AllocsPerReq   float64            `json:"allocs_per_req"`
+	CacheHitRate   float64            `json:"cache_hit_rate"`
+	StageMediansMS map[string]float64 `json:"stage_medians_ms"`
+}
+
+// overheadResult is the warm-path (pure cache hits, the
+// BenchmarkServiceThroughput/warm steady state) cost of the tracing
+// subsystem, in three arms:
+//
+//   - no_trace_ns_per_op: tracing globally disabled (SetTracingEnabled
+//     false) — the no-trace baseline, instrumentation short-circuited.
+//   - instrumented_ns_per_op: tracing enabled but no trace attached to
+//     the request — the always-on instrumentation cost every library
+//     caller pays; OverheadPct compares THIS to the baseline and is the
+//     number the ≤3% budget governs.
+//   - full_trace_ns_per_op: a request trace attached per call (what the
+//     daemon does) — informational; buys a complete span tree per
+//     request, and costs a few allocations.
+type overheadResult struct {
+	Benchmark           string  `json:"benchmark"`
+	Iterations          int     `json:"iterations"`
+	NoTraceNsPerOp      float64 `json:"no_trace_ns_per_op"`
+	InstrumentedNsPerOp float64 `json:"instrumented_ns_per_op"`
+	FullTraceNsPerOp    float64 `json:"full_trace_ns_per_op"`
+	OverheadPct         float64 `json:"overhead_pct"`
+}
+
+type benchFile struct {
+	Label         string          `json:"label"`
+	GoVersion     string          `json:"go_version"`
+	Quick         bool            `json:"quick"`
+	Variants      []variantResult `json:"variants"`
+	TraceOverhead overheadResult  `json:"trace_overhead"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bellflower-bench", flag.ContinueOnError)
+	var (
+		label = fs.String("label", "6", "bench label; the default output file is BENCH_<label>.json")
+		out   = fs.String("out", "", "output path (default BENCH_<label>.json in the working directory)")
+		quick = fs.Bool("quick", false, "CI smoke mode: smaller repositories and fewer iterations, same JSON shape")
+		check = fs.String("check", "", "validate an existing bench JSON file and exit (no benchmarks run)")
+		seed  = fs.Int64("seed", 1, "synthetic repository seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *check != "" {
+		return checkFile(*check)
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *label)
+	}
+
+	smallNodes, largeNodes, iters := 600, 3000, 400
+	if *quick {
+		smallNodes, largeNodes, iters = 300, 900, 60
+	}
+	small, err := synthRepo(smallNodes, *seed)
+	if err != nil {
+		return err
+	}
+	large, err := synthRepo(largeNodes, *seed)
+	if err != nil {
+		return err
+	}
+
+	bf := benchFile{Label: *label, GoVersion: runtime.Version(), Quick: *quick}
+
+	fmt.Fprintf(os.Stderr, "bellflower-bench: small=%d large=%d nodes, %d iterations per variant\n",
+		smallNodes, largeNodes, iters)
+
+	// Variant 1: small repository, unsharded.
+	svc := bellflower.NewService(small, bellflower.ServiceConfig{})
+	bf.Variants = append(bf.Variants, runVariant("small-unsharded", smallNodes, svc, iters))
+	svc.Close()
+
+	// Variant 2: large repository, unsharded.
+	svc = bellflower.NewService(large, bellflower.ServiceConfig{})
+	bf.Variants = append(bf.Variants, runVariant("large-unsharded", largeNodes, svc, iters))
+	svc.Close()
+
+	// Variant 3: large repository, 4 in-process shards.
+	sharded := bellflower.NewShardedService(large, 4, bellflower.ServiceConfig{})
+	v := runVariant("large-sharded4", largeNodes, sharded, iters)
+	sharded.Close()
+	bf.Variants = append(bf.Variants, v)
+
+	// Variant 4: large repository across 2 distributed shard servers.
+	dist, stop, err := distributedBackend(largeNodes, *seed, 2)
+	if err != nil {
+		return err
+	}
+	v = runVariant("large-distributed2", largeNodes, dist, iters)
+	v.Distributed = true
+	dist.Close()
+	stop()
+	bf.Variants = append(bf.Variants, v)
+
+	// Warm-path tracing overhead on the small service. The arms differ by
+	// tens of nanoseconds at most, so they need far longer runs than the
+	// throughput variants to separate signal from scheduler noise.
+	overheadIters := 25000
+	if *quick {
+		overheadIters = 8000
+	}
+	svc = bellflower.NewService(small, bellflower.ServiceConfig{})
+	bf.TraceOverhead = traceOverhead(svc, overheadIters)
+	svc.Close()
+
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bellflower-bench: wrote %s (%d variants, trace overhead %.2f%%)\n",
+		path, len(bf.Variants), bf.TraceOverhead.OverheadPct)
+	return nil
+}
+
+func synthRepo(nodes int, seed int64) (*bellflower.Repository, error) {
+	cfg := bellflower.DefaultSyntheticConfig()
+	cfg.TargetNodes = nodes
+	cfg.Seed = seed
+	return bellflower.Synthetic(cfg)
+}
+
+// workload is the fixed personal-schema mix every variant cycles through:
+// small and mid-size schemas with vocabulary the synthetic generator
+// actually emits, so candidate sets are non-trivial. Cycling repeats each
+// signature many times per run, exercising the warm cache path alongside
+// the cold pipeline runs.
+var workload = []string{
+	"book(title,author)",
+	"address(name,email)",
+	"order(id,customer(name))",
+	"book(title,author(first,last),isbn@)",
+	"catalog(item(name,price))",
+	"person(name,address(street,city))",
+}
+
+func parseWorkload() []*bellflower.Tree {
+	trees := make([]*bellflower.Tree, len(workload))
+	for i, spec := range workload {
+		trees[i] = bellflower.MustParseSchema(spec)
+	}
+	return trees
+}
+
+func runVariant(name string, nodes int, backend bellflower.ServiceBackend, iters int) variantResult {
+	ctx := context.Background()
+	opts := bellflower.DefaultOptions()
+	trees := parseWorkload()
+
+	// Cold pass: every distinct signature runs the pipeline once.
+	for _, tr := range trees {
+		if _, err := backend.Match(ctx, tr, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "bellflower-bench: %s cold %v\n", name, err)
+		}
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := backend.Match(ctx, trees[i%len(trees)], opts); err != nil {
+			fmt.Fprintf(os.Stderr, "bellflower-bench: %s iter %d: %v\n", name, i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	st := backend.Stats()
+	res := variantResult{
+		Name:           name,
+		RepoNodes:      nodes,
+		Shards:         backend.NumShards(),
+		Requests:       st.Requests,
+		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(iters),
+		BytesPerReq:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
+		AllocsPerReq:   float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+		StageMediansMS: map[string]float64{},
+	}
+	if st.Requests > 0 {
+		res.CacheHitRate = float64(st.CacheHits) / float64(st.Requests)
+	}
+	for stage, ls := range st.Stages {
+		res.StageMediansMS[stage] = ls.P50MS
+	}
+	return res
+}
+
+// distributedBackend builds n in-process shard servers over HTTP and a
+// distributed router fanning out to them — one binary standing in for n+1
+// bellflower-server processes, with the real wire protocol (and trace
+// stitching) between them.
+func distributedBackend(nodes int, seed int64, n int) (bellflower.ServiceBackend, func(), error) {
+	var servers []*httptest.Server
+	var hosts []*bellflower.ShardHost
+	var addrs []string
+	stop := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		for _, h := range hosts {
+			h.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		repo, err := synthRepo(nodes, seed) // each process loads its own copy
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		host, err := bellflower.NewShardHost(repo, i, n, bellflower.ServiceConfig{}, bellflower.PartitionClustered)
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		hosts = append(hosts, host)
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/shard/match", host.HandleMatch)
+		mux.HandleFunc("/v1/shard/stats", host.HandleStats)
+		srv := httptest.NewServer(mux)
+		servers = append(servers, srv)
+		addrs = append(addrs, srv.URL)
+	}
+	routerRepo, err := synthRepo(nodes, seed)
+	if err != nil {
+		stop()
+		return nil, nil, err
+	}
+	backend, err := bellflower.NewDistributedService(routerRepo, addrs, bellflower.ServiceConfig{}, bellflower.PartitionClustered)
+	if err != nil {
+		stop()
+		return nil, nil, err
+	}
+	return backend, stop, nil
+}
+
+// traceOverhead measures the warm path — pure cache hits on one signature,
+// the BenchmarkServiceThroughput/warm steady state — in three arms (see
+// overheadResult). Arms are interleaved round-robin and each takes the
+// best of five runs, so scheduler noise inflates no single side.
+func traceOverhead(svc *bellflower.Service, iters int) overheadResult {
+	ctx := context.Background()
+	opts := bellflower.DefaultOptions()
+	personal := bellflower.MustParseSchema(workload[0])
+	if _, err := svc.Match(ctx, personal, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "bellflower-bench: overhead warmup: %v\n", err)
+	}
+
+	const (
+		armNoTrace = iota
+		armInstrumented
+		armFullTrace
+		numArms
+	)
+	loop := func(arm int) float64 {
+		bellflower.SetTracingEnabled(arm != armNoTrace)
+		defer bellflower.SetTracingEnabled(true)
+		runtime.GC() // don't bill one arm for another arm's garbage
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			c := ctx
+			var root *bellflower.TraceSpan
+			if arm == armFullTrace {
+				c, _, root = bellflower.StartRequestTrace(ctx, "bench")
+			}
+			if _, err := svc.Match(c, personal, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "bellflower-bench: overhead iter: %v\n", err)
+			}
+			root.End()
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(iters)
+	}
+
+	// Throwaway pass per arm, then 5 interleaved rounds keeping each arm's
+	// best.
+	best := [numArms]float64{}
+	for arm := 0; arm < numArms; arm++ {
+		loop(arm)
+	}
+	for round := 0; round < 5; round++ {
+		for arm := 0; arm < numArms; arm++ {
+			v := loop(arm)
+			if best[arm] == 0 || v < best[arm] {
+				best[arm] = v
+			}
+		}
+	}
+	pct := (best[armInstrumented] - best[armNoTrace]) / best[armNoTrace] * 100
+	if pct < 0 {
+		pct = 0
+	}
+	return overheadResult{
+		Benchmark:           "ServiceThroughputWarm",
+		Iterations:          iters,
+		NoTraceNsPerOp:      best[armNoTrace],
+		InstrumentedNsPerOp: best[armInstrumented],
+		FullTraceNsPerOp:    best[armFullTrace],
+		OverheadPct:         pct,
+	}
+}
+
+// checkFile validates a bench artifact: parseable JSON of the expected
+// shape, at least four variants each with a positive ns/op and non-empty
+// stage medians, and a measured trace overhead. CI gates on this instead
+// of eyeballing the artifact.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return fmt.Errorf("%s: malformed JSON: %w", path, err)
+	}
+	if len(bf.Variants) < 4 {
+		return fmt.Errorf("%s: %d variants, want at least 4", path, len(bf.Variants))
+	}
+	for _, v := range bf.Variants {
+		if v.Name == "" || v.NsPerOp <= 0 {
+			return fmt.Errorf("%s: variant %q has no ns/op", path, v.Name)
+		}
+		if len(v.StageMediansMS) == 0 {
+			return fmt.Errorf("%s: variant %q has no stage medians", path, v.Name)
+		}
+	}
+	if bf.TraceOverhead.NoTraceNsPerOp <= 0 || bf.TraceOverhead.InstrumentedNsPerOp <= 0 {
+		return fmt.Errorf("%s: missing trace overhead measurement", path)
+	}
+	fmt.Printf("%s: ok (%d variants, trace overhead %.2f%%)\n", path, len(bf.Variants), bf.TraceOverhead.OverheadPct)
+	return nil
+}

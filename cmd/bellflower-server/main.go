@@ -37,16 +37,28 @@
 // Endpoints (JSON unless noted):
 //
 //	POST /v1/match        {"personal":"book(title,author)","options":{"delta":0.75,"timeout_ms":2000}}
+//	                      append ?trace=1 for the request's span tree inline in the response
 //	POST /v1/match/batch  {"requests":[{...},{...}]}
 //	POST /v1/rewrite      {"personal":"...","query":"/book/title","mapping_rank":0}
 //	GET  /v1/repository   repository source, size and shard count
 //	POST /v1/repository   {"action":"synthetic","nodes":9759} | {"action":"load","path":...} | {"action":"save","path":...}
 //	                      mutation requires the -data-dir opt-in; load/save paths are relative to it;
 //	                      the previous repository drains (in-flight requests finish) before it is released
-//	GET  /v1/stats        cache hits, in-flight dedupe, queue depth, latency histogram
+//	GET  /v1/stats        cache hits, in-flight dedupe, queue depth, latency histograms with
+//	                      per-stage breakdowns and p50/p95/p99, uptime and build provenance
 //	                      (sharded servers report {"total":...,"shards":[...]})
+//	GET  /v1/traces       bounded ring of recent request traces, plus the slow ring (-slow-ms)
 //	GET  /metrics         the same counters in Prometheus text format
 //	GET  /healthz         liveness probe
+//
+// Every /v1/match request runs under a request-scoped trace: each serving
+// and pipeline stage records a span, a distributed fan-out stitches the
+// shards' spans into the router's tree over the X-Bellflower-Trace header,
+// and requests at least -slow-ms long are logged with their full span
+// breakdown. Logs are structured JSON on stderr (log/slog). -debug-addr
+// starts a SEPARATE listener with net/http/pprof profiles and expvar at
+// /debug/vars — keep it private; it is never mounted on the public
+// listener.
 //
 // Per-request deadlines come from options.timeout_ms (or the -timeout
 // default); an expired deadline cancels the underlying pipeline run and
@@ -58,7 +70,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -97,6 +109,8 @@ func run(args []string) error {
 		shardOf      = fs.String("shard-of", "", "host one shard of the partitioned repository for a distributed router: INDEX/COUNT (e.g. 0/4); serves /v1/shard/match and /v1/shard/stats instead of the public API")
 		remoteShards = fs.String("remote-shards", "", "comma-separated shard-server addresses (host:port,...); fan match requests out to those processes instead of in-process shards")
 		dataDir      = fs.String("data-dir", "", "directory for /v1/repository load/save files; also enables repository mutation (empty = POST /v1/repository disabled)")
+		slowMS       = fs.Int("slow-ms", 0, "log a full span breakdown for requests at least this many milliseconds long, and capture them in the /v1/traces slow ring (0 = disabled)")
+		debugAddr    = fs.String("debug-addr", "", "listen address for the debug listener (net/http/pprof profiles + expvar at /debug/vars); empty = disabled")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,8 +143,10 @@ func run(args []string) error {
 		DefaultTimeout: *timeout,
 		PartialResults: *partial,
 	}
-	logger := log.New(os.Stderr, "bellflower-server: ", log.LstdFlags)
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	st := repo.Stats()
+	slowThreshold := time.Duration(*slowMS) * time.Millisecond
+	rec := bellflower.NewTraceRecorder(0, 0, slowThreshold)
 
 	var handler http.Handler
 	var closeNow func()
@@ -144,10 +160,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		host.SetTraceRecorder(rec)
 		hostStats := host.Service().RepositoryStats()
-		logger.Printf("hosting shard %d/%d of %s (%s partition): %d of %d trees, %d of %d nodes on %s",
-			idx, n, desc, strategy, hostStats.Trees, st.Trees, hostStats.Nodes, st.Nodes, *addr)
-		handler = shardRoutes(host, logger)
+		logger.Info("hosting shard",
+			"shard", idx, "shards", n, "repository", desc, "partition", strategy.String(),
+			"trees", hostStats.Trees, "repo_trees", st.Trees,
+			"nodes", hostStats.Nodes, "repo_nodes", st.Nodes, "addr", *addr)
+		handler = shardRoutes(host, rec, logger)
 		closeNow = host.Close
 	case *remoteShards != "":
 		addrs, err := splitShardAddrs(*remoteShards)
@@ -159,17 +178,36 @@ func run(args []string) error {
 			return err
 		}
 		srv := newRemoteServer(backend, repo, desc, logger)
-		logger.Printf("serving %s: %d trees, %d nodes across %d remote shard(s) [%s] on %s",
-			desc, st.Trees, st.Nodes, backend.NumShards(), *remoteShards, *addr)
+		srv.setTracing(rec, slowThreshold)
+		logger.Info("serving",
+			"repository", desc, "trees", st.Trees, "nodes", st.Nodes,
+			"remote_shards", backend.NumShards(), "shard_addrs", *remoteShards, "addr", *addr)
 		handler = srv.routes()
 		closeNow = srv.closeNow
 	default:
 		srv := newServer(repo, desc, svcCfg, *shards, strategy, *dataDir, logger)
+		srv.setTracing(rec, slowThreshold)
 		// Log the backend's actual shard count: -shards clamps to the number
 		// of repository trees.
-		logger.Printf("serving %s: %d trees, %d nodes, %d shard(s) on %s", desc, st.Trees, st.Nodes, srv.numShards(), *addr)
+		logger.Info("serving",
+			"repository", desc, "trees", st.Trees, "nodes", st.Nodes,
+			"shards", srv.numShards(), "addr", *addr)
 		handler = srv.routes()
 		closeNow = srv.closeNow
+	}
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugRoutes(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+		defer dbg.Close()
+		logger.Info("debug listener", "addr", *debugAddr)
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -186,7 +224,7 @@ func run(args []string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		logger.Printf("shutting down")
+		logger.Info("shutting down")
 		// Force-close the backend first: in-flight matches (which may hold
 		// their handlers for up to the default timeout) fail fast with
 		// 503, letting Shutdown drain within its budget instead of

@@ -4,11 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,7 +55,14 @@ type server struct {
 	partition bellflower.PartitionStrategy
 	dataDir   string // sandbox for repository load/save; "" disables those actions
 	maxBody   int64
-	logger    *log.Logger
+	logger    *slog.Logger
+
+	// Observability: every /v1/match request runs under a RequestTrace;
+	// finished traces feed the recorder (the /v1/traces ring) and, past the
+	// slow threshold, a full span breakdown goes to the structured log.
+	rec   *bellflower.TraceRecorder
+	slow  time.Duration // 0 disables slow-request logging
+	start time.Time     // process start, for /v1/stats uptime
 }
 
 const defaultMaxBody = 1 << 20 // 1 MiB of JSON is far beyond any sane schema spec
@@ -67,9 +77,9 @@ func buildBackend(repo *bellflower.Repository, cfg bellflower.ServiceConfig, sha
 	return bellflower.NewService(repo, cfg)
 }
 
-func newServer(repo *bellflower.Repository, repoDesc string, svcCfg bellflower.ServiceConfig, shards int, partition bellflower.PartitionStrategy, dataDir string, logger *log.Logger) *server {
+func newServer(repo *bellflower.Repository, repoDesc string, svcCfg bellflower.ServiceConfig, shards int, partition bellflower.PartitionStrategy, dataDir string, logger *slog.Logger) *server {
 	if logger == nil {
-		logger = log.New(os.Stderr, "bellflower-server: ", log.LstdFlags)
+		logger = defaultLogger()
 	}
 	if shards < 1 {
 		shards = 1
@@ -84,7 +94,14 @@ func newServer(repo *bellflower.Repository, repoDesc string, svcCfg bellflower.S
 		dataDir:   dataDir,
 		maxBody:   defaultMaxBody,
 		logger:    logger,
+		rec:       bellflower.NewTraceRecorder(0, 0, 0),
+		start:     time.Now(),
 	}
+}
+
+// defaultLogger is the daemon's structured JSON log on stderr.
+func defaultLogger() *slog.Logger {
+	return slog.New(slog.NewJSONHandler(os.Stderr, nil))
 }
 
 // newRemoteServer wraps a prebuilt distributed backend
@@ -92,13 +109,25 @@ func newServer(repo *bellflower.Repository, repoDesc string, svcCfg bellflower.S
 // (dataDir empty → POST /v1/repository is 403): the shard servers hold
 // their own repository copies, and swapping only the router's copy would
 // desynchronize the partition descriptors.
-func newRemoteServer(backend bellflower.ServiceBackend, repo *bellflower.Repository, desc string, logger *log.Logger) *server {
+func newRemoteServer(backend bellflower.ServiceBackend, repo *bellflower.Repository, desc string, logger *slog.Logger) *server {
 	if logger == nil {
-		logger = log.New(os.Stderr, "bellflower-server: ", log.LstdFlags)
+		logger = defaultLogger()
 	}
 	ref := &backendRef{backend: backend, repo: repo, desc: desc}
 	ref.refs.Store(1)
-	return &server{cur: ref, maxBody: defaultMaxBody, logger: logger}
+	return &server{
+		cur: ref, maxBody: defaultMaxBody, logger: logger,
+		rec: bellflower.NewTraceRecorder(0, 0, 0), start: time.Now(),
+	}
+}
+
+// setTracing overrides the default trace ring and slow-log threshold (flag
+// wiring; not safe once traffic is flowing).
+func (s *server) setTracing(rec *bellflower.TraceRecorder, slow time.Duration) {
+	if rec != nil {
+		s.rec = rec
+	}
+	s.slow = slow
 }
 
 // acquire returns the current generation with one reference added; callers
@@ -173,6 +202,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/rewrite", s.handleRewrite)
 	mux.HandleFunc("/v1/repository", s.handleRepository)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/traces", s.handleTraces)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return logRequests(s.logger, mux)
 }
@@ -180,29 +210,52 @@ func (s *server) routes() http.Handler {
 // shardRoutes is the -shard-of mode's surface: the shard wire protocol
 // (match + stats), liveness, and the shard service's own Prometheus
 // metrics. The public matching endpoints are deliberately absent — a shard
-// server answers its router, not end clients.
-func shardRoutes(host *bellflower.ShardHost, logger *log.Logger) http.Handler {
+// server answers its router, not end clients — but the shard keeps its own
+// /v1/traces ring (rec; nil disables it) so a slow shard can be inspected
+// directly.
+func shardRoutes(host *bellflower.ShardHost, rec *bellflower.TraceRecorder, logger *slog.Logger) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "mode": "shard"})
 	})
 	mux.HandleFunc("/v1/shard/match", host.HandleMatch)
 	mux.HandleFunc("/v1/shard/stats", host.HandleStats)
+	mux.HandleFunc("/v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeTraces(w, r, rec)
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := bellflower.WritePrometheusMetrics(w, host.Service()); err != nil {
-			logger.Printf("metrics: %v", err)
+			logger.Error("metrics write failed", "error", err)
 		}
 	})
 	return logRequests(logger, mux)
 }
 
-func logRequests(logger *log.Logger, next http.Handler) http.Handler {
+// debugRoutes is the -debug-addr listener's surface: the net/http/pprof
+// profiling handlers plus expvar at /debug/vars, on a mux of their own so
+// the public listener never exposes them.
+func debugRoutes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
-		logger.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"dur_ms", float64(time.Since(start))/float64(time.Millisecond))
 	})
 }
 
@@ -354,6 +407,12 @@ type matchResponseJSON struct {
 	// carries its own wire tags ({"shard":N,"error":"..."}).
 	Incomplete  bool                    `json:"incomplete,omitempty"`
 	ShardErrors []bellflower.ShardError `json:"shard_errors,omitempty"`
+
+	// Trace is the request's span tree, present only under ?trace=1. A
+	// distributed fan-out returns ONE stitched tree: the router's
+	// prepass/fanout/merge spans with each shard's decode/match/encode
+	// spans grafted beneath the RPC round trips.
+	Trace *bellflower.TraceSummary `json:"trace,omitempty"`
 }
 
 func renderReport(personal *bellflower.Tree, rep *bellflower.Report) matchResponseJSON {
@@ -469,12 +528,40 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ref := s.acquire()
 	defer ref.release()
-	personal, rep, status, err := s.runMatch(r.Context(), ref.backend, req)
+	ctx, tr, root := bellflower.StartRequestTrace(r.Context(), "serve.match")
+	personal, rep, status, err := s.runMatch(ctx, ref.backend, req)
+	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	sum := s.finishTrace(tr, root)
 	if err != nil {
 		writeJSON(w, status, errorJSON{Error: err.Error()})
 		return
 	}
-	writeJSON(w, status, renderReport(personal, rep))
+	resp := renderReport(personal, rep)
+	if wantTrace(r) && sum.Tree != nil {
+		resp.Trace = &sum
+	}
+	writeJSON(w, status, resp)
+}
+
+// wantTrace reports whether the client asked for the inline span tree.
+func wantTrace(r *http.Request) bool { return r.URL.Query().Get("trace") == "1" }
+
+// finishTrace ends the request's root span, feeds the trace ring, and logs
+// a full span breakdown when the request crossed the -slow-ms threshold.
+func (s *server) finishTrace(tr *bellflower.RequestTrace, root *bellflower.TraceSpan) bellflower.TraceSummary {
+	root.End()
+	sum := s.rec.Observe(tr)
+	if s.slow > 0 && sum.DurationMS >= float64(s.slow)/float64(time.Millisecond) {
+		s.logger.Warn("slow request",
+			"trace_id", sum.TraceID,
+			"root", sum.Root,
+			"dur_ms", sum.DurationMS,
+			"spans", sum.Spans,
+			"tree", sum.Tree)
+	}
+	return sum
 }
 
 type batchRequestJSON struct {
@@ -516,13 +603,21 @@ func (s *server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 	ref := s.acquire() // one generation for the whole batch
 	defer ref.release()
 	svc := ref.backend
+	// One trace spans the whole batch: every entry's spans record into it
+	// concurrently, so the tree shows the fan-out's real overlap.
+	ctx, tr, root := bellflower.StartRequestTrace(r.Context(), "serve.batch")
 	var wg sync.WaitGroup
 	wg.Add(len(req.Requests))
 	for i, mr := range req.Requests {
 		go func(i int, mr matchRequestJSON) {
 			defer wg.Done()
-			personal, rep, status, err := s.runMatch(r.Context(), svc, mr)
+			ectx, esp := bellflower.StartTraceSpan(ctx, "batch.entry")
+			personal, rep, status, err := s.runMatch(ectx, svc, mr)
 			entries[i].Status = status
+			if err != nil {
+				esp.SetAttr("error", err.Error())
+			}
+			esp.End()
 			if err != nil {
 				entries[i].Error = err.Error()
 				return
@@ -532,7 +627,12 @@ func (s *server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 		}(i, mr)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, map[string]any{"results": entries})
+	sum := s.finishTrace(tr, root)
+	out := map[string]any{"results": entries}
+	if wantTrace(r) {
+		out["trace"] = sum
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 type rewriteRequestJSON struct {
@@ -688,22 +788,104 @@ func (s *server) handleRepository(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// buildInfoJSON is the /v1/stats build block: enough provenance to tell
+// WHICH binary produced a stats snapshot.
+type buildInfoJSON struct {
+	GoVersion   string `json:"go_version"`
+	Path        string `json:"path,omitempty"`
+	Version     string `json:"version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// readBuildInfo extracts the build block once; the result never changes
+// over the process lifetime.
+var readBuildInfo = sync.OnceValue(func() buildInfoJSON {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return buildInfoJSON{}
+	}
+	out := buildInfoJSON{
+		GoVersion: bi.GoVersion,
+		Path:      bi.Main.Path,
+		Version:   bi.Main.Version,
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			out.VCSRevision = kv.Value
+		case "vcs.time":
+			out.VCSTime = kv.Value
+		case "vcs.modified":
+			out.VCSModified = kv.Value == "true"
+		}
+	}
+	return out
+})
+
+func (s *server) uptimeSeconds() float64 {
+	if s.start.IsZero() {
+		return 0
+	}
+	return time.Since(s.start).Seconds()
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ref := s.acquire()
 	defer ref.release()
-	// Single-shard servers keep the flat historical shape; sharded servers
-	// report the rollup plus the per-shard breakdown. Snapshot takes both
-	// together, so the shard-derived fields of total always equal the sum
-	// of the shards; router-level work — the candidate pre-pass and
-	// above-the-shards rejections — appears only in the total.
+	// Single-shard servers keep the flat historical shape (plus the uptime
+	// and build keys); sharded servers report the rollup plus the per-shard
+	// breakdown. Snapshot takes both together, so the shard-derived fields
+	// of total always equal the sum of the shards; router-level work — the
+	// candidate pre-pass and above-the-shards rejections — appears only in
+	// the total.
 	total, shards := ref.backend.Snapshot()
 	if ref.backend.NumShards() == 1 {
-		writeJSON(w, http.StatusOK, total)
+		writeJSON(w, http.StatusOK, struct {
+			bellflower.ServiceStats
+			UptimeSeconds float64       `json:"uptime_seconds"`
+			Build         buildInfoJSON `json:"build"`
+		}{total, s.uptimeSeconds(), readBuildInfo()})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"total":  total,
-		"shards": shards,
+		"total":          total,
+		"shards":         shards,
+		"uptime_seconds": s.uptimeSeconds(),
+		"build":          readBuildInfo(),
+	})
+}
+
+// handleTraces serves GET /v1/traces: the bounded ring of recent trace
+// summaries plus the separate slow ring (requests at or above -slow-ms).
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeTraces(w, r, s.rec)
+}
+
+func writeTraces(w http.ResponseWriter, r *http.Request, rec *bellflower.TraceRecorder) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "GET required"})
+		return
+	}
+	if rec == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"recent": []bellflower.TraceSummary{},
+			"slow":   []bellflower.TraceSummary{},
+		})
+		return
+	}
+	recent, slow := rec.Recent(), rec.Slow()
+	if recent == nil {
+		recent = []bellflower.TraceSummary{}
+	}
+	if slow == nil {
+		slow = []bellflower.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slow_threshold_ms": float64(rec.Threshold()) / float64(time.Millisecond),
+		"recent":            recent,
+		"slow":              slow,
 	})
 }
 
@@ -712,7 +894,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	defer ref.release()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := bellflower.WritePrometheusMetrics(w, ref.backend); err != nil {
-		s.logger.Printf("metrics: %v", err)
+		s.logger.Error("metrics write failed", "error", err)
 	}
 }
 

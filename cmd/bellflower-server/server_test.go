@@ -7,7 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -22,7 +22,7 @@ import (
 	"bellflower"
 )
 
-func newQuietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+func newQuietLogger() *slog.Logger { return slog.New(slog.NewJSONHandler(io.Discard, nil)) }
 
 func testRepo3() *bellflower.Repository {
 	repo := bellflower.NewRepository()
@@ -916,5 +916,187 @@ func TestMetricsShardLabelsAndMemoryGauges(t *testing.T) {
 	getJSON(t, ts.URL+"/v1/stats", &stats)
 	if stats.Total.IndexBytes <= 0 || stats.Total.CacheByteBudget != 1<<20 {
 		t.Errorf("stats memory figures = index:%d budget:%d", stats.Total.IndexBytes, stats.Total.CacheByteBudget)
+	}
+}
+
+// TestTraceInlineAndRing: ?trace=1 returns the request's span tree inline,
+// and /v1/traces serves the bounded recent ring afterwards.
+func TestTraceInlineAndRing(t *testing.T) {
+	srv, ts := testShardedService(t, bellflower.ServiceConfig{}, 2)
+	srv.setTracing(bellflower.NewTraceRecorder(4, 2, time.Nanosecond), 0)
+
+	resp, body := postJSON(t, ts.URL+"/v1/match?trace=1", `{"personal":"book(title,author)"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match: %d %s", resp.StatusCode, body)
+	}
+	var mr struct {
+		Trace *bellflower.TraceSummary `json:"trace"`
+	}
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Trace == nil || mr.Trace.Tree == nil {
+		t.Fatalf("no inline trace in %s", body)
+	}
+	if mr.Trace.Root != "serve.match" || mr.Trace.TraceID == "" {
+		t.Errorf("trace root/id = %q/%q", mr.Trace.Root, mr.Trace.TraceID)
+	}
+	// The sharded cold path must show the router stages under the root.
+	names := map[string]bool{}
+	var walk func(n *bellflower.TraceNode)
+	walk = func(n *bellflower.TraceNode) {
+		names[n.Name] = true
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(mr.Trace.Tree)
+	for _, want := range []string{"prepass", "fanout", "shard", "merge"} {
+		if !names[want] {
+			t.Errorf("inline tree missing span %q (got %v)", want, names)
+		}
+	}
+
+	// Without ?trace=1 the response carries no trace.
+	_, plain := postJSON(t, ts.URL+"/v1/match", `{"personal":"book(title,author)"}`)
+	if strings.Contains(string(plain), `"trace"`) {
+		t.Error("untraced response contains a trace field")
+	}
+
+	// Both requests entered the ring; every entry crossed the 1ns slow bar.
+	resp2, tbody := getBody(t, ts.URL+"/v1/traces")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("traces: %d %s", resp2.StatusCode, tbody)
+	}
+	var tr struct {
+		Recent []bellflower.TraceSummary `json:"recent"`
+		Slow   []bellflower.TraceSummary `json:"slow"`
+	}
+	if err := json.Unmarshal(tbody, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Recent) != 2 || len(tr.Slow) != 2 {
+		t.Errorf("ring sizes recent=%d slow=%d, want 2/2", len(tr.Recent), len(tr.Slow))
+	}
+	if len(tr.Recent) > 0 && tr.Recent[0].Root != "serve.match" {
+		t.Errorf("ring root = %q", tr.Recent[0].Root)
+	}
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestSlowRequestLogging: a request slower than -slow-ms writes a span
+// breakdown to the structured log.
+func TestSlowRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(&lockedWriter{w: &buf, mu: &mu}, nil))
+	srv := newServer(testRepo3(), "test", bellflower.ServiceConfig{}, 1, bellflower.PartitionClustered, "", logger)
+	defer srv.closeNow()
+	srv.setTracing(bellflower.NewTraceRecorder(4, 2, time.Nanosecond), time.Nanosecond)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	if resp, body := postJSON(t, ts.URL+"/v1/match", `{"personal":"book(title)"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("match: %d %s", resp.StatusCode, body)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, `"msg":"slow request"`) || !strings.Contains(out, `"trace_id"`) {
+		t.Errorf("log missing slow-request breakdown:\n%s", out)
+	}
+	if !strings.Contains(out, `"tree"`) {
+		t.Errorf("slow log carries no span tree:\n%s", out)
+	}
+}
+
+type lockedWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// TestStatsUptimeAndBuild: /v1/stats reports uptime and build provenance in
+// both the flat single-shard shape and the sharded envelope.
+func TestStatsUptimeAndBuild(t *testing.T) {
+	_, ts := testService(t, bellflower.ServiceConfig{})
+	resp, body := getBody(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var flat struct {
+		Requests      *int64   `json:"requests"` // flat shape: service fields at top level
+		UptimeSeconds *float64 `json:"uptime_seconds"`
+		Build         *struct {
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
+	}
+	if err := json.Unmarshal(body, &flat); err != nil {
+		t.Fatal(err)
+	}
+	if flat.Requests == nil || flat.UptimeSeconds == nil || *flat.UptimeSeconds < 0 {
+		t.Errorf("flat stats missing requests/uptime: %s", body)
+	}
+	if flat.Build == nil || flat.Build.GoVersion == "" {
+		t.Errorf("flat stats missing build block: %s", body)
+	}
+
+	_, ts2 := testShardedService(t, bellflower.ServiceConfig{}, 2)
+	_, body2 := getBody(t, ts2.URL+"/v1/stats")
+	var sharded struct {
+		Total         *json.RawMessage `json:"total"`
+		UptimeSeconds *float64         `json:"uptime_seconds"`
+		Build         *json.RawMessage `json:"build"`
+	}
+	if err := json.Unmarshal(body2, &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Total == nil || sharded.UptimeSeconds == nil || sharded.Build == nil {
+		t.Errorf("sharded stats missing total/uptime/build: %s", body2)
+	}
+}
+
+// TestDebugRoutes: the -debug-addr surface serves pprof and expvar, and
+// none of it leaks onto the public listener.
+func TestDebugRoutes(t *testing.T) {
+	dbg := httptest.NewServer(debugRoutes())
+	defer dbg.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		resp, err := http.Get(dbg.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+
+	_, ts := testService(t, bellflower.ServiceConfig{})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("public listener serves /debug/pprof/ (%d); it must not", resp.StatusCode)
 	}
 }

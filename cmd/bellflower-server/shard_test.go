@@ -2,7 +2,8 @@ package main
 
 import (
 	"encoding/json"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -46,7 +47,7 @@ func TestShardModeRoutes(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer host.Close()
-	srv := httptest.NewServer(shardRoutes(host, log.New(discard{}, "", 0)))
+	srv := httptest.NewServer(shardRoutes(host, nil, slog.New(slog.NewJSONHandler(io.Discard, nil))))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/healthz")

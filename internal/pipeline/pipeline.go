@@ -13,6 +13,7 @@ import (
 	"bellflower/internal/matcher"
 	"bellflower/internal/objective"
 	"bellflower/internal/schema"
+	"bellflower/internal/trace"
 )
 
 // Variant selects one of the paper's clustering configurations (Sec. 5):
@@ -345,7 +346,9 @@ func (r *Runner) RunContext(ctx context.Context, personal *schema.Tree, opts Opt
 		return nil, err
 	}
 	t0 := time.Now()
+	_, msp := trace.StartSpan(ctx, "pipeline.match")
 	cands := matcher.FindCandidatesAmong(personal, r.matchNodes(), m, matcher.Config{MinSim: opts.MinSim})
+	msp.End()
 	return r.runFromCandidates(ctx, personal, cands, time.Since(t0), opts)
 }
 
@@ -464,7 +467,9 @@ func (r *Runner) runFromCandidates(ctx context.Context, personal *schema.Tree, c
 		return nil, err
 	}
 	t1 := time.Now()
+	_, csp := trace.StartSpan(ctx, "pipeline.cluster")
 	clusters, iterations, err := ComputeClusters(r.ix, cands, opts)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -489,6 +494,8 @@ func (r *Runner) runGeneration(ctx context.Context, personal *schema.Tree, cands
 		return nil, err
 	}
 	t2 := time.Now()
+	_, gsp := trace.StartSpan(ctx, "pipeline.generate")
+	defer gsp.End()
 	ev := objective.NewEvaluator(opts.Objective, r.ix, personal)
 	genCfg := mapgen.Config{
 		Threshold: opts.Threshold,

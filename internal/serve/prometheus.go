@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"sort"
 )
 
 // WritePrometheus renders a stats snapshot in the Prometheus text
@@ -59,6 +60,29 @@ func WritePrometheus(w io.Writer, st Stats, shards int) error {
 	fmt.Fprintf(ew, "%s_bucket{le=\"+Inf\"} %d\n", hist, st.Latency.Count)
 	fmt.Fprintf(ew, "%s_sum %g\n", hist, st.Latency.SumMS/1000)
 	fmt.Fprintf(ew, "%s_count %d\n", hist, st.Latency.Count)
+
+	if len(st.Stages) > 0 {
+		const stageHist = "bellflower_stage_duration_ms"
+		fmt.Fprintf(ew, "# HELP %s Per-stage latency by pipeline/serving stage, in milliseconds.\n# TYPE %s histogram\n", stageHist, stageHist)
+		names := make([]string, 0, len(st.Stages))
+		for name := range st.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ls := st.Stages[name]
+			cum := int64(0)
+			for i, ub := range ls.BucketsMS {
+				if i < len(ls.Counts) {
+					cum += ls.Counts[i]
+				}
+				fmt.Fprintf(ew, "%s_bucket{stage=%q,le=\"%g\"} %d\n", stageHist, name, ub, cum)
+			}
+			fmt.Fprintf(ew, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", stageHist, name, ls.Count)
+			fmt.Fprintf(ew, "%s_sum{stage=%q} %g\n", stageHist, name, ls.SumMS)
+			fmt.Fprintf(ew, "%s_count{stage=%q} %d\n", stageHist, name, ls.Count)
+		}
+	}
 	return ew.err
 }
 

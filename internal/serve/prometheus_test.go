@@ -3,9 +3,11 @@ package serve
 import (
 	"bufio"
 	"context"
+	"math"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestWritePrometheus(t *testing.T) {
@@ -184,5 +186,133 @@ func TestWritePrometheusShardLabels(t *testing.T) {
 	}
 	if strings.Contains(single.String(), "{shard=") {
 		t.Error("single-shard scrape contains shard labels")
+	}
+}
+
+// TestWritePrometheusStageFamilies: after traffic, the scrape carries a
+// bellflower_stage_duration_ms histogram family with one labelled series
+// set per stage, cumulative within each stage, and matching _sum/_count
+// lines. A fresh snapshot with no stages emits no stage family at all.
+func TestWritePrometheusStageFamilies(t *testing.T) {
+	r := NewRouterFromRepository(testRepo(t), 2, Config{})
+	defer r.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := r.Match(context.Background(), personal(), testOpts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Stats(), r.NumShards()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	const fam = "bellflower_stage_duration_ms"
+	for _, stage := range []string{StageGenerate, StagePrePass, StageFanout, StageMerge} {
+		if !strings.Contains(out, fam+`_count{stage="`+stage+`"}`) {
+			t.Errorf("scrape missing stage %q count:\n%s", stage, out)
+		}
+		if !strings.Contains(out, fam+`_bucket{stage="`+stage+`",le="+Inf"}`) {
+			t.Errorf("scrape missing stage %q +Inf bucket", stage)
+		}
+		// Per-stage buckets are cumulative and end at that stage's count.
+		var last, count int64 = -1, -1
+		sc := bufio.NewScanner(strings.NewReader(out))
+		buckets := 0
+		for sc.Scan() {
+			line := sc.Text()
+			v, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if strings.HasPrefix(line, fam+`_bucket{stage="`+stage+`",`) {
+				if err != nil {
+					t.Fatalf("bucket line %q: %v", line, err)
+				}
+				if v < last {
+					t.Errorf("stage %q buckets not cumulative: %q after %d", stage, line, last)
+				}
+				last = v
+				buckets++
+			} else if strings.HasPrefix(line, fam+`_count{stage="`+stage+`"}`) {
+				if err != nil {
+					t.Fatalf("count line %q: %v", line, err)
+				}
+				count = v
+			}
+		}
+		if buckets != numLatencyBuckets {
+			t.Errorf("stage %q: %d bucket lines, want %d", stage, buckets, numLatencyBuckets)
+		}
+		if count < 1 || last != count {
+			t.Errorf("stage %q: +Inf bucket %d, _count %d; want equal and >= 1", stage, last, count)
+		}
+	}
+	// One HELP/TYPE pair covers the whole labelled family.
+	if n := strings.Count(out, "# TYPE "+fam+" histogram"); n != 1 {
+		t.Errorf("%d TYPE lines for %s, want 1", n, fam)
+	}
+	if strings.Count(out, "# HELP") != strings.Count(out, "# TYPE") {
+		t.Error("HELP/TYPE metadata out of balance")
+	}
+
+	// No traffic -> no stage family.
+	var empty strings.Builder
+	if err := WritePrometheus(&empty, Stats{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(empty.String(), fam) {
+		t.Error("empty snapshot emitted a stage family")
+	}
+}
+
+// TestLatencyQuantiles: quantile interpolation on a hand-built histogram,
+// overflow clamping, and the snapshot/merge paths filling P50/P95/P99.
+func TestLatencyQuantiles(t *testing.T) {
+	// All 10 observations fell in the (1, 2] bucket: quantiles interpolate
+	// linearly across that bucket.
+	ls := LatencyStats{
+		Count:     10,
+		BucketsMS: []float64{1, 2, 5},
+		Counts:    []int64{0, 10, 0, 0},
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 1.5}, {0.95, 1.95}, {0.99, 1.99}, {1.0, 2.0},
+	} {
+		if got := ls.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+
+	// Observations in the +Inf overflow clamp to the last finite bound.
+	over := LatencyStats{Count: 4, BucketsMS: []float64{1, 2, 5}, Counts: []int64{0, 0, 0, 4}}
+	if got := over.Quantile(0.99); got != 5 {
+		t.Errorf("overflow Quantile(0.99) = %g, want clamp to 5", got)
+	}
+
+	// Empty histograms yield zero, not NaN or a panic.
+	if got := (LatencyStats{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+
+	// The live snapshot path fills the exported fields.
+	var h histogram
+	for i := 0; i < 100; i++ {
+		h.observe(3 * time.Millisecond) // (2, 5] bucket
+	}
+	snap := h.snapshot()
+	if snap.P50MS <= 2 || snap.P50MS > 5 || snap.P95MS <= 2 || snap.P95MS > 5 {
+		t.Errorf("snapshot quantiles outside the observed bucket: p50=%g p95=%g", snap.P50MS, snap.P95MS)
+	}
+	if snap.P99MS < snap.P50MS {
+		t.Errorf("p99 %g < p50 %g", snap.P99MS, snap.P50MS)
+	}
+
+	// MergeStats recomputes quantiles from the summed buckets.
+	a := Stats{Latency: LatencyStats{Count: 1, SumMS: 1, BucketsMS: []float64{1, 2}, Counts: []int64{1, 0, 0}}}
+	b := Stats{Latency: LatencyStats{Count: 99, SumMS: 198, BucketsMS: []float64{1, 2}, Counts: []int64{0, 99, 0}}}
+	m := MergeStats(a, b)
+	if m.Latency.P50MS <= 1 || m.Latency.P50MS > 2 {
+		t.Errorf("merged p50 = %g, want in (1, 2]", m.Latency.P50MS)
+	}
+	if m.Latency.P50MS != m.Latency.Quantile(0.5) {
+		t.Errorf("merged P50MS %g != recomputed %g", m.Latency.P50MS, m.Latency.Quantile(0.5))
 	}
 }

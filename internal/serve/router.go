@@ -17,6 +17,7 @@ import (
 	"bellflower/internal/pipeline"
 	"bellflower/internal/query"
 	"bellflower/internal/schema"
+	"bellflower/internal/trace"
 )
 
 // Backend is the serving surface shared by Service (one shard) and Router
@@ -173,6 +174,12 @@ type Router struct {
 	errored          atomic.Int64 // requests failed during the pre-pass (ctx expiry)
 	partialMerges    atomic.Int64 // fan-outs served as Incomplete merges
 	prepassFallbacks atomic.Int64 // pre-pass failures degraded to full per-shard pipelines
+
+	// Router-level stage histograms (folded into Stats().Stages):
+	// pre-pass executions, fan-out wall time, merge time.
+	stPrepass histogram
+	stFanout  histogram
+	stMerge   histogram
 }
 
 // NewRouter wraps existing shard services in a router, taking ownership of
@@ -348,7 +355,14 @@ func (r *Router) Match(ctx context.Context, personal *schema.Tree, opts pipeline
 		r.rejected.Add(1)
 		return nil, err
 	}
+	_, psp := trace.StartSpan(ctx, "prepass")
 	e, err := r.runPrepass(ctx, personal, opts)
+	if psp != nil {
+		if err != nil {
+			psp.SetAttr("error", err.Error())
+		}
+		psp.End()
+	}
 	if err != nil {
 		// Pre-pass-failure degradation: with partial results enabled, a
 		// failed pre-pass falls back to full per-shard pipelines instead of
@@ -458,6 +472,7 @@ func (r *Router) runPrepass(ctx context.Context, personal *schema.Tree, opts pip
 			e.clusterDur = time.Since(t1)
 			<-r.prepassSem
 			r.prepassRuns.Add(1)
+			r.stPrepass.observe(e.matchDur + e.clusterDur)
 			// Charge the completed entry's actual size to the unified
 			// governor (it entered the cache at zero bytes).
 			r.prepass.settle(key, e)
@@ -486,6 +501,9 @@ func (r *Router) runPrepass(ctx context.Context, personal *schema.Tree, opts pip
 // enabled, a partially failed fan-out merges the shards that succeeded
 // and marks the report Incomplete with the per-shard errors.
 func (r *Router) fanOut(ctx context.Context, personal *schema.Tree, opts pipeline.Options, staged []stagedShard) (*pipeline.Report, error) {
+	fanStart := time.Now()
+	fctx, fsp := trace.StartSpan(ctx, "fanout")
+	defer fsp.End()
 	reps := make([]*pipeline.Report, len(r.shards))
 	errs := make([]error, len(r.shards))
 	var wg sync.WaitGroup
@@ -493,15 +511,22 @@ func (r *Router) fanOut(ctx context.Context, personal *schema.Tree, opts pipelin
 	for i, s := range r.shards {
 		go func(i int, s ShardBackend) {
 			defer wg.Done()
+			sctx, ssp := trace.StartSpan(fctx, "shard")
+			ssp.SetAttrInt("shard", int64(i))
 			if staged != nil {
-				reps[i], errs[i] = s.MatchWithClusters(ctx, personal, opts,
+				reps[i], errs[i] = s.MatchWithClusters(sctx, personal, opts,
 					staged[i].cands, staged[i].clusters, staged[i].iterations)
 			} else {
-				reps[i], errs[i] = s.Match(ctx, personal, opts)
+				reps[i], errs[i] = s.Match(sctx, personal, opts)
 			}
+			if errs[i] != nil {
+				ssp.SetAttr("error", errs[i].Error())
+			}
+			ssp.End()
 		}(i, s)
 	}
 	wg.Wait()
+	r.stFanout.observe(time.Since(fanStart))
 	var ok []*pipeline.Report // successful reports, in shard order
 	var failed []pipeline.ShardError
 	var firstErr error
@@ -530,13 +555,23 @@ func (r *Router) fanOut(ctx context.Context, personal *schema.Tree, opts pipelin
 		if !r.partial.Load() || len(ok) == 0 || ctx.Err() != nil {
 			return nil, firstErr
 		}
-		rep := mergeReports(ok, opts.TopN)
+		rep := r.merge(fctx, ok, opts.TopN)
 		rep.Incomplete = true
 		rep.ShardErrors = failed
 		r.partialMerges.Add(1)
 		return rep, nil
 	}
-	return mergeReports(reps, opts.TopN), nil
+	return r.merge(fctx, reps, opts.TopN), nil
+}
+
+// merge wraps mergeReports with the router's merge-stage instrumentation.
+func (r *Router) merge(ctx context.Context, reps []*pipeline.Report, topN int) *pipeline.Report {
+	t0 := time.Now()
+	_, msp := trace.StartSpan(ctx, "merge")
+	rep := mergeReports(reps, topN)
+	msp.End()
+	r.stMerge.observe(time.Since(t0))
+	return rep
 }
 
 // mergeReports combines per-shard reports of one fanned-out request.
@@ -651,6 +686,7 @@ func (r *Router) Snapshot() (Stats, []Stats) {
 	total.Errors += errored
 	total.PartialResults += r.partialMerges.Load()
 	total.PrePassFallbacks += r.prepassFallbacks.Load()
+	total.Stages = mergeStages(total.Stages, r.routerStages())
 	total.IndexBytes = r.indexBytes()
 	total.CacheBytes, total.CacheByteBudget, total.CacheEvictions, total.CacheExpired = r.governorStats()
 	// Remote shards' caches and indexes are resident in THEIR processes;
@@ -667,6 +703,16 @@ func (r *Router) Snapshot() (Stats, []Stats) {
 		total.IndexBytes += st.IndexBytes
 	}
 	return total, shards
+}
+
+// routerStages snapshots the router-level stage histograms (stages that
+// never ran are absent, mirroring counters.snapshotStages).
+func (r *Router) routerStages() map[string]LatencyStats {
+	m := make(map[string]LatencyStats, 3)
+	addStage(m, StagePrePass, &r.stPrepass)
+	addStage(m, StageFanout, &r.stFanout)
+	addStage(m, StageMerge, &r.stMerge)
+	return m
 }
 
 // governorStats sums the cache-governor figures across the router,

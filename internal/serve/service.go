@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"bellflower/internal/pipeline"
 	"bellflower/internal/query"
 	"bellflower/internal/schema"
+	"bellflower/internal/trace"
 )
 
 // ErrClosed is returned by Match after Close.
@@ -109,6 +111,12 @@ type task struct {
 	cands      *matcher.Candidates
 	clusters   []*cluster.Cluster
 	iterations int
+
+	// tctx carries the scheduling leader's trace position (and nothing
+	// else): the worker adopts it onto the detached run context so
+	// pipeline spans land in the request trace that started the run,
+	// without inheriting the request's cancellation.
+	tctx context.Context
 }
 
 // Service is a concurrent matching service over one indexed repository.
@@ -208,19 +216,29 @@ func (s *Service) worker() {
 		case <-s.root.Done():
 			return
 		case t := <-s.queue:
+			runCtx := t.c.runCtx
+			if t.tctx != nil {
+				runCtx = trace.Adopt(runCtx, t.tctx)
+			}
+			runCtx, rsp := trace.StartSpan(runCtx, "pipeline.run")
 			var rep *pipeline.Report
 			var err error
 			switch {
 			case t.clusters != nil:
-				rep, err = s.runner.RunWithClusters(t.c.runCtx, t.personal, t.cands, t.clusters, t.iterations, t.opts)
+				rep, err = s.runner.RunWithClusters(runCtx, t.personal, t.cands, t.clusters, t.iterations, t.opts)
 			case t.cands != nil:
-				rep, err = s.runner.RunWithCandidates(t.c.runCtx, t.personal, t.cands, t.opts)
+				rep, err = s.runner.RunWithCandidates(runCtx, t.personal, t.cands, t.opts)
 			default:
-				rep, err = s.runner.RunContext(t.c.runCtx, t.personal, t.opts)
+				rep, err = s.runner.RunContext(runCtx, t.personal, t.opts)
 			}
+			if err != nil {
+				rsp.SetAttr("error", err.Error())
+			}
+			rsp.End()
 			s.ct.runs.Add(1)
 			if err == nil {
 				s.cache.Put(t.key, rep)
+				s.ct.observeStages(rep.MatchTime, rep.ClusterTime, rep.GenTime)
 			}
 			s.flight.finish(t.key, t.c, rep, err)
 		}
@@ -299,7 +317,13 @@ func (s *Service) match(ctx context.Context, personal *schema.Tree, opts pipelin
 	start := time.Now()
 	key := Signature(personal, opts)
 	for attempt := 0; ; attempt++ {
-		if rep, ok := s.cache.Get(key); ok {
+		_, csp := trace.StartSpan(ctx, "cache.lookup")
+		rep, ok := s.cache.Get(key)
+		if csp != nil {
+			csp.SetAttr("hit", strconv.FormatBool(ok))
+			csp.End()
+		}
+		if ok {
 			if attempt == 0 {
 				s.ct.cacheHits.Add(1)
 			}
@@ -314,6 +338,9 @@ func (s *Service) match(ctx context.Context, personal *schema.Tree, opts pipelin
 		if leader {
 			t := &task{key: key, c: c, personal: personal, opts: opts,
 				cands: cands, clusters: clusters, iterations: iterations}
+			if trace.FromContext(ctx) != nil {
+				t.tctx = ctx
+			}
 			select {
 			case s.queue <- t:
 			case <-ctx.Done():
@@ -332,8 +359,13 @@ func (s *Service) match(ctx context.Context, personal *schema.Tree, opts pipelin
 			s.ct.deduped.Add(1)
 		}
 
+		_, wsp := trace.StartSpan(ctx, "flight.wait")
+		if wsp != nil {
+			wsp.SetAttr("leader", strconv.FormatBool(leader))
+		}
 		select {
 		case <-c.done:
+			wsp.End()
 			if c.err != nil {
 				// A follower may inherit a context error that belonged to
 				// another caller (the shared run's leader expired or every
@@ -349,10 +381,12 @@ func (s *Service) match(ctx context.Context, personal *schema.Tree, opts pipelin
 			s.ct.observe(time.Since(start))
 			return c.rep, nil
 		case <-ctx.Done():
+			wsp.End()
 			s.flight.leave(key, c)
 			s.ct.errors.Add(1)
 			return nil, ctx.Err()
 		case <-s.root.Done():
+			wsp.End()
 			// Service closed while waiting; Close fails queued tasks, but
 			// a task enqueued concurrently with shutdown could slip past
 			// the drain, so don't rely on c.done.
@@ -482,6 +516,7 @@ func (s *Service) Stats() Stats {
 		Workers:         s.cfg.Workers,
 		CacheLen:        s.cache.Len(),
 		CacheCap:        s.cache.Cap(),
-		Latency:         s.ct.snapshotLatency(),
+		Latency:         s.ct.lat.snapshot(),
+		Stages:          s.ct.snapshotStages(),
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -18,6 +19,58 @@ func init() {
 	}
 }
 
+// histogram is a fixed-bucket duration histogram; every field is updated
+// atomically, so it is safe on the hottest paths. The end-to-end request
+// latency and every per-stage timer share this one shape (and therefore
+// one bucket layout, which keeps the Prometheus exposition uniform).
+type histogram struct {
+	count atomic.Int64
+	sumUS atomic.Int64 // microseconds, to keep atomics integral
+	bkt   [numLatencyBuckets]atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumUS.Add(d.Microseconds())
+	ms := float64(d) / float64(time.Millisecond)
+	for i, ub := range latencyBucketsMS {
+		if ms <= ub {
+			h.bkt[i].Add(1)
+			return
+		}
+	}
+	h.bkt[len(latencyBucketsMS)].Add(1)
+}
+
+func (h *histogram) snapshot() LatencyStats {
+	ls := LatencyStats{
+		Count:     h.count.Load(),
+		SumMS:     float64(h.sumUS.Load()) / 1000,
+		BucketsMS: append([]float64(nil), latencyBucketsMS...),
+		Counts:    make([]int64, len(latencyBucketsMS)+1),
+	}
+	if ls.Count > 0 {
+		ls.MeanMS = ls.SumMS / float64(ls.Count)
+	}
+	for i := range ls.Counts {
+		ls.Counts[i] = h.bkt[i].Load()
+	}
+	ls.fillQuantiles()
+	return ls
+}
+
+// StageTimer records one named pipeline stage's durations into a
+// fixed-bucket histogram. Components outside this package (the shard RPC
+// client, for one) keep StageTimers for their own stages and fold the
+// snapshots into Stats.Stages.
+type StageTimer struct{ h histogram }
+
+// Observe records one stage execution.
+func (t *StageTimer) Observe(d time.Duration) { t.h.observe(d) }
+
+// Snapshot returns the timer's histogram snapshot.
+func (t *StageTimer) Snapshot() LatencyStats { return t.h.snapshot() }
+
 // counters is the service's hot-path instrumentation; every field is
 // updated atomically.
 type counters struct {
@@ -29,24 +82,64 @@ type counters struct {
 	errors      atomic.Int64
 	rejected    atomic.Int64
 
-	latCount atomic.Int64
-	latSumUS atomic.Int64 // microseconds, to keep atomics integral
-	latBkt   [numLatencyBuckets]atomic.Int64
+	lat histogram
+
+	// Per-stage histograms for the pipeline stages this service executes.
+	// A staged run (candidates or clusters precomputed by a router
+	// pre-pass) records only the stages it actually ran.
+	stMatch    histogram
+	stCluster  histogram
+	stGenerate histogram
 }
 
 // observe records one served request's end-to-end latency.
-func (c *counters) observe(d time.Duration) {
-	c.latCount.Add(1)
-	c.latSumUS.Add(d.Microseconds())
-	ms := float64(d) / float64(time.Millisecond)
-	for i, ub := range latencyBucketsMS {
-		if ms <= ub {
-			c.latBkt[i].Add(1)
-			return
-		}
+func (c *counters) observe(d time.Duration) { c.lat.observe(d) }
+
+// observeStages records the per-stage durations of one completed run.
+// Zero durations mean the stage was skipped (precomputed upstream) and
+// are not recorded.
+func (c *counters) observeStages(match, clusterT, gen time.Duration) {
+	if match > 0 {
+		c.stMatch.observe(match)
 	}
-	c.latBkt[len(latencyBucketsMS)].Add(1)
+	if clusterT > 0 {
+		c.stCluster.observe(clusterT)
+	}
+	if gen > 0 {
+		c.stGenerate.observe(gen)
+	}
 }
+
+// snapshotStages builds the Stages map for Stats; stages that never ran
+// are omitted so a plain snapshot stays compact.
+func (c *counters) snapshotStages() map[string]LatencyStats {
+	out := make(map[string]LatencyStats, 3)
+	addStage(out, StageMatch, &c.stMatch)
+	addStage(out, StageCluster, &c.stCluster)
+	addStage(out, StageGenerate, &c.stGenerate)
+	return out
+}
+
+func addStage(m map[string]LatencyStats, name string, h *histogram) {
+	if h.count.Load() > 0 {
+		m[name] = h.snapshot()
+	}
+}
+
+// Stage names used as Stats.Stages keys and as the Prometheus stage
+// label. The pipeline stages come from the paper's three-step dataflow;
+// the rest instrument the serving layers around it.
+const (
+	StageMatch     = "match"     // element matching (pipeline stage 1)
+	StageCluster   = "cluster"   // clustering (pipeline stage 2)
+	StageGenerate  = "generate"  // mapping generation (pipeline stage 3)
+	StagePrePass   = "prepass"   // router's shared match+cluster pre-pass
+	StageFanout    = "fanout"    // router's per-shard fan-out (incl. merge)
+	StageMerge     = "merge"     // router's k-way report merge
+	StageEncode    = "encode"    // shard RPC request encoding (client side)
+	StageRoundtrip = "roundtrip" // shard RPC HTTP round trip
+	StageDecode    = "decode"    // shard RPC response decoding (client side)
+)
 
 // Stats is a point-in-time snapshot of the service's instrumentation.
 type Stats struct {
@@ -137,6 +230,13 @@ type Stats struct {
 
 	// Latency is the end-to-end request latency histogram.
 	Latency LatencyStats `json:"latency"`
+
+	// Stages holds per-stage latency histograms keyed by stage name (see
+	// the Stage* constants): the pipeline stages a Service ran, plus —
+	// in router rollups — pre-pass/fan-out/merge, and — for remote
+	// shards — the RPC encode/roundtrip/decode stages. Stages that never
+	// ran are absent.
+	Stages map[string]LatencyStats `json:"stages,omitempty"`
 }
 
 // LatencyStats is a fixed-bucket latency histogram.
@@ -146,26 +246,100 @@ type LatencyStats struct {
 	SumMS  float64 `json:"sum_ms"`
 	MeanMS float64 `json:"mean_ms"`
 
+	// P50MS, P95MS and P99MS are approximate quantiles interpolated from
+	// the histogram buckets (exact only up to bucket resolution;
+	// observations beyond the last finite bound clamp to it).
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+
 	// BucketsMS holds the bucket upper bounds in milliseconds; Counts has
 	// one extra final entry for observations above the last bound.
 	BucketsMS []float64 `json:"buckets_ms"`
 	Counts    []int64   `json:"counts"`
 }
 
-func (c *counters) snapshotLatency() LatencyStats {
-	ls := LatencyStats{
-		Count:     c.latCount.Load(),
-		SumMS:     float64(c.latSumUS.Load()) / 1000,
-		BucketsMS: append([]float64(nil), latencyBucketsMS...),
-		Counts:    make([]int64, len(latencyBucketsMS)+1),
+// Quantile estimates the q-quantile (0 < q <= 1) in milliseconds by
+// linear interpolation within the histogram bucket that crosses the
+// target rank — the same estimate Prometheus's histogram_quantile
+// computes server-side. Observations in the +Inf overflow bucket clamp
+// to the last finite bound.
+func (ls LatencyStats) Quantile(q float64) float64 {
+	if ls.Count <= 0 || len(ls.Counts) == 0 {
+		return 0
 	}
-	if ls.Count > 0 {
-		ls.MeanMS = ls.SumMS / float64(ls.Count)
+	target := q * float64(ls.Count)
+	if target < 1 {
+		target = 1
 	}
-	for i := range ls.Counts {
-		ls.Counts[i] = c.latBkt[i].Load()
+	var cum float64
+	lower := 0.0
+	for i, cnt := range ls.Counts {
+		if i >= len(ls.BucketsMS) {
+			break // +Inf bucket: clamp below
+		}
+		upper := ls.BucketsMS[i]
+		if cum+float64(cnt) >= target {
+			if cnt == 0 {
+				return upper
+			}
+			return lower + (upper-lower)*(target-cum)/float64(cnt)
+		}
+		cum += float64(cnt)
+		lower = upper
 	}
-	return ls
+	if len(ls.BucketsMS) == 0 {
+		return 0
+	}
+	return ls.BucketsMS[len(ls.BucketsMS)-1]
+}
+
+func (ls *LatencyStats) fillQuantiles() {
+	ls.P50MS = ls.Quantile(0.50)
+	ls.P95MS = ls.Quantile(0.95)
+	ls.P99MS = ls.Quantile(0.99)
+}
+
+// mergeLatency folds b into a (summing counts, sums and buckets) and
+// recomputes the derived mean and quantiles.
+func mergeLatency(a *LatencyStats, b LatencyStats) {
+	a.Count += b.Count
+	a.SumMS += b.SumMS
+	if a.BucketsMS == nil {
+		a.BucketsMS = append([]float64(nil), b.BucketsMS...)
+		a.Counts = append([]int64(nil), b.Counts...)
+	} else {
+		for j := range b.Counts {
+			if j < len(a.Counts) {
+				a.Counts[j] += b.Counts[j]
+			}
+		}
+	}
+	if a.Count > 0 {
+		a.MeanMS = a.SumMS / float64(a.Count)
+	}
+	a.fillQuantiles()
+	// Guard against NaN leaking into JSON from adversarial snapshots.
+	if math.IsNaN(a.MeanMS) {
+		a.MeanMS = 0
+	}
+}
+
+// mergeStages folds src's per-stage histograms into dst, allocating dst
+// on first use.
+func mergeStages(dst map[string]LatencyStats, src map[string]LatencyStats) map[string]LatencyStats {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]LatencyStats, len(src))
+	}
+	for name, ls := range src {
+		cur := dst[name]
+		mergeLatency(&cur, ls)
+		dst[name] = cur
+	}
+	return dst
 }
 
 // MergeStats rolls several snapshots (typically one per shard) into one:
@@ -187,7 +361,7 @@ func (c *counters) snapshotLatency() LatencyStats {
 // per-shard report spaces are disjoint.
 func MergeStats(ss ...Stats) Stats {
 	var out Stats
-	for i, st := range ss {
+	for _, st := range ss {
 		out.CacheBytes += st.CacheBytes
 		if st.CacheByteBudget > out.CacheByteBudget {
 			out.CacheByteBudget = st.CacheByteBudget
@@ -217,21 +391,8 @@ func MergeStats(ss ...Stats) Stats {
 		out.Workers += st.Workers
 		out.CacheLen += st.CacheLen
 		out.CacheCap += st.CacheCap
-		out.Latency.Count += st.Latency.Count
-		out.Latency.SumMS += st.Latency.SumMS
-		if i == 0 {
-			out.Latency.BucketsMS = append([]float64(nil), st.Latency.BucketsMS...)
-			out.Latency.Counts = append([]int64(nil), st.Latency.Counts...)
-		} else {
-			for j := range st.Latency.Counts {
-				if j < len(out.Latency.Counts) {
-					out.Latency.Counts[j] += st.Latency.Counts[j]
-				}
-			}
-		}
-	}
-	if out.Latency.Count > 0 {
-		out.Latency.MeanMS = out.Latency.SumMS / float64(out.Latency.Count)
+		mergeLatency(&out.Latency, st.Latency)
+		out.Stages = mergeStages(out.Stages, st.Stages)
 	}
 	return out
 }

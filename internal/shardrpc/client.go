@@ -17,6 +17,7 @@ import (
 	"bellflower/internal/pipeline"
 	"bellflower/internal/schema"
 	"bellflower/internal/serve"
+	"bellflower/internal/trace"
 )
 
 // ErrDescriptorMismatch marks a remote server that answers but hosts a
@@ -70,6 +71,13 @@ type RemoteShard struct {
 
 	closed       atomic.Bool
 	unreachables atomic.Int64 // REQUESTS that exhausted their attempts without an HTTP response
+
+	// Client-side stage timers: what this process spends translating to
+	// and from the wire and waiting on the network. Folded into Stats()
+	// alongside the remote shard's own per-stage figures.
+	stEncode    serve.StageTimer
+	stRoundtrip serve.StageTimer
+	stDecode    serve.StageTimer
 }
 
 var _ serve.ShardBackend = (*RemoteShard)(nil)
@@ -153,32 +161,13 @@ func (rs *RemoteShard) match(ctx context.Context, personal *schema.Tree, opts pi
 	if personal == nil || personal.Root() == nil {
 		return nil, fmt.Errorf("shardrpc: nil personal schema")
 	}
-	wopts, err := EncodeOptions(opts)
+	encStart := time.Now()
+	_, esp := trace.StartSpan(ctx, "rpc.encode")
+	body, err := rs.encodeRequest(personal, opts, cands, hasCands, clusters, hasClusters, iterations)
+	esp.End()
+	rs.stEncode.Observe(time.Since(encStart))
 	if err != nil {
 		return nil, err
-	}
-	req := MatchRequest{
-		Descriptor: rs.desc,
-		Personal:   EncodeTree(personal),
-		Signature:  serve.Signature(personal, opts),
-		Options:    wopts,
-		Iterations: iterations,
-	}
-	if hasCands {
-		req.HasCandidates = true
-		if req.Candidates, err = EncodeCandidates(rs.view, cands); err != nil {
-			return nil, err
-		}
-	}
-	if hasClusters {
-		req.HasClusters = true
-		if req.Clusters, err = EncodeClusters(rs.view, clusters); err != nil {
-			return nil, err
-		}
-	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("shardrpc: encode request: %w", err)
 	}
 
 	// Retry-once: a transport failure (connection refused/reset, per-shard
@@ -210,6 +199,39 @@ func (rs *RemoteShard) match(ctx context.Context, personal *schema.Tree, opts pi
 	return nil, lastErr
 }
 
+// encodeRequest builds and marshals the wire request body.
+func (rs *RemoteShard) encodeRequest(personal *schema.Tree, opts pipeline.Options,
+	cands *matcher.Candidates, hasCands bool, clusters []*cluster.Cluster, hasClusters bool, iterations int) ([]byte, error) {
+	wopts, err := EncodeOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	req := MatchRequest{
+		Descriptor: rs.desc,
+		Personal:   EncodeTree(personal),
+		Signature:  serve.Signature(personal, opts),
+		Options:    wopts,
+		Iterations: iterations,
+	}
+	if hasCands {
+		req.HasCandidates = true
+		if req.Candidates, err = EncodeCandidates(rs.view, cands); err != nil {
+			return nil, err
+		}
+	}
+	if hasClusters {
+		req.HasClusters = true
+		if req.Clusters, err = EncodeClusters(rs.view, clusters); err != nil {
+			return nil, err
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("shardrpc: encode request: %w", err)
+	}
+	return body, nil
+}
+
 // post runs one match attempt. transport reports whether the failure
 // happened below the protocol (no HTTP response decoded), i.e. whether a
 // retry could help.
@@ -220,26 +242,50 @@ func (rs *RemoteShard) post(ctx context.Context, body []byte) (rep *pipeline.Rep
 		cctx, cancel = context.WithTimeout(ctx, rs.cfg.Timeout)
 		defer cancel()
 	}
+	// The round-trip span is the stitch point: its ID crosses in the
+	// trace header, the shard parents its whole serve tree to it, and the
+	// spans shipped back in the response graft in under it.
+	rctx, rsp := trace.StartSpan(cctx, "rpc.roundtrip")
+	defer rsp.End()
 	hreq, err := http.NewRequestWithContext(cctx, http.MethodPost, rs.base+"/v1/shard/match", bytes.NewReader(body))
 	if err != nil {
 		return nil, false, fmt.Errorf("shardrpc: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if hv := trace.HeaderValue(rctx); hv != "" {
+		hreq.Header.Set(trace.Header, hv)
+	}
+	rtStart := time.Now()
 	resp, err := rs.hc.Do(hreq)
 	if err != nil {
+		rsp.SetAttr("error", err.Error())
 		return nil, true, fmt.Errorf("shardrpc: shard %s unreachable: %w", rs.base, err)
 	}
+	rs.stRoundtrip.Observe(time.Since(rtStart))
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		rsp.SetAttrInt("status", int64(resp.StatusCode))
 		return nil, false, rs.statusError(resp)
 	}
+	decStart := time.Now()
+	_, dsp := trace.StartSpan(rctx, "rpc.decode")
 	var mr MatchResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxMatchBody)).Decode(&mr); err != nil {
+		dsp.End()
 		return nil, true, fmt.Errorf("shardrpc: shard %s: bad response: %w", rs.base, err)
 	}
 	rep, err = DecodeReport(rs.view, mr.Report)
+	dsp.End()
+	rs.stDecode.Observe(time.Since(decStart))
 	if err != nil {
 		return nil, false, err
+	}
+	// Stitch the shard-side spans into the caller's trace. A decode
+	// failure here loses observability, never correctness — drop quietly.
+	if tr := trace.FromContext(ctx); tr != nil && len(mr.Spans) > 0 {
+		if spans, err := DecodeSpans(mr.Spans); err == nil {
+			tr.Graft(spans)
+		}
 	}
 	return rep, false, nil
 }
@@ -296,12 +342,32 @@ func (rs *RemoteShard) Stats() serve.Stats {
 	te := rs.unreachables.Load()
 	sr, err := rs.fetchStats(ctx)
 	if err != nil {
-		return serve.Stats{Requests: te, Errors: te}
+		st := serve.Stats{Requests: te, Errors: te}
+		rs.addClientStages(&st)
+		return st
 	}
 	st := sr.Stats
 	st.Requests += te
 	st.Errors += te
+	rs.addClientStages(&st)
 	return st
+}
+
+// addClientStages folds the client-side RPC stage timers into a remote
+// snapshot. The keys are disjoint from the shard's own pipeline stages,
+// so this is a plain insert.
+func (rs *RemoteShard) addClientStages(st *serve.Stats) {
+	add := func(name string, t *serve.StageTimer) {
+		if snap := t.Snapshot(); snap.Count > 0 {
+			if st.Stages == nil {
+				st.Stages = make(map[string]serve.LatencyStats, 3)
+			}
+			st.Stages[name] = snap
+		}
+	}
+	add(serve.StageEncode, &rs.stEncode)
+	add(serve.StageRoundtrip, &rs.stRoundtrip)
+	add(serve.StageDecode, &rs.stDecode)
 }
 
 func (rs *RemoteShard) fetchStats(ctx context.Context) (StatsResponse, error) {

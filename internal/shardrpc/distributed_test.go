@@ -350,3 +350,101 @@ func TestRemoteShardRetryOnce(t *testing.T) {
 		t.Fatal("nil report after retry")
 	}
 }
+
+// TestDistributedTraceStitching: a traced distributed match must yield ONE
+// stitched span tree. The router's own spans (prepass, fanout, merge) and
+// every shard's remote spans (shard.serve → decode, match, encode), shipped
+// back over the real HTTP hop and grafted, all hang off the same trace with
+// correct parentage: each shard.serve sits under the rpc.roundtrip span
+// whose X-Bellflower-Trace header it resumed from.
+func TestDistributedTraceStitching(t *testing.T) {
+	const seed, nodes, shards = 31, 350, 2
+	routerRepo := freshRepo(t, nodes, seed)
+	rng := rand.New(rand.NewSource(seed * 7919))
+	personal := randomPersonal(rng, routerRepo, 2)
+
+	fleet := startFleet(t, nodes, seed, shards, bellflower.PartitionBalanced)
+	backend, err := bellflower.NewDistributedService(routerRepo, fleet.addrs,
+		bellflower.ServiceConfig{Workers: 2}, bellflower.PartitionBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+
+	opts := bellflower.DefaultOptions()
+	opts.MinSim = 0.4
+
+	ctx, tr, root := bellflower.StartRequestTrace(context.Background(), "test.match")
+	if tr == nil {
+		t.Fatal("tracing disabled; cannot run stitching test")
+	}
+	if _, err := backend.Match(ctx, personal, opts); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	tree := tr.Tree()
+	if tree == nil {
+		t.Fatal("traced request produced no span tree")
+	}
+	if tree.Name != "test.match" {
+		t.Fatalf("tree root is %q, want the caller's root span", tree.Name)
+	}
+
+	// Index every node by name, remembering its parent, so parentage is
+	// checkable without caring about intermediate wrapper spans.
+	type placed struct{ node, parent *bellflower.TraceNode }
+	byName := map[string][]placed{}
+	var walk func(n, parent *bellflower.TraceNode)
+	walk = func(n, parent *bellflower.TraceNode) {
+		byName[n.Name] = append(byName[n.Name], placed{n, parent})
+		for _, c := range n.Children {
+			walk(c, n)
+		}
+	}
+	walk(tree, nil)
+
+	for _, name := range []string{"prepass", "fanout", "merge"} {
+		if got := len(byName[name]); got != 1 {
+			t.Fatalf("router span %q appears %d times in the tree, want 1", name, got)
+		}
+		if byName[name][0].node.Remote {
+			t.Fatalf("router span %q marked remote", name)
+		}
+	}
+	if got := len(byName["shard"]); got != shards {
+		t.Fatalf("%d shard fan-out spans, want %d", got, shards)
+	}
+	if got := len(byName["rpc.roundtrip"]); got != shards {
+		t.Fatalf("%d rpc.roundtrip spans, want %d", got, shards)
+	}
+
+	serves := byName["shard.serve"]
+	if len(serves) != shards {
+		t.Fatalf("%d grafted shard.serve spans, want %d", len(serves), shards)
+	}
+	for _, p := range serves {
+		if !p.node.Remote {
+			t.Fatal("shard.serve span not marked remote after graft")
+		}
+		if p.parent == nil || p.parent.Name != "rpc.roundtrip" {
+			name := "<root>"
+			if p.parent != nil {
+				name = p.parent.Name
+			}
+			t.Fatalf("shard.serve parented to %q, want rpc.roundtrip", name)
+		}
+		kids := map[string]bool{}
+		for _, c := range p.node.Children {
+			kids[c.Name] = true
+			if !c.Remote {
+				t.Fatalf("shard-side span %q not marked remote", c.Name)
+			}
+		}
+		for _, want := range []string{"decode", "match", "encode"} {
+			if !kids[want] {
+				t.Fatalf("shard.serve is missing child span %q (has %v)", want, p.node.Children)
+			}
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package shardrpc
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -12,6 +14,7 @@ import (
 	"bellflower/internal/pipeline"
 	"bellflower/internal/schema"
 	"bellflower/internal/serve"
+	"bellflower/internal/trace"
 )
 
 // fuzzRepo builds a random repository from a seeded rng: names drawn from
@@ -225,5 +228,63 @@ func FuzzShardWire(f *testing.F) {
 		if !reflect.DeepEqual(got, rep) {
 			t.Fatalf("report drifted over the wire:\n%+v\nvs\n%+v", got, rep)
 		}
+
+		// Trace wire vocabulary: the X-Bellflower-Trace header and the span
+		// codec must round-trip exactly — that is what makes a distributed
+		// request stitch into one tree.
+		tctx, ftr, froot := trace.New(context.Background(), "fuzz.trace")
+		hv := trace.HeaderValue(tctx)
+		tid, hparent, err := trace.ParseHeader(hv)
+		if err != nil {
+			t.Fatalf("header %q failed to parse: %v", hv, err)
+		}
+		if tid != ftr.ID() || hparent != froot.ID {
+			t.Fatalf("header drifted: %q decoded to (%s,%s), want (%s,%s)",
+				hv, tid, hparent, ftr.ID(), froot.ID)
+		}
+		sctx, str, sroot := trace.Resume(context.Background(), hv, "shard.serve")
+		if str.ID() != ftr.ID() {
+			t.Fatalf("resumed trace id %s, want the sender's %s", str.ID(), ftr.ID())
+		}
+		if sroot.Parent != froot.ID {
+			t.Fatalf("resumed root parented to %s, want the sender's span %s", sroot.Parent, froot.ID)
+		}
+		for i := 0; i < int(extraNodes)%5+1; i++ {
+			_, sp := trace.StartSpan(sctx, fmt.Sprintf("stage.%d", i))
+			sp.SetAttrInt("i", int64(i))
+			if rng.Intn(2) == 0 {
+				sp.SetAttr("seed", fmt.Sprint(seed))
+			}
+			sp.End()
+		}
+		sroot.End()
+		spans := str.Spans()
+		var wspans []WireSpan
+		jsonTrip(t, EncodeSpans(spans), &wspans)
+		decodedSpans, err := DecodeSpans(wspans)
+		if err != nil {
+			t.Fatalf("span decode: %v", err)
+		}
+		if len(decodedSpans) != len(spans) {
+			t.Fatalf("%d spans after round trip, want %d", len(decodedSpans), len(spans))
+		}
+		for i, orig := range spans {
+			dec := decodedSpans[i]
+			if dec.ID != orig.ID || dec.Parent != orig.Parent || dec.Name != orig.Name {
+				t.Fatalf("span %d identity drifted: %+v vs %+v", i, dec, orig)
+			}
+			if dec.Start.UnixNano() != orig.Start.UnixNano() || dec.Duration != orig.Duration {
+				t.Fatalf("span %d timing drifted", i)
+			}
+			if !reflect.DeepEqual(dec.Attrs, orig.Attrs) {
+				t.Fatalf("span %d attrs drifted: %v vs %v", i, dec.Attrs, orig.Attrs)
+			}
+		}
+		// A resume from garbage must degrade to a fresh trace, never fail.
+		_, gtr, groot := trace.Resume(context.Background(), fmt.Sprintf("%x", seed), "shard.serve")
+		if gtr == nil || groot.Parent != 0 {
+			t.Fatal("malformed header did not degrade to a fresh root trace")
+		}
+		groot.End()
 	})
 }

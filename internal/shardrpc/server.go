@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"net/http"
 
+	"bellflower/internal/cluster"
 	"bellflower/internal/labeling"
+	"bellflower/internal/matcher"
 	"bellflower/internal/pipeline"
 	"bellflower/internal/serve"
+	"bellflower/internal/trace"
 )
 
 // maxMatchBody bounds a shard match request body. Projected candidate sets
@@ -29,6 +32,7 @@ type ShardServer struct {
 	svc  *serve.Service
 	view *labeling.View
 	desc Descriptor
+	rec  *trace.Recorder // optional local ring; see SetTraceRecorder
 }
 
 // NewShardServer wraps a Service running on view (pipeline.NewViewRunner)
@@ -36,6 +40,14 @@ type ShardServer struct {
 func NewShardServer(svc *serve.Service, view *labeling.View, desc Descriptor) *ShardServer {
 	return &ShardServer{svc: svc, view: view, desc: desc}
 }
+
+// SetTraceRecorder attaches a local trace ring: every traced match is
+// observed into it, so a shard host can serve its own /v1/traces even
+// though its spans also ship back to the router. With no recorder set,
+// only requests that arrive with an X-Bellflower-Trace header are traced
+// (the spans exist solely to be returned). Not safe to call concurrently
+// with traffic; wire it up before mounting the handlers.
+func (s *ShardServer) SetTraceRecorder(rec *trace.Recorder) { s.rec = rec }
 
 // Service returns the underlying view-backed service (the caller may mount
 // additional endpoints — metrics, health — against it).
@@ -75,18 +87,44 @@ func matchStatus(err error) int {
 	}
 }
 
-// HandleMatch serves POST /v1/shard/match.
+// HandleMatch serves POST /v1/shard/match. A request arriving with an
+// X-Bellflower-Trace header is served under a resumed trace — the shard's
+// decode/match/encode spans (and the pipeline spans beneath them) parent
+// back to the caller's span and ship home in MatchResponse.Spans, so the
+// router stitches ONE tree across the process boundary.
 func (s *ShardServer) HandleMatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST required"})
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxMatchBody)
+
+	ctx := r.Context()
+	hv := r.Header.Get(trace.Header)
+	var tr *trace.Trace
+	var root *trace.Span
+	if hv != "" || s.rec != nil {
+		ctx, tr, root = trace.Resume(ctx, hv, "shard.serve")
+		root.SetAttrInt("shard", int64(s.desc.Shard))
+		defer func() {
+			root.End() // idempotent; the success path already ended it
+			if s.rec != nil {
+				s.rec.Observe(tr)
+			}
+		}()
+	}
+	fail := func(sp *trace.Span, status int, msg string) {
+		sp.SetAttr("error", msg)
+		sp.End()
+		writeJSON(w, status, errorJSON{Error: msg})
+	}
+
+	_, dsp := trace.StartSpan(ctx, "decode")
 	var req MatchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		fail(dsp, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	// A descriptor mismatch means the caller partitioned differently (or
@@ -94,19 +132,18 @@ func (s *ShardServer) HandleMatch(w http.ResponseWriter, r *http.Request) {
 	// wrong ID space. 409, not 400 — the request is well-formed, the
 	// topologies disagree.
 	if !req.Descriptor.Equal(s.desc) {
-		writeJSON(w, http.StatusConflict, errorJSON{
-			Error: fmt.Sprintf("descriptor mismatch: caller expects %s, this server hosts %s", req.Descriptor, s.desc),
-		})
+		fail(dsp, http.StatusConflict,
+			fmt.Sprintf("descriptor mismatch: caller expects %s, this server hosts %s", req.Descriptor, s.desc))
 		return
 	}
 	personal, err := DecodeTree(req.Personal)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		fail(dsp, http.StatusBadRequest, err.Error())
 		return
 	}
 	opts, err := DecodeOptions(req.Options)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		fail(dsp, http.StatusBadRequest, err.Error())
 		return
 	}
 	// Integrity: the canonical request signature must survive the codec
@@ -114,62 +151,66 @@ func (s *ShardServer) HandleMatch(w http.ResponseWriter, r *http.Request) {
 	// different request than the router merged.
 	if req.Signature != "" {
 		if got := serve.Signature(personal, opts); got != req.Signature {
-			writeJSON(w, http.StatusBadRequest, errorJSON{
-				Error: fmt.Sprintf("request signature mismatch after decode: got %q, want %q", got, req.Signature),
-			})
+			fail(dsp, http.StatusBadRequest,
+				fmt.Sprintf("request signature mismatch after decode: got %q, want %q", got, req.Signature))
 			return
 		}
 	}
-
-	var rep *pipeline.Report
-	switch {
-	case req.HasClusters:
-		if !req.HasCandidates {
-			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "clusters staged without candidates"})
+	var cands *matcher.Candidates
+	var clusters []*cluster.Cluster
+	if req.HasClusters && !req.HasCandidates {
+		fail(dsp, http.StatusBadRequest, "clusters staged without candidates")
+		return
+	}
+	if req.HasCandidates {
+		if cands, err = DecodeCandidates(s.view, personal, req.Candidates); err != nil {
+			fail(dsp, http.StatusBadRequest, err.Error())
 			return
 		}
-		cands, err := DecodeCandidates(s.view, personal, req.Candidates)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
-			return
-		}
+	}
+	if req.HasClusters {
 		// DecodeClusters returns a non-nil slice even for zero clusters —
 		// a staged-empty projection is valid (MatchWithClusters requires
 		// non-nil).
-		clusters, err := DecodeClusters(s.view, req.Clusters)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
-			return
-		}
-		rep, err = s.svc.MatchWithClusters(r.Context(), personal, opts, cands, clusters, req.Iterations)
-		if err != nil {
-			writeJSON(w, matchStatus(err), errorJSON{Error: err.Error()})
-			return
-		}
-	case req.HasCandidates:
-		cands, err := DecodeCandidates(s.view, personal, req.Candidates)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
-			return
-		}
-		rep, err = s.svc.MatchWithCandidates(r.Context(), personal, opts, cands)
-		if err != nil {
-			writeJSON(w, matchStatus(err), errorJSON{Error: err.Error()})
-			return
-		}
-	default:
-		rep, err = s.svc.Match(r.Context(), personal, opts)
-		if err != nil {
-			writeJSON(w, matchStatus(err), errorJSON{Error: err.Error()})
+		if clusters, err = DecodeClusters(s.view, req.Clusters); err != nil {
+			fail(dsp, http.StatusBadRequest, err.Error())
 			return
 		}
 	}
-	wr, err := EncodeReport(s.view, rep)
+	dsp.End()
+
+	mctx, msp := trace.StartSpan(ctx, "match")
+	var rep *pipeline.Report
+	switch {
+	case req.HasClusters:
+		rep, err = s.svc.MatchWithClusters(mctx, personal, opts, cands, clusters, req.Iterations)
+	case req.HasCandidates:
+		rep, err = s.svc.MatchWithCandidates(mctx, personal, opts, cands)
+	default:
+		rep, err = s.svc.Match(mctx, personal, opts)
+	}
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		fail(msp, matchStatus(err), err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, MatchResponse{Report: wr})
+	msp.End()
+
+	_, ensp := trace.StartSpan(ctx, "encode")
+	wr, err := EncodeReport(s.view, rep)
+	if err != nil {
+		fail(ensp, http.StatusInternalServerError, err.Error())
+		return
+	}
+	ensp.End()
+
+	resp := MatchResponse{Report: wr}
+	if tr != nil && hv != "" {
+		// End the root before exporting so the stitched tree carries the
+		// shard's total serve time; the deferred End is a no-op after this.
+		root.End()
+		resp.Spans = EncodeSpans(tr.Spans())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // HandleStats serves GET /v1/shard/stats: the shard's instrumentation

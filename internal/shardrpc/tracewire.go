@@ -1,0 +1,79 @@
+package shardrpc
+
+import (
+	"fmt"
+	"time"
+
+	"bellflower/internal/trace"
+)
+
+// WireAttr is one span annotation on the wire.
+type WireAttr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// WireSpan is one finished span on the wire. IDs travel as the fixed-width
+// hex of trace.ID — uint64s would survive Go's typed JSON decoding, but
+// hex strings stay exact for every consumer (jq, browsers) and match the
+// X-Bellflower-Trace header encoding. Start is absolute unix nanoseconds;
+// the router's tree rendering re-bases offsets on its own root, so modest
+// cross-host clock skew skews display offsets, never durations.
+type WireSpan struct {
+	ID      string     `json:"id"`
+	Parent  string     `json:"parent,omitempty"`
+	Name    string     `json:"name"`
+	StartNS int64      `json:"start_ns"`
+	DurNS   int64      `json:"dur_ns"`
+	Attrs   []WireAttr `json:"attrs,omitempty"`
+}
+
+// EncodeSpans translates a trace's finished spans to wire form.
+func EncodeSpans(spans []*trace.Span) []WireSpan {
+	out := make([]WireSpan, 0, len(spans))
+	for _, s := range spans {
+		ws := WireSpan{
+			ID:      s.ID.String(),
+			Name:    s.Name,
+			StartNS: s.Start.UnixNano(),
+			DurNS:   int64(s.Duration),
+		}
+		if s.Parent != 0 {
+			ws.Parent = s.Parent.String()
+		}
+		for _, a := range s.Attrs {
+			ws.Attrs = append(ws.Attrs, WireAttr{Key: a.Key, Value: a.Value})
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// DecodeSpans translates wire spans back into trace spans (for grafting
+// into the caller's trace). Malformed IDs fail loudly, matching the rest
+// of the wire codec.
+func DecodeSpans(ws []WireSpan) ([]trace.Span, error) {
+	out := make([]trace.Span, 0, len(ws))
+	for i, w := range ws {
+		id, err := trace.ParseID(w.ID)
+		if err != nil {
+			return nil, fmt.Errorf("shardrpc: span %d: %w", i, err)
+		}
+		s := trace.Span{
+			ID:       id,
+			Name:     w.Name,
+			Start:    time.Unix(0, w.StartNS),
+			Duration: time.Duration(w.DurNS),
+		}
+		if w.Parent != "" {
+			if s.Parent, err = trace.ParseID(w.Parent); err != nil {
+				return nil, fmt.Errorf("shardrpc: span %d: %w", i, err)
+			}
+		}
+		for _, a := range w.Attrs {
+			s.Attrs = append(s.Attrs, trace.Attr{Key: a.Key, Value: a.Value})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

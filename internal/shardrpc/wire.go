@@ -738,9 +738,14 @@ type MatchRequest struct {
 	Iterations    int                `json:"iterations,omitempty"`
 }
 
-// MatchResponse is the /v1/shard/match success body.
+// MatchResponse is the /v1/shard/match success body. Spans carries the
+// shard-side trace (decode/match/encode and the pipeline stages under
+// them) when the request arrived with an X-Bellflower-Trace header; the
+// client grafts them into its own trace, stitching ONE tree across the
+// process boundary.
 type MatchResponse struct {
 	Report WireReport `json:"report"`
+	Spans  []WireSpan `json:"spans,omitempty"`
 }
 
 // StatsResponse is the /v1/shard/stats body: the shard's instrumentation

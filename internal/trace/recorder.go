@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Recorder keeps two bounded rings of finished traces: every observed
+// trace enters the recent ring, and traces whose root span exceeds the
+// slow threshold also enter the slow ring. Both rings evict oldest-first
+// at fixed capacity, so memory stays bounded no matter the request rate.
+type Recorder struct {
+	mu        sync.Mutex
+	recent    []Summary
+	slow      []Summary
+	recentCap int
+	slowCap   int
+	threshold time.Duration
+}
+
+// Defaults for NewRecorder when a capacity is zero or negative.
+const (
+	defaultRecentCap = 64
+	defaultSlowCap   = 32
+)
+
+// NewRecorder builds a recorder holding up to recentCap recent traces
+// and slowCap slow traces; traces at or above threshold count as slow
+// (threshold <= 0 disables slow capture). Non-positive capacities take
+// the package defaults.
+func NewRecorder(recentCap, slowCap int, threshold time.Duration) *Recorder {
+	if recentCap <= 0 {
+		recentCap = defaultRecentCap
+	}
+	if slowCap <= 0 {
+		slowCap = defaultSlowCap
+	}
+	return &Recorder{recentCap: recentCap, slowCap: slowCap, threshold: threshold}
+}
+
+// Threshold returns the slow-trace capture threshold.
+func (r *Recorder) Threshold() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.threshold
+}
+
+// Observe summarizes a finished trace into the rings and returns the
+// summary (so callers serving ?trace=1 don't summarize twice). A nil
+// trace — an untraced request — returns a zero Summary untouched.
+func (r *Recorder) Observe(t *Trace) Summary {
+	if t == nil {
+		return Summary{}
+	}
+	sum := t.Summarize()
+	r.mu.Lock()
+	r.recent = push(r.recent, sum, r.recentCap)
+	if r.threshold > 0 && sum.DurationMS >= float64(r.threshold)/float64(time.Millisecond) {
+		r.slow = push(r.slow, sum, r.slowCap)
+	}
+	r.mu.Unlock()
+	return sum
+}
+
+// push appends keeping at most cap entries, evicting oldest-first.
+func push(ring []Summary, s Summary, capacity int) []Summary {
+	ring = append(ring, s)
+	if overflow := len(ring) - capacity; overflow > 0 {
+		ring = append(ring[:0], ring[overflow:]...)
+	}
+	return ring
+}
+
+// Recent returns the recent ring, newest last.
+func (r *Recorder) Recent() []Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Summary(nil), r.recent...)
+}
+
+// Slow returns the slow ring, newest last.
+func (r *Recorder) Slow() []Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Summary(nil), r.slow...)
+}

@@ -40,6 +40,15 @@ for name in $(grep -oE 'fs\.[A-Za-z0-9]+\("[a-z][a-z-]*"' cmd/bellflower-server/
   fi
 done
 
+# Debug endpoints: when the README documents the -debug-addr listener,
+# the paths it names must be mounted by debugRoutes.
+for ep in /debug/pprof/ /debug/vars; do
+  if grep -q "$ep" README.md && ! grep -qF "\"$ep\"" cmd/bellflower-server/server.go; then
+    echo "README references debug endpoint $ep, which is not registered in cmd/bellflower-server/server.go" >&2
+    fail=1
+  fi
+done
+
 # Shard wire endpoints: when the README documents the distributed mode,
 # the endpoints it names must be mounted by the shard-mode mux.
 for ep in /v1/shard/match /v1/shard/stats; do

@@ -51,8 +51,11 @@ if echo "$resp" | grep -q '"incomplete": true'; then
 fi
 
 # The router's stats must show a two-shard rollup, and each shard server
-# must have served exactly the fanned-out pipeline work.
-curl -sf "http://127.0.0.1:$PORT_R/v1/stats" | grep -q '"shards"' \
+# must have served exactly the fanned-out pipeline work. Buffer the body
+# before grepping: `curl | grep -q` under pipefail dies on the EPIPE that
+# grep's early exit sends once the stats payload outgrows one pipe write.
+stats=$(curl -sf "http://127.0.0.1:$PORT_R/v1/stats")
+echo "$stats" | grep -q '"shards"' \
   || { echo "router stats carry no per-shard breakdown" >&2; exit 1; }
 for port in "$PORT_A" "$PORT_B"; do
   runs=$(curl -sf "http://127.0.0.1:$port/v1/shard/stats" | grep -o '"pipeline_runs": *[0-9]*' | grep -o '[0-9]*$')
