@@ -438,25 +438,37 @@ func NewShardHost(repo *Repository, shard, shards int, cfg ServiceConfig, strate
 // NewDistributedService builds a sharded service whose shards live in
 // OTHER processes: the repository (the same file or synthetic seed the
 // shard servers loaded) is partitioned into len(shardAddrs) views, shard i
-// is served by the bellflower-server -shard-of i/n process at
+// is served by the bellflower-server -shard-of i/n process(es) at
 // shardAddrs[i], and every match request runs the shared pre-pass locally
 // — element matching and clustering once against the full repository —
 // then ships each shard its candidate projection and clusters over the
 // wire (view-local node IDs). Merged reports are byte-identical to an
 // unsharded run, exactly like the in-process NewShardedService.
 //
-// Every shard is health-checked at construction: a shard answering with a
-// DIFFERENT descriptor (wrong -shard-of index, different partition
-// strategy or repository) always fails — that topology would return wrong
-// mappings. An UNREACHABLE shard fails under strict routing, but with
-// cfg.PartialResults it is tolerated: requests are served from the live
-// shards as Incomplete reports until the dead shard returns. Per-request,
-// shard failures feed the same partial-results machinery
-// (Report.Incomplete, ShardErrors, per-shard metrics).
+// Each shardAddrs entry may name several REPLICAS of that shard separated
+// by '|' ("hostA:8081|hostB:8081"): identical -shard-of i/n processes the
+// router load-balances across (round-robin over the healthy ones) and
+// fails over between mid-request on transport errors — one replica dying
+// yields a complete report, not an Incomplete one. Every replica carries
+// a background health monitor (cfg.HealthInterval probes with
+// cfg.HealthFailures consecutive-failure mark-down; recovery is
+// re-admitted only after a probe re-verifies the descriptor handshake),
+// and under cfg.PartialResults a shard whose replicas are ALL unhealthy
+// is skipped without paying a per-request timeout.
 //
-// cfg.DefaultTimeout doubles as the per-shard request timeout (each
-// attempt; transport failures are retried once). Release with Close —
-// which releases the clients, never the remote servers.
+// Every shard is health-checked at construction: a replica answering with
+// a DIFFERENT descriptor (wrong -shard-of index, different partition
+// strategy or repository) always fails — that topology would return wrong
+// mappings. A shard with NO reachable replica fails under strict routing,
+// but with cfg.PartialResults it is tolerated: requests are served from
+// the live shards as Incomplete reports until a replica returns (replicas
+// unreachable at construction start marked unhealthy). Per-request, shard
+// failures feed the same partial-results machinery (Report.Incomplete,
+// ShardErrors, per-shard metrics).
+//
+// cfg.DefaultTimeout doubles as the per-replica request attempt timeout.
+// Release with Close — which stops the monitors and releases the clients,
+// never the remote servers.
 func NewDistributedService(repo *Repository, shardAddrs []string, cfg ServiceConfig, strategy PartitionStrategy) (*ShardedService, error) {
 	if len(shardAddrs) == 0 {
 		return nil, errors.New("bellflower: NewDistributedService needs at least one shard address")
@@ -466,13 +478,26 @@ func NewDistributedService(repo *Repository, shardAddrs []string, cfg ServiceCon
 	if len(views) != len(shardAddrs) {
 		return nil, fmt.Errorf("bellflower: %d shard servers for a repository of %d trees (at most one shard per tree)", len(shardAddrs), repo.NumTrees())
 	}
+	hcfg := serve.HealthConfig{
+		Interval:         cfg.HealthInterval,
+		FailureThreshold: cfg.HealthFailures,
+	}
 	backends := make([]serve.ShardBackend, len(views))
-	remotes := make([]*shardrpc.RemoteShard, len(views))
+	groups := make([]*shardrpc.ReplicaSet, len(views))
 	descs := shardrpc.ViewDescriptors(views, strategy)
 	for i, v := range views {
-		remotes[i] = shardrpc.NewRemoteShard(shardAddrs[i], v, descs[i],
-			shardrpc.RemoteShardConfig{Timeout: cfg.DefaultTimeout})
-		backends[i] = remotes[i]
+		addrs := strings.Split(shardAddrs[i], "|")
+		replicas := make([]*shardrpc.RemoteShard, 0, len(addrs))
+		for _, addr := range addrs {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				return nil, fmt.Errorf("bellflower: shard %d: empty replica address in %q", i, shardAddrs[i])
+			}
+			replicas = append(replicas, shardrpc.NewRemoteShard(addr, v, descs[i],
+				shardrpc.RemoteShardConfig{Timeout: cfg.DefaultTimeout}))
+		}
+		groups[i] = shardrpc.NewReplicaSet(replicas, hcfg)
+		backends[i] = groups[i]
 	}
 	// Health-check every shard CONCURRENTLY under one deadline: a shard
 	// that hangs must not eat the others' budget — a reachable but
@@ -486,14 +511,14 @@ func NewDistributedService(repo *Repository, shardAddrs []string, cfg ServiceCon
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), window)
 	defer cancel()
-	checkErrs := make([]error, len(remotes))
+	checkErrs := make([]error, len(groups))
 	var wg sync.WaitGroup
-	wg.Add(len(remotes))
-	for i, rs := range remotes {
-		go func(i int, rs *shardrpc.RemoteShard) {
+	wg.Add(len(groups))
+	for i, g := range groups {
+		go func(i int, g *shardrpc.ReplicaSet) {
 			defer wg.Done()
-			checkErrs[i] = rs.Check(ctx)
-		}(i, rs)
+			checkErrs[i] = g.Check(ctx)
+		}(i, g)
 	}
 	wg.Wait()
 	for _, err := range checkErrs {
@@ -504,7 +529,12 @@ func NewDistributedService(repo *Repository, shardAddrs []string, cfg ServiceCon
 			return nil, err
 		}
 		// Unreachable but tolerated: partial-results mode serves Incomplete
-		// reports from the healthy shards until this one returns.
+		// reports from the healthy shards until a replica returns.
+	}
+	if cfg.HealthInterval >= 0 {
+		for _, g := range groups {
+			g.StartHealth()
+		}
 	}
 	return serve.NewRouterWithShardBackends(ix, views, backends, cfg), nil
 }

@@ -34,6 +34,17 @@
 // reports byte-identically to an unsharded run. With -partial, a dead
 // shard server degrades requests to incomplete reports instead of errors.
 //
+// Each -remote-shards entry may name several REPLICAS of one shard
+// separated by '|' (-remote-shards ":8081|:8083,:8082|:8084"): identical
+// -shard-of processes the router load-balances across and fails over
+// between mid-request, so one replica dying still yields a complete
+// report. A background health loop (-health-interval, -health-failures)
+// probes every replica, marks it unhealthy after consecutive failures —
+// under -partial an all-replicas-down shard is then skipped without
+// paying a per-request timeout — and re-admits it only after a probe
+// re-verifies the shard descriptor. Health state is visible per shard in
+// /v1/stats ("replicas") and as bellflower_shard_healthy in /metrics.
+//
 // Endpoints (JSON unless noted):
 //
 //	POST /v1/match        {"personal":"book(title,author)","options":{"delta":0.75,"timeout_ms":2000}}
@@ -107,7 +118,9 @@ func run(args []string) error {
 		partition    = fs.String("partition", "clustered", "shard partition strategy: clustered (co-locate trees with overlapping vocabulary) or balanced (by node count)")
 		partial      = fs.Bool("partial", false, "serve partially failed fan-outs as incomplete reports (merge the shards that succeeded) instead of failing the request")
 		shardOf      = fs.String("shard-of", "", "host one shard of the partitioned repository for a distributed router: INDEX/COUNT (e.g. 0/4); serves /v1/shard/match and /v1/shard/stats instead of the public API")
-		remoteShards = fs.String("remote-shards", "", "comma-separated shard-server addresses (host:port,...); fan match requests out to those processes instead of in-process shards")
+		remoteShards = fs.String("remote-shards", "", "comma-separated shard-server addresses (host:port,...); '|' groups replicas of one shard (a1|a2,b); fan match requests out to those processes instead of in-process shards")
+		healthIntvl  = fs.Duration("health-interval", 0, "base period of the background health probes against remote shard replicas, jittered +/-20% (0 = 5s default, negative = probing disabled)")
+		healthFails  = fs.Int("health-failures", 0, "consecutive probe/transport failures before a remote replica is marked unhealthy (0 = 3)")
 		dataDir      = fs.String("data-dir", "", "directory for /v1/repository load/save files; also enables repository mutation (empty = POST /v1/repository disabled)")
 		slowMS       = fs.Int("slow-ms", 0, "log a full span breakdown for requests at least this many milliseconds long, and capture them in the /v1/traces slow ring (0 = disabled)")
 		debugAddr    = fs.String("debug-addr", "", "listen address for the debug listener (net/http/pprof profiles + expvar at /debug/vars); empty = disabled")
@@ -142,6 +155,8 @@ func run(args []string) error {
 		MaxSchemaNodes: *maxNodes,
 		DefaultTimeout: *timeout,
 		PartialResults: *partial,
+		HealthInterval: *healthIntvl,
+		HealthFailures: *healthFails,
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	st := repo.Stats()
@@ -258,9 +273,11 @@ func parseShardOf(s string) (idx, n int, err error) {
 	return idx, n, nil
 }
 
-// splitShardAddrs parses the -remote-shards list, trimming whitespace and
-// rejecting empty entries — a trailing comma would otherwise materialize
-// as a permanently dead shard that -partial then quietly tolerates.
+// splitShardAddrs parses the -remote-shards list — comma-separated shards,
+// each optionally a '|'-separated replica group ("a1|a2,b") — trimming
+// whitespace and rejecting empty shards and empty replica entries: a
+// trailing comma (or a "a1|") would otherwise materialize as a permanently
+// dead shard or replica that -partial then quietly tolerates.
 func splitShardAddrs(s string) ([]string, error) {
 	parts := strings.Split(s, ",")
 	out := make([]string, 0, len(parts))
@@ -269,7 +286,15 @@ func splitShardAddrs(s string) ([]string, error) {
 		if p == "" {
 			return nil, fmt.Errorf("-remote-shards %q: empty address entry", s)
 		}
-		out = append(out, p)
+		replicas := strings.Split(p, "|")
+		for i, rep := range replicas {
+			rep = strings.TrimSpace(rep)
+			if rep == "" {
+				return nil, fmt.Errorf("-remote-shards %q: empty replica address in %q", s, p)
+			}
+			replicas[i] = rep
+		}
+		out = append(out, strings.Join(replicas, "|"))
 	}
 	return out, nil
 }

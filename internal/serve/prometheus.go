@@ -32,6 +32,8 @@ func WritePrometheus(w io.Writer, st Stats, shards int) error {
 	counter("bellflower_candidate_prepass_total", "Full-repository candidate pre-pass executions (router-level element matching, shared across shards).", st.CandidatePrePass)
 	counter("bellflower_partial_results_total", "Fanned-out requests served as Incomplete merges under the partial-results option.", st.PartialResults)
 	counter("bellflower_prepass_fallback_total", "Requests degraded to full per-shard pipelines after a pre-pass failure (partial-results option).", st.PrePassFallbacks)
+	counter("bellflower_failovers_total", "Match attempts retried on a different replica after a transport error.", st.Failovers)
+	counter("bellflower_health_skips_total", "Shards skipped by the partial-results fan-out because every replica was unhealthy (no request sent).", st.HealthSkips)
 	counter("bellflower_errors_total", "Requests that finished with an error, including cancellations and deadline expiries.", st.Errors)
 	counter("bellflower_rejected_total", "Requests refused before running (closed service, oversized or nil schema).", st.Rejected)
 	counter("bellflower_cache_evictions_total", "Cache entries evicted for space (byte budget or entry-count cap).", st.CacheEvictions)
@@ -104,6 +106,7 @@ var shardSeries = []struct {
 	{"bellflower_shard_in_flight", "gauge", "Distinct deduplicated runs executing or queued on the shard.", func(s Stats) int64 { return int64(s.InFlight) }},
 	{"bellflower_shard_report_cache_entries", "gauge", "Reports currently cached by the shard.", func(s Stats) int64 { return int64(s.CacheLen) }},
 	{"bellflower_shard_cache_bytes", "gauge", "Resident size-estimated bytes of the shard's report cache.", func(s Stats) int64 { return s.CacheBytes }},
+	{"bellflower_shard_failovers_total", "counter", "Shard match attempts retried on a different replica after a transport error.", func(s Stats) int64 { return s.Failovers }},
 }
 
 // WritePrometheusSnapshot renders a backend's coherent snapshot
@@ -112,19 +115,38 @@ var shardSeries = []struct {
 // series labelled {shard="N"}, N being the shard's index in the router's
 // shard order. The rollup names stay exactly those of WritePrometheus, so
 // existing dashboards keep working; the labelled families add the
-// per-shard breakdown under distinct bellflower_shard_* names.
+// per-shard breakdown under distinct bellflower_shard_* names. Shards
+// backed by replica groups additionally emit one
+// bellflower_shard_healthy{shard,replica} gauge per replica (1 healthy,
+// 0 marked down) — even for a single-shard fan-out, where the other
+// per-shard series would duplicate the rollup but replica health exists
+// nowhere else.
 func WritePrometheusSnapshot(w io.Writer, total Stats, shards []Stats) error {
 	if err := WritePrometheus(w, total, len(shards)); err != nil {
 		return err
 	}
-	if len(shards) <= 1 {
-		return nil
-	}
 	ew := &errWriter{w: w}
-	for _, m := range shardSeries {
-		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
-		for i, st := range shards {
-			fmt.Fprintf(ew, "%s{shard=\"%d\"} %d\n", m.name, i, m.value(st))
+	if len(shards) > 1 {
+		for _, m := range shardSeries {
+			fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+			for i, st := range shards {
+				fmt.Fprintf(ew, "%s{shard=\"%d\"} %d\n", m.name, i, m.value(st))
+			}
+		}
+	}
+	wroteHealthHeader := false
+	for i, st := range shards {
+		for _, rh := range st.Replicas {
+			if !wroteHealthHeader {
+				const name = "bellflower_shard_healthy"
+				fmt.Fprintf(ew, "# HELP %s Replica health per shard: 1 healthy, 0 marked unhealthy by the control plane.\n# TYPE %s gauge\n", name, name)
+				wroteHealthHeader = true
+			}
+			v := 0
+			if rh.Healthy {
+				v = 1
+			}
+			fmt.Fprintf(ew, "bellflower_shard_healthy{shard=\"%d\",replica=%q} %d\n", i, rh.Addr, v)
 		}
 	}
 	return ew.err

@@ -174,6 +174,7 @@ type Router struct {
 	errored          atomic.Int64 // requests failed during the pre-pass (ctx expiry)
 	partialMerges    atomic.Int64 // fan-outs served as Incomplete merges
 	prepassFallbacks atomic.Int64 // pre-pass failures degraded to full per-shard pipelines
+	healthSkips      atomic.Int64 // shards skipped by the fan-out as unhealthy (no request sent)
 
 	// Router-level stage histograms (folded into Stats().Stages):
 	// pre-pass executions, fan-out wall time, merge time.
@@ -506,9 +507,23 @@ func (r *Router) fanOut(ctx context.Context, personal *schema.Tree, opts pipelin
 	defer fsp.End()
 	reps := make([]*pipeline.Report, len(r.shards))
 	errs := make([]error, len(r.shards))
+	partial := r.partial.Load()
 	var wg sync.WaitGroup
-	wg.Add(len(r.shards))
 	for i, s := range r.shards {
+		// Control-plane skip: under partial results a shard whose backend
+		// reports itself unhealthy (every replica down, per its background
+		// monitors) is skipped WITHOUT sending a request — the fan-out pays
+		// nothing instead of a doomed per-shard timeout. Strict routing
+		// still attempts it: the request must fail anyway if the shard is
+		// truly down, and a just-recovered shard deserves the attempt.
+		if partial {
+			if hr, ok := s.(HealthReporter); ok && !hr.Healthy() {
+				errs[i] = fmt.Errorf("serve: shard %d skipped: %w", i, ErrShardUnhealthy)
+				r.healthSkips.Add(1)
+				continue
+			}
+		}
+		wg.Add(1)
 		go func(i int, s ShardBackend) {
 			defer wg.Done()
 			sctx, ssp := trace.StartSpan(fctx, "shard")
@@ -552,7 +567,7 @@ func (r *Router) fanOut(ctx context.Context, personal *schema.Tree, opts pipelin
 				return nil, err
 			}
 		}
-		if !r.partial.Load() || len(ok) == 0 || ctx.Err() != nil {
+		if !partial || len(ok) == 0 || ctx.Err() != nil {
 			return nil, firstErr
 		}
 		rep := r.merge(fctx, ok, opts.TopN)
@@ -686,6 +701,7 @@ func (r *Router) Snapshot() (Stats, []Stats) {
 	total.Errors += errored
 	total.PartialResults += r.partialMerges.Load()
 	total.PrePassFallbacks += r.prepassFallbacks.Load()
+	total.HealthSkips += r.healthSkips.Load()
 	total.Stages = mergeStages(total.Stages, r.routerStages())
 	total.IndexBytes = r.indexBytes()
 	total.CacheBytes, total.CacheByteBudget, total.CacheEvictions, total.CacheExpired = r.governorStats()

@@ -66,6 +66,21 @@ type Config struct {
 	// one; CacheBytes/CacheTTL are then the router's to interpret.
 	gov *memGovernor
 
+	// HealthInterval is the base period of the background health probes a
+	// distributed router runs against each remote replica (jittered ±20%;
+	// see HealthConfig). 0 picks the 5s default; negative disables
+	// background probing entirely — replica health then moves only on
+	// live-traffic transport errors and construction-time checks, so a
+	// marked-down replica stays down for the process lifetime. Ignored by
+	// in-process topologies.
+	HealthInterval time.Duration
+
+	// HealthFailures is the consecutive-failure threshold after which a
+	// remote replica is marked unhealthy (probes and live-traffic
+	// transport errors count alike). 0 picks the default (3). Ignored by
+	// in-process topologies.
+	HealthFailures int
+
 	// MaxSchemaNodes rejects personal schemas with more nodes than this
 	// before any work happens (the search space grows exponentially with
 	// personal-schema size, so this is the service's overload guard).

@@ -228,6 +228,22 @@ type Stats struct {
 	// a plain Service and in per-shard snapshots).
 	PrePassFallbacks int64 `json:"prepass_fallbacks"`
 
+	// Failovers counts match attempts retried on a DIFFERENT replica after
+	// a transport error (replica-group shards only; always 0 for a plain
+	// Service). Present in per-shard snapshots and summed into rollups.
+	Failovers int64 `json:"failovers,omitempty"`
+
+	// HealthSkips counts shards skipped by the partial-results fan-out
+	// because their control plane reported them unhealthy — no request was
+	// sent, so no per-request timeout was paid (router-level; always 0 for
+	// a plain Service and in per-shard snapshots).
+	HealthSkips int64 `json:"health_skips,omitempty"`
+
+	// Replicas holds the control-plane health snapshot of each replica
+	// behind this shard (replica-group shards only; absent elsewhere and
+	// in rollups, where per-shard identity would be lost).
+	Replicas []ReplicaHealth `json:"replicas,omitempty"`
+
 	// Latency is the end-to-end request latency histogram.
 	Latency LatencyStats `json:"latency"`
 
@@ -377,6 +393,8 @@ func MergeStats(ss ...Stats) Stats {
 		}
 		out.PartialResults += st.PartialResults
 		out.PrePassFallbacks += st.PrePassFallbacks
+		out.Failovers += st.Failovers
+		out.HealthSkips += st.HealthSkips
 		out.Requests += st.Requests
 		out.CacheHits += st.CacheHits
 		out.CacheMisses += st.CacheMisses

@@ -353,6 +353,16 @@ func (rs *RemoteShard) Stats() serve.Stats {
 	return st
 }
 
+// clientStats is the client-side-only snapshot — exhausted requests plus
+// the RPC stage timers — used for a replica already marked unhealthy, so
+// a stats scrape does not pay StatsTimeout per dead replica.
+func (rs *RemoteShard) clientStats() serve.Stats {
+	te := rs.unreachables.Load()
+	st := serve.Stats{Requests: te, Errors: te}
+	rs.addClientStages(&st)
+	return st
+}
+
 // addClientStages folds the client-side RPC stage timers into a remote
 // snapshot. The keys are disjoint from the shard's own pipeline stages,
 // so this is a plain insert.

@@ -1,0 +1,179 @@
+// Package faultproxy is a fault-injecting HTTP reverse proxy for
+// exercising the distributed serving tier's failure paths: it fronts a
+// shard server (or any HTTP upstream) and, on demand, drops connections
+// without an HTTP response (what a crashed or partitioned process looks
+// like to a client — a transport error, not a status code), injects
+// bursts of error statuses, adds latency, and swaps its upstream (so a
+// "recovered" endpoint can come back as the WRONG shard, exercising
+// descriptor re-verification). It is the substrate of the shard
+// control-plane tests and is reusable for future chaos work; it has no
+// testing dependencies and is safe for concurrent use.
+package faultproxy
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a fault-injecting reverse proxy; create with New and serve it
+// (typically via httptest.NewServer(p)). All knobs are safe to flip while
+// requests are in flight.
+//
+// Per request, faults apply in order: down (drop the connection) →
+// status injection → latency → forward to the upstream. An upstream that
+// is itself unreachable also surfaces as a dropped connection, not a 502
+// — the proxy must look like the dead process it stands in for.
+type Proxy struct {
+	upstream atomic.Pointer[url.URL]
+	down     atomic.Bool
+	latency  atomic.Int64 // nanoseconds added before forwarding
+
+	injectCode atomic.Int64 // status code to inject while injectLeft > 0
+	injectLeft atomic.Int64
+
+	forwarded atomic.Int64
+	dropped   atomic.Int64
+	injected  atomic.Int64
+	matchReqs atomic.Int64
+
+	rp *httputil.ReverseProxy
+}
+
+// New returns a proxy forwarding to upstream ("http://host:port"), fully
+// transparent until a fault knob is set.
+func New(upstream string) (*Proxy, error) {
+	p := &Proxy{}
+	if err := p.SetUpstream(upstream); err != nil {
+		return nil, err
+	}
+	p.rp = &httputil.ReverseProxy{
+		Director: func(r *http.Request) {
+			u := p.upstream.Load()
+			r.URL.Scheme = u.Scheme
+			r.URL.Host = u.Host
+		},
+		// An unreachable upstream must read as a transport error on the
+		// client, exactly like the proxy's own down mode.
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			dropConn(w)
+		},
+		// Injected faults routinely abort connections mid-response; that
+		// is the point, not something to log.
+		ErrorLog: log.New(io.Discard, "", 0),
+	}
+	return p, nil
+}
+
+// SetUpstream swaps the forward target ("http://host:port"); in-flight
+// requests finish against the upstream they started with. Pointing a
+// "recovered" proxy at a different shard server is how tests prove
+// re-admission is gated on descriptor re-verification, not mere
+// reachability.
+func (p *Proxy) SetUpstream(upstream string) error {
+	u, err := url.Parse(upstream)
+	if err != nil {
+		return fmt.Errorf("faultproxy: bad upstream %q: %w", upstream, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("faultproxy: upstream %q needs scheme and host", upstream)
+	}
+	p.upstream.Store(u)
+	return nil
+}
+
+// SetDown switches hard-down mode: every request's connection is closed
+// without any HTTP response — a transport error on the client, the wire
+// signature of a crashed process.
+func (p *Proxy) SetDown(down bool) { p.down.Store(down) }
+
+// Down reports whether hard-down mode is on.
+func (p *Proxy) Down() bool { return p.down.Load() }
+
+// SetLatency adds a fixed delay before forwarding each request (0 turns
+// it off). The delay runs on the request goroutine, so client-side
+// timeouts fire exactly as they would against a slow shard.
+func (p *Proxy) SetLatency(d time.Duration) { p.latency.Store(int64(d)) }
+
+// InjectStatus makes the next n requests answer with the given status
+// code (and a minimal body) instead of being forwarded — an HTTP-level
+// error burst, which clients must treat as the shard's answer, not as a
+// transport failure.
+func (p *Proxy) InjectStatus(code, n int) {
+	p.injectCode.Store(int64(code))
+	p.injectLeft.Store(int64(n))
+}
+
+// Counts reports how many requests were forwarded, dropped (down mode or
+// dead upstream at connect time), and answered with an injected status.
+func (p *Proxy) Counts() (forwarded, dropped, injected int64) {
+	return p.forwarded.Load(), p.dropped.Load(), p.injected.Load()
+}
+
+// MatchRequests counts requests that targeted the shard MATCH endpoint,
+// whatever fault they then hit — the deterministic probe for "the router
+// skipped this shard without sending anything": while a shard is marked
+// unhealthy this counter must not move, health probes (which hit the
+// stats endpoint) notwithstanding.
+func (p *Proxy) MatchRequests() int64 { return p.matchReqs.Load() }
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasSuffix(r.URL.Path, "/v1/shard/match") {
+		p.matchReqs.Add(1)
+	}
+	if p.down.Load() {
+		p.dropped.Add(1)
+		dropConn(w)
+		return
+	}
+	for {
+		left := p.injectLeft.Load()
+		if left <= 0 {
+			break
+		}
+		if p.injectLeft.CompareAndSwap(left, left-1) {
+			p.injected.Add(1)
+			code := int(p.injectCode.Load())
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			fmt.Fprintf(w, `{"error":"faultproxy: injected HTTP %d"}`, code)
+			return
+		}
+	}
+	if d := time.Duration(p.latency.Load()); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-r.Context().Done():
+			p.dropped.Add(1)
+			dropConn(w)
+			return
+		}
+	}
+	p.forwarded.Add(1)
+	p.rp.ServeHTTP(w, r)
+}
+
+// dropConn terminates the client connection without an HTTP response.
+// Plain HTTP/1.x connections (httptest.NewServer) support hijacking; a
+// non-hijackable writer falls back to 502, which is still an error but an
+// HTTP-level one — tests that need true transport errors must serve the
+// proxy over HTTP/1.x.
+func dropConn(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	conn.Close()
+}

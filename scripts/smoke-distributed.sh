@@ -2,7 +2,10 @@
 # Multi-process smoke test for distributed serving: two shard-server
 # processes plus one router process, one end-to-end match through the
 # public API, and a stats scrape proving the fan-out actually crossed
-# process boundaries. Run from anywhere; used by CI.
+# process boundaries. Then the control-plane drill: kill one shard
+# mid-run, assert the -partial router keeps answering (Incomplete) and
+# reports the shard unhealthy, restart the shard, and assert probes
+# re-admit it. Run from anywhere; used by CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,7 +39,10 @@ wait_healthy() {
 wait_healthy "$PORT_A"
 wait_healthy "$PORT_B"
 
-"$BIN" $SYNTH -remote-shards "127.0.0.1:$PORT_A,127.0.0.1:$PORT_B" -addr "127.0.0.1:$PORT_R" &
+# Partial mode with fast health probes, so the control-plane drill below
+# can observe mark-down and re-admission within seconds.
+"$BIN" $SYNTH -remote-shards "127.0.0.1:$PORT_A,127.0.0.1:$PORT_B" -addr "127.0.0.1:$PORT_R" \
+  -partial -health-interval 200ms -health-failures 2 &
 PIDS+=($!)
 wait_healthy "$PORT_R"
 
@@ -65,4 +71,48 @@ for port in "$PORT_A" "$PORT_B"; do
   fi
 done
 
-echo "distributed smoke: 2 shard servers + 1 router served one match end to end"
+# --- Control-plane drill: kill shard B mid-run. ---------------------------
+kill "${PIDS[1]}" 2>/dev/null || true
+wait "${PIDS[1]}" 2>/dev/null || true
+
+# The router's probes must mark the dead shard unhealthy within seconds.
+down=0
+for _ in $(seq 1 50); do
+  if curl -sf "http://127.0.0.1:$PORT_R/v1/stats" | grep -q '"healthy": false'; then down=1; break; fi
+  sleep 0.2
+done
+if [ "$down" -ne 1 ]; then
+  echo "router never marked the killed shard unhealthy in /v1/stats" >&2
+  exit 1
+fi
+
+# With the shard marked down, the -partial router must keep answering:
+# 200, Incomplete merge, and promptly (the skip pays no request timeout).
+resp=$(curl -sf --max-time 5 "http://127.0.0.1:$PORT_R/v1/match" \
+  -d '{"personal":"book(title,author)","options":{"delta":0.5,"min_sim":0.3,"top_n":7,"variant":"tree"}}')
+echo "$resp" | grep -q '"incomplete": true' \
+  || { echo "match with a dead shard was not served as a partial result: $resp" >&2; exit 1; }
+
+# Restart shard B on the same port: probes must re-verify the descriptor
+# and re-admit it, after which matches are complete again.
+"$BIN" $SYNTH -shard-of 1/2 -addr "127.0.0.1:$PORT_B" &
+PIDS[1]=$!
+wait_healthy "$PORT_B"
+up=0
+for _ in $(seq 1 50); do
+  if ! curl -sf "http://127.0.0.1:$PORT_R/v1/stats" | grep -q '"healthy": false'; then up=1; break; fi
+  sleep 0.2
+done
+if [ "$up" -ne 1 ]; then
+  echo "router never re-admitted the restarted shard" >&2
+  exit 1
+fi
+resp=$(curl -sf "http://127.0.0.1:$PORT_R/v1/match" \
+  -d '{"personal":"book(title,author)","options":{"delta":0.5,"min_sim":0.3,"top_n":9,"variant":"tree"}}')
+if echo "$resp" | grep -q '"incomplete": true'; then
+  echo "match after shard re-admission still incomplete: $resp" >&2
+  exit 1
+fi
+
+echo "distributed smoke: 2 shard servers + 1 router served one match end to end,"
+echo "  survived a shard kill as a partial result, and re-admitted the restarted shard"
