@@ -1,13 +1,17 @@
 // Command bellflower-bench measures the serving stack end to end and
 // writes a machine-readable BENCH_<label>.json: per-variant ns/op, bytes
 // and allocations per request, cache hit rates and per-stage latency
-// medians over a fixed workload mix, plus the warm-path overhead of
-// request tracing (traced vs untraced service throughput).
+// medians over a fixed workload mix, the warm-path overhead of request
+// tracing (traced vs untraced service throughput), and a head-to-head of
+// the shard wire codecs (encoded body bytes and encode ns/op for JSON,
+// binary and the slim projection-reference shape). Distributed variants
+// additionally record the actual on-the-wire bytes per request broken
+// down by codec, from the shard servers' transport counters.
 //
-//	bellflower-bench                       # full run, writes BENCH_7.json
+//	bellflower-bench                       # full run, writes BENCH_8.json
 //	bellflower-bench -quick -out /tmp/b.json
-//	bellflower-bench -check BENCH_7.json   # validate an existing file (CI)
-//	bellflower-bench -compare BENCH_6.json BENCH_7.json   # regression diff
+//	bellflower-bench -check BENCH_8.json   # validate an existing file (CI)
+//	bellflower-bench -compare BENCH_7.json BENCH_8.json   # regression diff
 //
 // Variants cover the repository/topology grid the serving layers care
 // about: a small and a large synthetic repository unsharded, the large
@@ -40,6 +44,11 @@ import (
 	"time"
 
 	"bellflower"
+	"bellflower/internal/labeling"
+	"bellflower/internal/matcher"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/serve"
+	"bellflower/internal/shardrpc"
 )
 
 func main() {
@@ -60,6 +69,24 @@ type variantResult struct {
 	AllocsPerReq   float64            `json:"allocs_per_req"`
 	CacheHitRate   float64            `json:"cache_hit_rate"`
 	StageMediansMS map[string]float64 `json:"stage_medians_ms"`
+
+	// WireBytesPerReq (distributed variants only) is the actual traffic
+	// that crossed the shard wire per served request, broken down by
+	// codec (request and response bodies both directions, from the shard
+	// servers' transport counters).
+	WireBytesPerReq map[string]float64 `json:"wire_bytes_per_req,omitempty"`
+}
+
+// wireCodecResult prices one shard wire codec on a realistic staged
+// request (projected candidates for a mid-size personal schema against
+// the large repository): encoded body size and encode ns/op, plus — for
+// the binary codec — the slim projection-reference body a client sends
+// once the shard has the projection cached.
+type wireCodecResult struct {
+	Codec            string  `json:"codec"`
+	FullRequestBytes int     `json:"full_request_bytes"`
+	SlimRequestBytes int     `json:"slim_request_bytes,omitempty"`
+	EncodeNsPerOp    float64 `json:"encode_ns_per_op"`
 }
 
 // overheadResult is the warm-path (pure cache hits, the
@@ -85,17 +112,18 @@ type overheadResult struct {
 }
 
 type benchFile struct {
-	Label         string          `json:"label"`
-	GoVersion     string          `json:"go_version"`
-	Quick         bool            `json:"quick"`
-	Variants      []variantResult `json:"variants"`
-	TraceOverhead overheadResult  `json:"trace_overhead"`
+	Label         string            `json:"label"`
+	GoVersion     string            `json:"go_version"`
+	Quick         bool              `json:"quick"`
+	Variants      []variantResult   `json:"variants"`
+	WireCodecs    []wireCodecResult `json:"wire_codecs,omitempty"`
+	TraceOverhead overheadResult    `json:"trace_overhead"`
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bellflower-bench", flag.ContinueOnError)
 	var (
-		label      = fs.String("label", "7", "bench label; the default output file is BENCH_<label>.json")
+		label      = fs.String("label", "8", "bench label; the default output file is BENCH_<label>.json")
 		out        = fs.String("out", "", "output path (default BENCH_<label>.json in the working directory)")
 		quick      = fs.Bool("quick", false, "CI smoke mode: smaller repositories and fewer iterations, same JSON shape")
 		check      = fs.String("check", "", "validate an existing bench JSON file and exit (no benchmarks run)")
@@ -178,6 +206,15 @@ func run(args []string) error {
 	dist.Close()
 	stop()
 	bf.Variants = append(bf.Variants, v)
+
+	// Wire-codec head-to-head on the large repository.
+	wcIters := 300
+	if *quick {
+		wcIters = 50
+	}
+	if bf.WireCodecs, err = wireCodecBench(large, wcIters); err != nil {
+		return err
+	}
 
 	// Warm-path tracing overhead on the small service. The arms differ by
 	// tens of nanoseconds at most, so they need far longer runs than the
@@ -293,6 +330,12 @@ func runVariant(name string, nodes int, backend bellflower.ServiceBackend, iters
 	for stage, ls := range st.Stages {
 		res.StageMediansMS[stage] = ls.P50MS
 	}
+	if wb := st.WireBytes; st.Requests > 0 && wb.InJSON+wb.InBinary+wb.OutJSON+wb.OutBinary > 0 {
+		res.WireBytesPerReq = map[string]float64{
+			"json":   float64(wb.InJSON+wb.OutJSON) / float64(st.Requests),
+			"binary": float64(wb.InBinary+wb.OutBinary) / float64(st.Requests),
+		}
+	}
 	return res
 }
 
@@ -347,6 +390,76 @@ func distributedBackend(nodes int, seed int64, n, replicas int) (bellflower.Serv
 		return nil, nil, err
 	}
 	return backend, stop, nil
+}
+
+// wireCodecBench prices the shard wire codecs head to head on one
+// realistic staged request: projected candidates for a mid-size personal
+// schema against repo, the payload a distributed router ships per shard
+// on every cold request. Reported per codec: encoded body size, encode
+// ns/op (best of 3 passes), and for binary also the slim
+// projection-reference body that replaces the full payload once the
+// shard has the projection cached.
+func wireCodecBench(repo *bellflower.Repository, iters int) ([]wireCodecResult, error) {
+	ix := labeling.NewIndex(repo)
+	view := serve.PartitionRepositoryViews(ix, 1, serve.PartitionClustered)[0]
+	personal := bellflower.MustParseSchema(workload[3])
+	opts := pipeline.DefaultOptions()
+	cands := matcher.FindCandidates(personal, repo, matcher.NameMatcher{}, matcher.Config{MinSim: opts.MinSim}).
+		Restrict(view.Contains)
+	wopts, err := shardrpc.EncodeOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	wcands, err := shardrpc.EncodeCandidates(view, cands)
+	if err != nil {
+		return nil, err
+	}
+	req := shardrpc.MatchRequest{
+		Descriptor:    shardrpc.ViewDescriptor(view, 0, 1, serve.PartitionClustered),
+		Personal:      shardrpc.EncodeTree(personal),
+		Signature:     serve.Signature(personal, opts),
+		Options:       wopts,
+		HasCandidates: true,
+		Candidates:    wcands,
+	}
+	req.ProjectionHash = shardrpc.ProjectionDigest(&req)
+	slim := req
+	slim.ProjectionRef = true
+	slim.HasCandidates, slim.Candidates = false, nil
+	// The legacy JSON surface ships no projection-cache fields.
+	jreq := req
+	jreq.ProjectionHash = ""
+
+	encNs := func(encode func()) float64 {
+		var best float64
+		for pass := 0; pass < 3; pass++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				encode()
+			}
+			if ns := float64(time.Since(start).Nanoseconds()) / float64(iters); pass == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	jsonBody, err := json.Marshal(jreq)
+	if err != nil {
+		return nil, err
+	}
+	return []wireCodecResult{
+		{
+			Codec:            "json",
+			FullRequestBytes: len(jsonBody),
+			EncodeNsPerOp:    encNs(func() { _, _ = json.Marshal(jreq) }),
+		},
+		{
+			Codec:            "binary",
+			FullRequestBytes: len(shardrpc.EncodeBinaryMatchRequest(&req)),
+			SlimRequestBytes: len(shardrpc.EncodeBinaryMatchRequest(&slim)),
+			EncodeNsPerOp:    encNs(func() { shardrpc.EncodeBinaryMatchRequest(&req) }),
+		},
+	}, nil
 }
 
 // traceOverhead measures the warm path — pure cache hits on one signature,
@@ -436,6 +549,15 @@ func checkFile(path string) error {
 		}
 		if len(v.StageMediansMS) == 0 {
 			return fmt.Errorf("%s: variant %q has no stage medians", path, v.Name)
+		}
+	}
+	for _, wc := range bf.WireCodecs {
+		if wc.Codec == "" || wc.FullRequestBytes <= 0 || wc.EncodeNsPerOp <= 0 {
+			return fmt.Errorf("%s: wire codec %q measurement incomplete", path, wc.Codec)
+		}
+		if wc.SlimRequestBytes > 0 && wc.SlimRequestBytes >= wc.FullRequestBytes {
+			return fmt.Errorf("%s: codec %q slim body (%d bytes) not smaller than the full body (%d bytes)",
+				path, wc.Codec, wc.SlimRequestBytes, wc.FullRequestBytes)
 		}
 	}
 	if bf.TraceOverhead.NoTraceNsPerOp <= 0 || bf.TraceOverhead.InstrumentedNsPerOp <= 0 {

@@ -124,6 +124,8 @@ func run(args []string) error {
 		dataDir      = fs.String("data-dir", "", "directory for /v1/repository load/save files; also enables repository mutation (empty = POST /v1/repository disabled)")
 		slowMS       = fs.Int("slow-ms", 0, "log a full span breakdown for requests at least this many milliseconds long, and capture them in the /v1/traces slow ring (0 = disabled)")
 		debugAddr    = fs.String("debug-addr", "", "listen address for the debug listener (net/http/pprof profiles + expvar at /debug/vars); empty = disabled")
+		maxBodyBytes = fs.Int64("max-body-bytes", 0, "cap on public-API request bodies in bytes; oversized bodies are rejected with 413 (0 = 1 MiB; the shard wire endpoint keeps its own 64 MiB projection cap)")
+		wireCodec    = fs.String("wire-codec", "auto", "shard wire codec: auto (negotiate binary per shard via the stats handshake), json (legacy surface: full JSON payloads, no projection references) or binary (force binary); as -shard-of, json serves the legacy protocol only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,6 +138,14 @@ func run(args []string) error {
 	}
 	if (*shardOf != "" || *remoteShards != "") && *dataDir != "" {
 		return errors.New("-data-dir (repository mutation) is not supported in distributed roles: every process must keep the same repository")
+	}
+	switch *wireCodec {
+	case "auto", "json", "binary":
+	default:
+		return fmt.Errorf("-wire-codec %q: want auto, json or binary", *wireCodec)
+	}
+	if *maxBodyBytes < 0 {
+		return fmt.Errorf("-max-body-bytes %d must not be negative", *maxBodyBytes)
 	}
 
 	repo, desc, err := buildRepository(*repoFile, *synthetic, *seed)
@@ -157,6 +167,7 @@ func run(args []string) error {
 		PartialResults: *partial,
 		HealthInterval: *healthIntvl,
 		HealthFailures: *healthFails,
+		WireCodec:      *wireCodec,
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	st := repo.Stats()
@@ -176,6 +187,9 @@ func run(args []string) error {
 			return err
 		}
 		host.SetTraceRecorder(rec)
+		if *wireCodec == "json" {
+			host.SetJSONOnly()
+		}
 		hostStats := host.Service().RepositoryStats()
 		logger.Info("hosting shard",
 			"shard", idx, "shards", n, "repository", desc, "partition", strategy.String(),
@@ -194,6 +208,7 @@ func run(args []string) error {
 		}
 		srv := newRemoteServer(backend, repo, desc, logger)
 		srv.setTracing(rec, slowThreshold)
+		srv.setMaxBody(*maxBodyBytes)
 		logger.Info("serving",
 			"repository", desc, "trees", st.Trees, "nodes", st.Nodes,
 			"remote_shards", backend.NumShards(), "shard_addrs", *remoteShards, "addr", *addr)
@@ -202,6 +217,7 @@ func run(args []string) error {
 	default:
 		srv := newServer(repo, desc, svcCfg, *shards, strategy, *dataDir, logger)
 		srv.setTracing(rec, slowThreshold)
+		srv.setMaxBody(*maxBodyBytes)
 		// Log the backend's actual shard count: -shards clamps to the number
 		// of repository trees.
 		logger.Info("serving",
@@ -224,10 +240,24 @@ func run(args []string) error {
 		defer dbg.Close()
 		logger.Info("debug listener", "addr", *debugAddr)
 	}
+	// Full connection timeouts, not just the header one: without a
+	// ReadTimeout a client can trickle a request body forever, and without
+	// an IdleTimeout abandoned keep-alive connections pin file descriptors
+	// for the process lifetime. The write timeout caps the whole response
+	// and so must exceed the request deadline — it tracks -timeout with
+	// headroom, and an unbounded -timeout (0) leaves it unbounded too
+	// rather than cutting legitimate long matches off mid-response.
+	writeTimeout := time.Duration(0)
+	if *timeout > 0 {
+		writeTimeout = *timeout + 30*time.Second
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

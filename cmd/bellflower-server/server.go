@@ -130,6 +130,14 @@ func (s *server) setTracing(rec *bellflower.TraceRecorder, slow time.Duration) {
 	s.slow = slow
 }
 
+// setMaxBody overrides the request-body cap (-max-body-bytes flag wiring;
+// 0 keeps the default; not safe once traffic is flowing).
+func (s *server) setMaxBody(n int64) {
+	if n > 0 {
+		s.maxBody = n
+	}
+}
+
 // acquire returns the current generation with one reference added; callers
 // must release it when the request is done.
 func (s *server) acquire() *backendRef {
@@ -225,7 +233,9 @@ func shardRoutes(host *bellflower.ShardHost, rec *bellflower.TraceRecorder, logg
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := bellflower.WritePrometheusMetrics(w, host.Service()); err != nil {
+		// The host's own snapshot, not the bare service's: the wire-byte and
+		// projection-cache counters live on the shard server.
+		if err := host.WritePrometheus(w); err != nil {
 			logger.Error("metrics write failed", "error", err)
 		}
 	})
@@ -468,6 +478,14 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		// An oversized body is the client exceeding -max-body-bytes, not a
+		// malformed one: answer 413 so the client can tell the difference.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorJSON{Error: fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit)})
+			return false
+		}
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
 		return false
 	}

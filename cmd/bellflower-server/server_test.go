@@ -459,9 +459,27 @@ func TestHealthz(t *testing.T) {
 func TestBodySizeLimit(t *testing.T) {
 	_, ts := testService(t, bellflower.ServiceConfig{})
 	huge := `{"personal":"` + strings.Repeat("x", defaultMaxBody) + `"}`
-	resp, _ := postJSON(t, ts.URL+"/v1/match", huge)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("oversized body: status %d, want 400", resp.StatusCode)
+	resp, body := postJSON(t, ts.URL+"/v1/match", huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "limit") {
+		t.Errorf("413 body %q does not name the limit", body)
+	}
+
+	// -max-body-bytes re-sizes the cap; under it, requests still serve.
+	srv2, ts2 := testService(t, bellflower.ServiceConfig{})
+	srv2.setMaxBody(256)
+	resp, _ = postJSON(t, ts2.URL+"/v1/match", `{"personal":"`+strings.Repeat("x", 300)+`"}`)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("300-byte body over a 256-byte cap: status %d, want 413", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts2.URL+"/v1/match", `{"personal":"book(title,author)"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("small body under the shrunk cap: status %d, want 200", resp.StatusCode)
+	}
+	if srv2.setMaxBody(0); srv2.maxBody != 256 {
+		t.Error("setMaxBody(0) must keep the previous cap")
 	}
 }
 

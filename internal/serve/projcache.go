@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"bellflower/internal/cluster"
+	"bellflower/internal/matcher"
+)
+
+// Projection is one decoded pre-pass payload as a shard server receives
+// it: the projected candidate sets (bound to SOME structurally identical
+// personal tree — callers rebind via matcher.Candidates.Rebind before
+// use) plus the translated clusters and the clustering iteration count.
+// HasCandidates/HasClusters mirror the wire request's flags, so a cached
+// projection reproduces the exact staged-call shape of the request that
+// populated it.
+type Projection struct {
+	HasCandidates bool
+	Candidates    *matcher.Candidates
+	HasClusters   bool
+	Clusters      []*cluster.Cluster
+	Iterations    int
+}
+
+// projectionBytes estimates a cached projection's resident size.
+func projectionBytes(p Projection) int64 {
+	b := int64(structSlack)
+	if p.Candidates != nil {
+		b += candidatesBytes(p.Candidates)
+	}
+	return b + clustersBytes(p.Clusters)
+}
+
+// ProjectionCache is a shard server's content-addressed projection store:
+// entries are keyed by the projection digest the wire protocol computes
+// (shardrpc.ProjectionDigest) and charged, size-estimated, into the
+// service's memory governor — so cached projections compete for the same
+// -cache-bytes budget as reports and age out under the same TTL. A repeat
+// request shape then ships a 32-byte hash instead of the full projection.
+//
+// Get and Put are safe for concurrent use. Hits/misses are surfaced in
+// the service's Stats (ProjectionCacheHits/Misses) and exported as
+// bellflower_projection_cache_{hits,misses}_total.
+type ProjectionCache struct {
+	sp           *cacheSpace
+	hits, misses atomic.Int64
+}
+
+// projectionCacheSize caps the projection cache's entry count; the byte
+// budget is the governor's. Request shapes are few (the router's pre-pass
+// cache holds 64), so a matching cap loses nothing.
+const projectionCacheSize = 64
+
+// NewProjectionCache registers a projection cache with the service: its
+// entries charge the service's memory governor, and its hit/miss counters
+// appear in the service's Stats. Meant to be called once, by the shard
+// server that owns the service, before serving begins.
+func (s *Service) NewProjectionCache() *ProjectionCache {
+	pc := &ProjectionCache{sp: s.gov.space(projectionCacheSize)}
+	s.projc.Store(pc)
+	return pc
+}
+
+// Get returns the projection cached under the digest, counting the
+// lookup as a hit or miss.
+func (p *ProjectionCache) Get(digest string) (Projection, bool) {
+	v, ok := p.sp.get(digest)
+	if !ok {
+		p.misses.Add(1)
+		return Projection{}, false
+	}
+	p.hits.Add(1)
+	return v.(Projection), true
+}
+
+// Put caches the projection under its digest.
+func (p *ProjectionCache) Put(digest string, proj Projection) {
+	p.sp.put(digest, proj, projectionBytes(proj))
+}
+
+// Len returns the resident entry count.
+func (p *ProjectionCache) Len() int { return p.sp.len() }

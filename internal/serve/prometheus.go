@@ -38,6 +38,15 @@ func WritePrometheus(w io.Writer, st Stats, shards int) error {
 	counter("bellflower_rejected_total", "Requests refused before running (closed service, oversized or nil schema).", st.Rejected)
 	counter("bellflower_cache_evictions_total", "Cache entries evicted for space (byte budget or entry-count cap).", st.CacheEvictions)
 	counter("bellflower_cache_expired_total", "Cache entries dropped because their TTL passed.", st.CacheExpired)
+	counter("bellflower_projection_cache_hits_total", "Shard-server projection references resolved from the content-addressed projection cache (the projection never crossed the wire).", st.ProjectionCacheHits)
+	counter("bellflower_projection_cache_misses_total", "Shard-server projection references answered 428 projection-needed (the client retried with the full payload).", st.ProjectionCacheMisses)
+
+	const wb = "bellflower_wire_bytes_total"
+	fmt.Fprintf(ew, "# HELP %s Shard-RPC body bytes by direction and codec, counted at the shard server (in = request bodies received, out = response bodies sent).\n# TYPE %s counter\n", wb, wb)
+	fmt.Fprintf(ew, "%s{dir=\"in\",codec=\"json\"} %d\n", wb, st.WireBytes.InJSON)
+	fmt.Fprintf(ew, "%s{dir=\"in\",codec=\"binary\"} %d\n", wb, st.WireBytes.InBinary)
+	fmt.Fprintf(ew, "%s{dir=\"out\",codec=\"json\"} %d\n", wb, st.WireBytes.OutJSON)
+	fmt.Fprintf(ew, "%s{dir=\"out\",codec=\"binary\"} %d\n", wb, st.WireBytes.OutBinary)
 
 	gauge("bellflower_shards", "Repository shards served by this process.", int64(shards))
 	gauge("bellflower_workers", "Pipeline worker goroutines across all shards.", int64(st.Workers))

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bellflower/internal/cluster"
@@ -81,6 +82,16 @@ type Config struct {
 	// in-process topologies.
 	HealthFailures int
 
+	// WireCodec selects the shard-RPC request codec a DISTRIBUTED router
+	// speaks to its remote shards: "auto" (or empty, the default)
+	// negotiates per shard through the stats handshake — binary payloads
+	// and projection references with shards that advertise the binary
+	// codec, plain JSON with the ones that don't; "json" pins the legacy
+	// JSON surface (what a pre-codec router sends); "binary" forces the
+	// binary codec without waiting for a handshake. Ignored by in-process
+	// topologies.
+	WireCodec string
+
 	// MaxSchemaNodes rejects personal schemas with more nodes than this
 	// before any work happens (the search space grows exponentially with
 	// personal-schema size, so this is the service's overload guard).
@@ -146,6 +157,10 @@ type Service struct {
 	gov    *memGovernor
 	cache  *reportCache
 	ct     counters
+
+	// projc is the shard server's content-addressed projection cache,
+	// registered via NewProjectionCache; nil on every other topology.
+	projc atomic.Pointer[ProjectionCache]
 
 	root   context.Context // service lifetime; parent of every run context
 	cancel context.CancelFunc
@@ -512,7 +527,7 @@ func (s *Service) NumShards() int { return 1 }
 // Stats returns a point-in-time snapshot of the service's counters.
 func (s *Service) Stats() Stats {
 	_, budget, evictions, expired := s.gov.snapshot()
-	return Stats{
+	st := Stats{
 		CacheBytes:      s.cache.Bytes(),
 		CacheByteBudget: budget,
 		CacheEvictions:  evictions,
@@ -534,4 +549,10 @@ func (s *Service) Stats() Stats {
 		Latency:         s.ct.lat.snapshot(),
 		Stages:          s.ct.snapshotStages(),
 	}
+	if pc := s.projc.Load(); pc != nil {
+		st.ProjectionCacheHits = pc.hits.Load()
+		st.ProjectionCacheMisses = pc.misses.Load()
+		st.CacheBytes += pc.sp.residentBytes()
+	}
+	return st
 }

@@ -244,6 +244,20 @@ type Stats struct {
 	// in rollups, where per-shard identity would be lost).
 	Replicas []ReplicaHealth `json:"replicas,omitempty"`
 
+	// ProjectionCacheHits / ProjectionCacheMisses count shard-server
+	// lookups of content-addressed projection references: a hit served the
+	// request without the projection ever crossing the wire; a miss made
+	// the shard answer 428 (projection-needed) and cost the client one
+	// full-payload retry. Always 0 off the shard-hosting path.
+	ProjectionCacheHits   int64 `json:"projection_cache_hits,omitempty"`
+	ProjectionCacheMisses int64 `json:"projection_cache_misses,omitempty"`
+
+	// WireBytes breaks the shard wire traffic down by direction and codec,
+	// counted where the bytes enter/leave the shard server (request bodies
+	// in, response bodies out). The split is what proves the binary codec's
+	// win in production, not just in benchmarks.
+	WireBytes WireByteStats `json:"wire_bytes"`
+
 	// Latency is the end-to-end request latency histogram.
 	Latency LatencyStats `json:"latency"`
 
@@ -253,6 +267,24 @@ type Stats struct {
 	// shards — the RPC encode/roundtrip/decode stages. Stages that never
 	// ran are absent.
 	Stages map[string]LatencyStats `json:"stages,omitempty"`
+}
+
+// WireByteStats counts shard-RPC body bytes by direction and codec, from
+// the shard server's perspective: In is request bodies received, Out is
+// response bodies sent. Exported to Prometheus as
+// bellflower_wire_bytes_total{dir,codec}.
+type WireByteStats struct {
+	InJSON    int64 `json:"in_json"`
+	InBinary  int64 `json:"in_binary"`
+	OutJSON   int64 `json:"out_json"`
+	OutBinary int64 `json:"out_binary"`
+}
+
+func (w *WireByteStats) add(o WireByteStats) {
+	w.InJSON += o.InJSON
+	w.InBinary += o.InBinary
+	w.OutJSON += o.OutJSON
+	w.OutBinary += o.OutBinary
 }
 
 // LatencyStats is a fixed-bucket latency histogram.
@@ -395,6 +427,9 @@ func MergeStats(ss ...Stats) Stats {
 		out.PrePassFallbacks += st.PrePassFallbacks
 		out.Failovers += st.Failovers
 		out.HealthSkips += st.HealthSkips
+		out.ProjectionCacheHits += st.ProjectionCacheHits
+		out.ProjectionCacheMisses += st.ProjectionCacheMisses
+		out.WireBytes.add(st.WireBytes)
 		out.Requests += st.Requests
 		out.CacheHits += st.CacheHits
 		out.CacheMisses += st.CacheMisses

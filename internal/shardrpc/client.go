@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"slices"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +31,14 @@ import (
 // server's 409 maps back to this error).
 var ErrDescriptorMismatch = fmt.Errorf("shardrpc: shard descriptor mismatch: %w", serve.ErrShardMismatch)
 
+// Codec modes accepted by RemoteShardConfig.Codec.
+const (
+	// CodecAuto negotiates: binary (and projection references) when the
+	// shard's stats handshake advertises it, JSON otherwise — the mode
+	// that makes rolling upgrades safe.
+	CodecAuto = "auto"
+)
+
 // RemoteShardConfig tunes one remote shard client.
 type RemoteShardConfig struct {
 	// Timeout bounds each match attempt on top of the request context (a
@@ -42,10 +53,44 @@ type RemoteShardConfig struct {
 	// (CapacityHint), sizing the router's batch fan-out. Default 16.
 	MaxConcurrent int
 
+	// Codec selects the match-request codec: CodecAuto (default)
+	// negotiates via the stats handshake; CodecBinary forces binary (and
+	// projection references) without waiting for a handshake; CodecJSON
+	// pins the legacy JSON surface — full payloads, no projection
+	// references — exactly what a pre-codec client sends.
+	Codec string
+
 	// HTTPClient overrides the transport (tests inject
-	// httptest.Server.Client()). Default http.DefaultClient semantics with
-	// no client-level timeout — deadlines come from Timeout/ctx.
+	// httptest.Server.Client()). By default the client builds a dedicated
+	// http.Transport sized for replica fan-out — MaxIdleConnsPerHost at
+	// least MaxConcurrent, bounded dial/TLS timeouts — instead of
+	// inheriting the shared default transport's 2 pooled connections per
+	// host. No client-level timeout either way; deadlines come from
+	// Timeout/ctx.
 	HTTPClient *http.Client
+}
+
+// newShardTransportClient builds the dedicated per-shard HTTP client: the
+// shared http.DefaultTransport caps idle pooled connections at 2 per
+// host, which serializes a MaxConcurrent-wide fan-out onto 2 reused
+// connections plus fresh handshakes for the rest.
+func newShardTransportClient(maxConcurrent int) *http.Client {
+	perHost := maxConcurrent
+	if perHost < 2 {
+		perHost = 2
+	}
+	return &http.Client{Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: 1 * time.Second,
+		MaxIdleConns:          4 * perHost,
+		MaxIdleConnsPerHost:   perHost,
+		IdleConnTimeout:       90 * time.Second,
+	}}
 }
 
 // RemoteShard is a serve.ShardBackend that forwards match traffic to a
@@ -61,7 +106,11 @@ type RemoteShardConfig struct {
 // with a ShardError instead of a failed request. Remote 504/503 map back
 // to context.DeadlineExceeded / serve.ErrClosed so the daemon's status
 // mapping and the router's strict mode treat remote shards like local
-// ones.
+// ones. Two responses are protocol turns rather than failures and are
+// handled inside the attempt, on the same endpoint: 428
+// (projection-needed — resend with the full projection) and 415 under
+// auto negotiation (the shard stopped speaking binary — fall back to
+// JSON and stay there until a handshake re-advertises).
 type RemoteShard struct {
 	base string
 	view *labeling.View
@@ -71,6 +120,19 @@ type RemoteShard struct {
 
 	closed       atomic.Bool
 	unreachables atomic.Int64 // REQUESTS that exhausted their attempts without an HTTP response
+
+	// binaryOK tracks the negotiated capability: set when the shard's
+	// stats handshake (Check, health probes, stats scrapes) advertises
+	// the binary codec, cleared when it stops — or when a binary request
+	// bounces with 415 (a rolled-back shard mid-flight).
+	binaryOK atomic.Bool
+
+	// projKnown holds the projection digests this shard has confirmed
+	// cached (any 200 to a request that carried the digest). A slim
+	// request (ProjectionRef) is sent only for known digests; a 428
+	// forgets the digest and retries with the full payload.
+	projMu    sync.Mutex
+	projKnown map[string]struct{}
 
 	// Client-side stage timers: what this process spends translating to
 	// and from the wire and waiting on the network. Folded into Stats()
@@ -96,16 +158,20 @@ func NewRemoteShard(addr string, view *labeling.View, desc Descriptor, cfg Remot
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 16
 	}
+	if cfg.Codec == "" {
+		cfg.Codec = CodecAuto
+	}
 	hc := cfg.HTTPClient
 	if hc == nil {
-		hc = &http.Client{}
+		hc = newShardTransportClient(cfg.MaxConcurrent)
 	}
 	return &RemoteShard{
-		base: strings.TrimSuffix(addr, "/"),
-		view: view,
-		desc: desc,
-		hc:   hc,
-		cfg:  cfg,
+		base:      strings.TrimSuffix(addr, "/"),
+		view:      view,
+		desc:      desc,
+		hc:        hc,
+		cfg:       cfg,
+		projKnown: make(map[string]struct{}),
 	}
 }
 
@@ -124,6 +190,45 @@ func (rs *RemoteShard) CapacityHint() int { return rs.cfg.MaxConcurrent }
 func (rs *RemoteShard) Close() {
 	rs.closed.Store(true)
 	rs.hc.CloseIdleConnections()
+}
+
+// useBinary reports whether the next request goes out in the binary
+// codec; binary capability also gates projection references (a shard
+// advertising the codec resolves them too).
+func (rs *RemoteShard) useBinary() bool {
+	switch rs.cfg.Codec {
+	case CodecBinary:
+		return true
+	case CodecJSON:
+		return false
+	default:
+		return rs.binaryOK.Load()
+	}
+}
+
+func (rs *RemoteShard) knowsProjection(hash string) bool {
+	rs.projMu.Lock()
+	defer rs.projMu.Unlock()
+	_, ok := rs.projKnown[hash]
+	return ok
+}
+
+func (rs *RemoteShard) markProjection(hash string) {
+	rs.projMu.Lock()
+	defer rs.projMu.Unlock()
+	rs.projKnown[hash] = struct{}{}
+}
+
+func (rs *RemoteShard) forgetProjection(hash string) {
+	rs.projMu.Lock()
+	defer rs.projMu.Unlock()
+	delete(rs.projKnown, hash)
+}
+
+// noteCodecs records the shard's codec advertisement from a stats
+// handshake. An empty advertisement is a pre-codec (or JSON-only) shard.
+func (rs *RemoteShard) noteCodecs(codecs []string) {
+	rs.binaryOK.Store(slices.Contains(codecs, CodecBinary))
 }
 
 // Match implements serve.ShardBackend over the wire (full per-shard
@@ -163,7 +268,12 @@ func (rs *RemoteShard) match(ctx context.Context, personal *schema.Tree, opts pi
 	}
 	encStart := time.Now()
 	_, esp := trace.StartSpan(ctx, "rpc.encode")
-	body, err := rs.encodeRequest(personal, opts, cands, hasCands, clusters, hasClusters, iterations)
+	enc, err := rs.encodeRequest(personal, opts, cands, hasCands, clusters, hasClusters, iterations)
+	if err == nil {
+		// Pre-marshal the body the first attempt will most likely send, so
+		// the encode timer prices the real serialization work.
+		enc.body(rs.useBinary(), rs.slimEligible(enc))
+	}
 	esp.End()
 	rs.stEncode.Observe(time.Since(encStart))
 	if err != nil {
@@ -181,7 +291,7 @@ func (rs *RemoteShard) match(ctx context.Context, personal *schema.Tree, opts pi
 		if attempt > 0 && ctx.Err() != nil {
 			break
 		}
-		rep, transport, err := rs.post(ctx, body)
+		rep, transport, err := rs.post(ctx, enc)
 		if err == nil {
 			return rep, nil
 		}
@@ -199,43 +309,131 @@ func (rs *RemoteShard) match(ctx context.Context, personal *schema.Tree, opts pi
 	return nil, lastErr
 }
 
-// encodeRequest builds and marshals the wire request body.
+// encodedRequest is one match request translated to wire structs, with
+// its projection digest and lazily marshalled bodies per (codec, slim)
+// shape. Replicas of one shard share a single encodedRequest — they hold
+// the same view and descriptor — while each picks the body its own
+// negotiation state calls for.
+type encodedRequest struct {
+	req  MatchRequest
+	hash string // projection digest; "" when no projection is staged
+
+	mu     sync.Mutex
+	bodies map[string][]byte
+}
+
+// body marshals (and caches) the request in the given shape. slim strips
+// the projection payload and sets ProjectionRef — valid only when hash is
+// non-empty.
+func (e *encodedRequest) body(binary, slim bool) []byte {
+	key := "j"
+	if binary {
+		key = "b"
+	}
+	if slim {
+		key += "s"
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if b, ok := e.bodies[key]; ok {
+		return b
+	}
+	req := e.req
+	if slim {
+		req.ProjectionRef = true
+		req.HasCandidates = false
+		req.Candidates = nil
+		req.HasClusters = false
+		req.Clusters = nil
+		req.Iterations = 0
+	} else if !binary {
+		// The full JSON body is the LEGACY surface — byte-compatible with
+		// what a pre-codec client sends. A pre-codec shard decodes with
+		// DisallowUnknownFields, so the projection-cache fields must not
+		// appear (JSON is only ever spoken to shards that did not
+		// negotiate binary, which includes every pre-codec build).
+		req.ProjectionHash = ""
+	}
+	var b []byte
+	if binary {
+		b = EncodeBinaryMatchRequest(&req)
+	} else {
+		// Marshalling wire structs cannot fail: every field is a plain
+		// value type.
+		b, _ = json.Marshal(req)
+	}
+	if e.bodies == nil {
+		e.bodies = make(map[string][]byte, 2)
+	}
+	e.bodies[key] = b
+	return b
+}
+
+// encodeRequest builds the wire request and its projection digest.
 func (rs *RemoteShard) encodeRequest(personal *schema.Tree, opts pipeline.Options,
-	cands *matcher.Candidates, hasCands bool, clusters []*cluster.Cluster, hasClusters bool, iterations int) ([]byte, error) {
+	cands *matcher.Candidates, hasCands bool, clusters []*cluster.Cluster, hasClusters bool, iterations int) (*encodedRequest, error) {
 	wopts, err := EncodeOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	req := MatchRequest{
+	enc := &encodedRequest{req: MatchRequest{
 		Descriptor: rs.desc,
 		Personal:   EncodeTree(personal),
 		Signature:  serve.Signature(personal, opts),
 		Options:    wopts,
 		Iterations: iterations,
-	}
+	}}
 	if hasCands {
-		req.HasCandidates = true
-		if req.Candidates, err = EncodeCandidates(rs.view, cands); err != nil {
+		enc.req.HasCandidates = true
+		if enc.req.Candidates, err = EncodeCandidates(rs.view, cands); err != nil {
 			return nil, err
 		}
 	}
 	if hasClusters {
-		req.HasClusters = true
-		if req.Clusters, err = EncodeClusters(rs.view, clusters); err != nil {
+		enc.req.HasClusters = true
+		if enc.req.Clusters, err = EncodeClusters(rs.view, clusters); err != nil {
 			return nil, err
 		}
 	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("shardrpc: encode request: %w", err)
+	if hasCands {
+		enc.hash = ProjectionDigest(&enc.req)
+		enc.req.ProjectionHash = enc.hash
 	}
-	return body, nil
+	return enc, nil
+}
+
+// slimEligible reports whether projection references may be used for this
+// request at all: there must be a staged projection, and the shard must
+// have negotiated the capability (forced-JSON clients never slim — that
+// is the legacy surface).
+func (rs *RemoteShard) slimEligible(enc *encodedRequest) bool {
+	return enc.hash != "" && rs.useBinary()
+}
+
+// send runs one HTTP exchange.
+func (rs *RemoteShard) send(cctx, rctx context.Context, body []byte, binary bool) (*http.Response, error) {
+	hreq, err := http.NewRequestWithContext(cctx, http.MethodPost, rs.base+"/v1/shard/match", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("shardrpc: %w", err)
+	}
+	if binary {
+		hreq.Header.Set("Content-Type", ContentTypeBinary)
+	} else {
+		hreq.Header.Set("Content-Type", ContentTypeJSON)
+	}
+	if hv := trace.HeaderValue(rctx); hv != "" {
+		hreq.Header.Set(trace.Header, hv)
+	}
+	return rs.hc.Do(hreq)
 }
 
 // post runs one match attempt. transport reports whether the failure
 // happened below the protocol (no HTTP response decoded), i.e. whether a
-// retry could help.
-func (rs *RemoteShard) post(ctx context.Context, body []byte) (rep *pipeline.Report, transport bool, err error) {
+// retry could help. Protocol turns — 428 projection-needed, 415 under
+// auto negotiation — are resolved inside the attempt, on this same
+// endpoint: they are answers, not failures, so they must not trigger
+// replica failover or count against health.
+func (rs *RemoteShard) post(ctx context.Context, enc *encodedRequest) (rep *pipeline.Report, transport bool, err error) {
 	cctx := ctx
 	if rs.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -247,19 +445,42 @@ func (rs *RemoteShard) post(ctx context.Context, body []byte) (rep *pipeline.Rep
 	// spans shipped back in the response graft in under it.
 	rctx, rsp := trace.StartSpan(cctx, "rpc.roundtrip")
 	defer rsp.End()
-	hreq, err := http.NewRequestWithContext(cctx, http.MethodPost, rs.base+"/v1/shard/match", bytes.NewReader(body))
-	if err != nil {
-		return nil, false, fmt.Errorf("shardrpc: %w", err)
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	if hv := trace.HeaderValue(rctx); hv != "" {
-		hreq.Header.Set(trace.Header, hv)
-	}
+
+	binary := rs.useBinary()
+	slim := rs.slimEligible(enc) && rs.knowsProjection(enc.hash)
 	rtStart := time.Now()
-	resp, err := rs.hc.Do(hreq)
+	resp, err := rs.send(cctx, rctx, enc.body(binary, slim), binary)
 	if err != nil {
 		rsp.SetAttr("error", err.Error())
 		return nil, true, fmt.Errorf("shardrpc: shard %s unreachable: %w", rs.base, err)
+	}
+	if resp.StatusCode == http.StatusPreconditionRequired && slim {
+		// Projection-needed: the shard no longer holds the projection
+		// (restart, eviction). Resend with the payload inlined — same
+		// endpoint, same attempt.
+		drain(resp)
+		rs.forgetProjection(enc.hash)
+		rsp.SetAttr("projection", "resent")
+		slim = false
+		resp, err = rs.send(cctx, rctx, enc.body(binary, false), binary)
+		if err != nil {
+			rsp.SetAttr("error", err.Error())
+			return nil, true, fmt.Errorf("shardrpc: shard %s unreachable: %w", rs.base, err)
+		}
+	}
+	if resp.StatusCode == http.StatusUnsupportedMediaType && binary && rs.cfg.Codec != CodecBinary {
+		// The shard stopped speaking binary (rolled back mid-upgrade).
+		// Fall back to the legacy JSON surface for this and later requests
+		// until a stats handshake re-advertises the codec.
+		drain(resp)
+		rs.binaryOK.Store(false)
+		rsp.SetAttr("codec", "json-fallback")
+		binary, slim = false, false
+		resp, err = rs.send(cctx, rctx, enc.body(false, false), false)
+		if err != nil {
+			rsp.SetAttr("error", err.Error())
+			return nil, true, fmt.Errorf("shardrpc: shard %s unreachable: %w", rs.base, err)
+		}
 	}
 	rs.stRoundtrip.Observe(time.Since(rtStart))
 	defer resp.Body.Close()
@@ -267,10 +488,23 @@ func (rs *RemoteShard) post(ctx context.Context, body []byte) (rep *pipeline.Rep
 		rsp.SetAttrInt("status", int64(resp.StatusCode))
 		return nil, false, rs.statusError(resp)
 	}
+
 	decStart := time.Now()
 	_, dsp := trace.StartSpan(rctx, "rpc.decode")
 	var mr MatchResponse
-	if err := json.NewDecoder(io.LimitReader(resp.Body, maxMatchBody)).Decode(&mr); err != nil {
+	if resp.Header.Get("Content-Type") == ContentTypeBinary {
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, maxMatchBody))
+		if rerr == nil {
+			var pm *MatchResponse
+			if pm, rerr = DecodeBinaryMatchResponse(raw); rerr == nil {
+				mr = *pm
+			}
+		}
+		if rerr != nil {
+			dsp.End()
+			return nil, true, fmt.Errorf("shardrpc: shard %s: bad response: %w", rs.base, rerr)
+		}
+	} else if err := json.NewDecoder(io.LimitReader(resp.Body, maxMatchBody)).Decode(&mr); err != nil {
 		dsp.End()
 		return nil, true, fmt.Errorf("shardrpc: shard %s: bad response: %w", rs.base, err)
 	}
@@ -280,6 +514,11 @@ func (rs *RemoteShard) post(ctx context.Context, body []byte) (rep *pipeline.Rep
 	if err != nil {
 		return nil, false, err
 	}
+	// The shard served a request that carried the projection digest — it
+	// now holds the projection, so later identical shapes can go slim.
+	if rs.slimEligible(enc) {
+		rs.markProjection(enc.hash)
+	}
 	// Stitch the shard-side spans into the caller's trace. A decode
 	// failure here loses observability, never correctness — drop quietly.
 	if tr := trace.FromContext(ctx); tr != nil && len(mr.Spans) > 0 {
@@ -288,6 +527,13 @@ func (rs *RemoteShard) post(ctx context.Context, body []byte) (rep *pipeline.Rep
 		}
 	}
 	return rep, false, nil
+}
+
+// drain discards and closes an HTTP response body that will not be read,
+// keeping the connection reusable.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
 }
 
 // statusError maps a non-200 shard response back onto the error classes
@@ -318,7 +564,9 @@ func (rs *RemoteShard) statusError(resp *http.Response) error {
 // Check probes the shard server's health and verifies that it hosts
 // exactly the shard this client was built for — the descriptor handshake
 // that catches topology mismatches (wrong -shard-of index, different
-// partition strategy, different repository) at wiring time.
+// partition strategy, different repository) at wiring time. The same
+// exchange negotiates the wire codec: the shard's advertisement decides
+// whether this client sends binary payloads and projection references.
 func (rs *RemoteShard) Check(ctx context.Context) error {
 	sr, err := rs.fetchStats(ctx)
 	if err != nil {
@@ -397,5 +645,8 @@ func (rs *RemoteShard) fetchStats(ctx context.Context) (StatsResponse, error) {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&sr); err != nil {
 		return sr, fmt.Errorf("shardrpc: shard %s: bad stats response: %w", rs.base, err)
 	}
+	// Every stats exchange refreshes the codec negotiation — health
+	// probes keep it current through upgrades and rollbacks.
+	rs.noteCodecs(sr.Codecs)
 	return sr, nil
 }

@@ -1,0 +1,106 @@
+package shardrpc_test
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bellflower"
+)
+
+// TestDistributedEquivalenceMixedFleet is the rolling-upgrade acceptance
+// harness: a binary-capable router fanning out over a fleet where one
+// shard still speaks the legacy JSON-only surface must produce reports
+// byte-identical (canonical form) to the unsharded run — per-shard codec
+// negotiation must never leak into results. A forced-JSON router (the
+// full legacy surface) must match too, and forcing binary against the
+// mixed fleet must fail loudly rather than mis-serve.
+func TestDistributedEquivalenceMixedFleet(t *testing.T) {
+	const nodes, seed, shards = 400, 23, 3
+	routerRepo := freshRepo(t, nodes, seed)
+	rng := rand.New(rand.NewSource(seed * 7919))
+	personal := randomPersonal(rng, routerRepo, 2)
+	opts := bellflower.DefaultOptions()
+	opts.MinSim = 0.4
+	opts.Threshold = 0.6
+
+	direct, err := bellflower.NewMatcher(freshRepo(t, nodes, seed)).Match(personal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalReport(direct)
+
+	fleet := startFleet(t, nodes, seed, shards, bellflower.PartitionClustered, 1) // shard 1 lags the upgrade
+	for _, mode := range []struct {
+		name string
+		cfg  bellflower.ServiceConfig
+	}{
+		{"auto", bellflower.ServiceConfig{Workers: 2}},
+		{"json", bellflower.ServiceConfig{Workers: 2, WireCodec: "json"}},
+	} {
+		backend, err := bellflower.NewDistributedService(routerRepo, fleet.addrs, mode.cfg, bellflower.PartitionClustered)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		rep, err := backend.Match(context.Background(), personal, opts)
+		if err != nil {
+			backend.Close()
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		if rep.Incomplete || len(rep.ShardErrors) != 0 {
+			t.Errorf("%s: healthy mixed fleet marked incomplete", mode.name)
+		}
+		if got := canonicalReport(rep); got != want {
+			t.Errorf("%s: mixed-fleet report differs from unsharded\n--- unsharded\n%s\n--- mixed\n%s", mode.name, want, got)
+		}
+		if rep.MappingElements != direct.MappingElements {
+			t.Errorf("%s: mapping elements %d, want %d", mode.name, rep.MappingElements, direct.MappingElements)
+		}
+		// The same request again — whatever mix of caches serves it, the
+		// answer must not drift.
+		again, err := backend.Match(context.Background(), personal, opts)
+		if err != nil {
+			backend.Close()
+			t.Fatalf("%s repeat: %v", mode.name, err)
+		}
+		if got := canonicalReport(again); got != want {
+			t.Errorf("%s: repeated mixed-fleet report drifted", mode.name)
+		}
+		backend.Close()
+	}
+
+	// Negotiation is per shard and visible in the wire counters: the
+	// legacy shard never saw a binary body, while the upgraded shards did
+	// (the auto router handshakes at construction, before any match) —
+	// and also JSON ones, from the forced-JSON router.
+	for i, host := range fleet.hosts {
+		wb := host.Stats().WireBytes
+		switch {
+		case i == 1 && (wb.InBinary != 0 || wb.InJSON == 0):
+			t.Errorf("legacy shard %d wire bytes %+v, want JSON only", i, wb)
+		case i != 1 && (wb.InBinary == 0 || wb.InJSON == 0):
+			t.Errorf("upgraded shard %d wire bytes %+v, want both codecs", i, wb)
+		}
+	}
+
+	// Forcing binary against a fleet with a legacy shard fails the
+	// request loudly (the shard's 415 surfaces) instead of serving a
+	// degraded or mis-coded merge.
+	forced, err := bellflower.NewDistributedService(freshRepo(t, nodes, seed), fleet.addrs,
+		bellflower.ServiceConfig{Workers: 2, WireCodec: "binary"}, bellflower.PartitionClustered)
+	if err != nil {
+		t.Fatalf("forced-binary construction: %v", err)
+	}
+	defer forced.Close()
+	if _, err := forced.Match(context.Background(), personal, opts); err == nil || !strings.Contains(err.Error(), "415") {
+		t.Errorf("forced-binary router against legacy shard: err = %v, want HTTP 415", err)
+	}
+
+	// An unknown codec is rejected at construction, not discovered on the
+	// first request.
+	if _, err := bellflower.NewDistributedService(freshRepo(t, nodes, seed), fleet.addrs,
+		bellflower.ServiceConfig{Workers: 2, WireCodec: "gzip"}, bellflower.PartitionClustered); err == nil {
+		t.Error("unknown wire codec accepted")
+	}
+}

@@ -1,0 +1,351 @@
+package shardrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"strings"
+	"testing"
+
+	"bellflower/internal/matcher"
+	"bellflower/internal/pipeline"
+	"bellflower/internal/schema"
+	"bellflower/internal/serve"
+)
+
+// postRaw posts body to the shard match endpoint under the given
+// Content-Type ("" sends no header at all).
+func postRaw(t *testing.T, srv *httptest.Server, ct string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/shard/match", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// stagedFixture returns a staged-candidates request shape against ts — the
+// projection-carrying path the cache protocol runs on.
+func stagedFixture(t *testing.T, ts *testShard) (*schema.Tree, pipeline.Options, *matcher.Candidates) {
+	t.Helper()
+	personal := schema.MustParseSpec("address(name,email)")
+	opts := pipeline.DefaultOptions()
+	opts.MinSim = 0.35
+	cands := matcher.FindCandidates(personal, ts.clientRepo, matcher.NameMatcher{}, matcher.Config{MinSim: opts.MinSim}).
+		Restrict(ts.clientView.Contains)
+	return personal, opts, cands
+}
+
+// TestShardServerContentType pins the codec dispatch: the declared
+// Content-Type decides the decoder, a mismatched or unknown one is
+// rejected (415 unknown, 400 when the body does not decode in the
+// declared codec), and the response mirrors the request codec while error
+// bodies stay JSON.
+func TestShardServerContentType(t *testing.T) {
+	ts := shardUnderTest(t)
+	personal := schema.MustParseSpec("book(title,author)")
+	goodOpts, err := EncodeOptions(pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := MatchRequest{Descriptor: ts.host.Descriptor(), Personal: EncodeTree(personal), Options: goodOpts}
+	jsonBody, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binBody := EncodeBinaryMatchRequest(&good)
+
+	cases := []struct {
+		name string
+		ct   string
+		body []byte
+		want int
+	}{
+		{"unknown media type", "text/plain", jsonBody, http.StatusUnsupportedMediaType},
+		{"unparseable content type", ";;;", jsonBody, http.StatusUnsupportedMediaType},
+		{"binary body labeled json", ContentTypeJSON, binBody, http.StatusBadRequest},
+		{"json body labeled binary", ContentTypeBinary, jsonBody, http.StatusBadRequest},
+		{"json with charset parameter", "application/json; charset=utf-8", jsonBody, http.StatusOK},
+		{"absent content type defaults to json", "", jsonBody, http.StatusOK},
+		{"binary", ContentTypeBinary, binBody, http.StatusOK},
+		{"json", ContentTypeJSON, jsonBody, http.StatusOK},
+	}
+	for _, tc := range cases {
+		resp := postRaw(t, ts.srv, tc.ct, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+			continue
+		}
+		wantCT := ContentTypeJSON
+		if tc.want == http.StatusOK && tc.ct == ContentTypeBinary {
+			wantCT = ContentTypeBinary
+		}
+		if got := resp.Header.Get("Content-Type"); got != wantCT {
+			t.Errorf("%s: response Content-Type %q, want %q", tc.name, got, wantCT)
+		}
+		if tc.want == http.StatusOK && tc.ct == ContentTypeBinary {
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := DecodeBinaryMatchResponse(raw); err != nil {
+				t.Errorf("%s: undecodable binary response: %v", tc.name, err)
+			}
+		}
+	}
+
+	// Both directions of both codecs were exercised above.
+	wb := ts.host.Stats().WireBytes
+	if wb.InJSON == 0 || wb.InBinary == 0 || wb.OutJSON == 0 || wb.OutBinary == 0 {
+		t.Errorf("wire byte counters missed traffic: %+v", wb)
+	}
+}
+
+// TestShardServerJSONOnly pins the legacy surface emulation: a JSON-only
+// shard rejects binary bodies with 415 and the projection-cache fields
+// like the unknown fields they are to a pre-codec decoder, advertises no
+// codecs, and an auto client negotiates down to JSON against it —
+// including falling back mid-flight when its negotiation state is stale.
+func TestShardServerJSONOnly(t *testing.T) {
+	ts := shardUnderTest(t, (*ShardServer).SetJSONOnly)
+	personal := schema.MustParseSpec("book(title,author)")
+	goodOpts, err := EncodeOptions(pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := MatchRequest{Descriptor: ts.host.Descriptor(), Personal: EncodeTree(personal), Options: goodOpts}
+	jsonBody, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resp := postRaw(t, ts.srv, ContentTypeBinary, EncodeBinaryMatchRequest(&good)); resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("binary against JSON-only shard: %d, want 415", resp.StatusCode)
+	}
+	if resp := postRaw(t, ts.srv, ContentTypeJSON, jsonBody); resp.StatusCode != http.StatusOK {
+		t.Errorf("legacy JSON request: %d, want 200", resp.StatusCode)
+	}
+	hashed := good
+	hashed.ProjectionHash = "deadbeef"
+	if b, _ := json.Marshal(hashed); postRaw(t, ts.srv, ContentTypeJSON, b).StatusCode != http.StatusBadRequest {
+		t.Error("JSON-only shard accepted a projection hash a pre-codec decoder would reject")
+	}
+	ref := good
+	ref.ProjectionRef = true
+	ref.ProjectionHash = "deadbeef"
+	if b, _ := json.Marshal(ref); postRaw(t, ts.srv, ContentTypeJSON, b).StatusCode != http.StatusBadRequest {
+		t.Error("JSON-only shard accepted a projection reference")
+	}
+
+	// No codec advertisement — indistinguishable from a pre-codec build.
+	if cs := ts.host.Codecs(); cs != nil {
+		t.Errorf("JSON-only shard advertises %v", cs)
+	}
+	sresp, err := http.Get(ts.srv.URL + "/v1/shard/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Codecs) != 0 {
+		t.Errorf("stats handshake advertises %v, want nothing", sr.Codecs)
+	}
+
+	// An auto client handshakes down to JSON and serves normally.
+	if err := ts.rs.Check(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ts.rs.useBinary() {
+		t.Error("auto client negotiated binary against a JSON-only shard")
+	}
+	staged, opts, cands := stagedFixture(t, ts)
+	if _, err := ts.rs.MatchWithCandidates(context.Background(), staged, opts, cands); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rollback tolerance: a client whose negotiation state is stale (the
+	// shard rolled back after advertising binary) gets a 415, falls back
+	// to JSON inside the same attempt, and clears the capability — no
+	// failed request, no unreachable mark.
+	ts.rs.binaryOK.Store(true)
+	if _, err := ts.rs.MatchWithCandidates(context.Background(), staged, opts, cands); err != nil {
+		t.Fatalf("stale binary negotiation did not fall back: %v", err)
+	}
+	if ts.rs.useBinary() {
+		t.Error("415 did not clear the negotiated capability")
+	}
+	if n := ts.rs.unreachables.Load(); n != 0 {
+		t.Errorf("codec fallback charged %d unreachable requests", n)
+	}
+	wb := ts.host.Stats().WireBytes
+	if wb.InBinary != 0 || wb.OutBinary != 0 {
+		t.Errorf("JSON-only shard counted binary wire bytes: %+v", wb)
+	}
+	if wb.InJSON == 0 || wb.OutJSON == 0 {
+		t.Errorf("JSON traffic not counted: %+v", wb)
+	}
+
+	// A client FORCED to binary must fail loudly instead of degrading.
+	rsb := NewRemoteShard(ts.srv.URL, ts.clientView, ts.host.Descriptor(), RemoteShardConfig{Codec: CodecBinary})
+	defer rsb.Close()
+	if _, err := rsb.Match(context.Background(), personal, pipeline.DefaultOptions()); err == nil || !strings.Contains(err.Error(), "415") {
+		t.Errorf("forced binary against JSON-only shard: err = %v, want HTTP 415", err)
+	}
+}
+
+// TestProjectionCacheProtocol drives the content-addressed projection
+// flow end to end: a full staged request teaches both sides the digest,
+// the repeat goes out slim and resolves from the shard's cache, and a
+// shard restart (empty cache, client still believes) recovers through the
+// 428 protocol turn inside the same attempt.
+func TestProjectionCacheProtocol(t *testing.T) {
+	ts := shardUnderTest(t)
+	rs := NewRemoteShard(ts.srv.URL, ts.clientView, ts.host.Descriptor(), RemoteShardConfig{Codec: CodecBinary})
+	defer rs.Close()
+	personal, opts, cands := stagedFixture(t, ts)
+
+	first, err := rs.MatchWithCandidates(context.Background(), personal, opts, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := rs.encodeRequest(personal, opts, cands, true, nil, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.hash == "" {
+		t.Fatal("staged request carries no projection digest")
+	}
+	if !rs.knowsProjection(enc.hash) {
+		t.Fatal("client did not learn the digest from a served full request")
+	}
+	if st := ts.host.Stats(); st.ProjectionCacheHits != 0 || st.ProjectionCacheMisses != 0 {
+		t.Fatalf("full request touched the projection cache: hits=%d misses=%d", st.ProjectionCacheHits, st.ProjectionCacheMisses)
+	}
+	fullLen, slimLen := len(enc.body(true, false)), len(enc.body(true, true))
+	if slimLen >= fullLen {
+		t.Fatalf("slim body (%d bytes) not smaller than full (%d bytes)", slimLen, fullLen)
+	}
+
+	second, err := rs.MatchWithCandidates(context.Background(), personal, opts, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertReportsEquivalent(t, "slim repeat", second, first)
+	st := ts.host.Stats()
+	if st.ProjectionCacheHits != 1 || st.ProjectionCacheMisses != 0 {
+		t.Errorf("slim repeat: hits=%d misses=%d, want 1/0", st.ProjectionCacheHits, st.ProjectionCacheMisses)
+	}
+	// Exactly one full and one slim binary body arrived — the repeat
+	// really did skip the projection payload on the wire.
+	if got, want := st.WireBytes.InBinary, int64(fullLen+slimLen); got != want {
+		t.Errorf("shard saw %d binary request bytes, want %d (full %d + slim %d)", got, want, fullLen, slimLen)
+	}
+
+	// Shard restart: fresh process, empty cache; the client still believes
+	// the digest is cached. The slim request bounces 428 and the client
+	// resends the full payload on the same endpoint, in the same attempt.
+	ts2 := shardUnderTest(t)
+	rs2 := NewRemoteShard(ts2.srv.URL, ts.clientView, ts2.host.Descriptor(), RemoteShardConfig{Codec: CodecBinary})
+	defer rs2.Close()
+	rs2.markProjection(enc.hash) // stale knowledge, as after a shard restart
+	third, err := rs2.MatchWithCandidates(context.Background(), personal, opts, cands)
+	if err != nil {
+		t.Fatalf("projection-needed turn did not recover: %v", err)
+	}
+	assertReportsEquivalent(t, "428 recovery", third, first)
+	if st2 := ts2.host.Stats(); st2.ProjectionCacheMisses != 1 {
+		t.Errorf("restart: misses = %d, want exactly the bounced slim request", st2.ProjectionCacheMisses)
+	}
+	if n := rs2.unreachables.Load(); n != 0 {
+		t.Errorf("protocol turn charged %d unreachable requests", n)
+	}
+	if !rs2.knowsProjection(enc.hash) {
+		t.Error("digest not re-learned after the full resend")
+	}
+	if _, err := rs2.MatchWithCandidates(context.Background(), personal, opts, cands); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := ts2.host.Stats(); st2.ProjectionCacheHits != 1 {
+		t.Errorf("post-recovery repeat: hits = %d, want 1", st2.ProjectionCacheHits)
+	}
+
+	// Raw protocol pins: unknown digest → 428; reference without a digest
+	// → 400; full payload whose digest does not match its claim → 400 (a
+	// corrupt projection must never be cached under the wrong address).
+	wopts, err := EncodeOptions(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slim := MatchRequest{
+		Descriptor: ts2.host.Descriptor(), Personal: EncodeTree(personal),
+		Signature: serve.Signature(personal, opts), Options: wopts,
+		ProjectionRef: true, ProjectionHash: "no-such-digest",
+	}
+	if resp := postRaw(t, ts2.srv, ContentTypeBinary, EncodeBinaryMatchRequest(&slim)); resp.StatusCode != http.StatusPreconditionRequired {
+		t.Errorf("unknown digest: %d, want 428", resp.StatusCode)
+	}
+	slim.ProjectionHash = ""
+	if resp := postRaw(t, ts2.srv, ContentTypeBinary, EncodeBinaryMatchRequest(&slim)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("reference without digest: %d, want 400", resp.StatusCode)
+	}
+	forged := enc.req
+	forged.ProjectionHash = "forged"
+	if resp := postRaw(t, ts2.srv, ContentTypeBinary, EncodeBinaryMatchRequest(&forged)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("digest mismatch: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRemoteShardConnectionReuse pins the dedicated transport: idle-pool
+// capacity sized to the fan-out width, and consecutive requests actually
+// reusing pooled connections (which requires response bodies to be fully
+// drained).
+func TestRemoteShardConnectionReuse(t *testing.T) {
+	ts := shardUnderTest(t)
+	rs := NewRemoteShard(ts.srv.URL, ts.clientView, ts.host.Descriptor(), RemoteShardConfig{Codec: CodecBinary, MaxConcurrent: 8})
+	defer rs.Close()
+	tr, ok := rs.hc.Transport.(*http.Transport)
+	if !ok {
+		t.Fatal("client does not run on a dedicated http.Transport")
+	}
+	if tr.MaxIdleConnsPerHost < 8 {
+		t.Fatalf("MaxIdleConnsPerHost = %d, want >= MaxConcurrent (8): the shared default transport's 2 idle slots serialize a shard fan-out", tr.MaxIdleConnsPerHost)
+	}
+
+	var conns, reused int
+	ctx := httptrace.WithClientTrace(context.Background(), &httptrace.ClientTrace{
+		GotConn: func(ci httptrace.GotConnInfo) {
+			conns++
+			if ci.Reused {
+				reused++
+			}
+		},
+	})
+	personal, opts, cands := stagedFixture(t, ts)
+	const n = 4
+	for i := 0; i < n; i++ {
+		if _, err := rs.MatchWithCandidates(ctx, personal, opts, cands); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if conns != n {
+		t.Fatalf("%d connections obtained, want %d", conns, n)
+	}
+	if reused < n-2 {
+		t.Errorf("only %d/%d requests reused a pooled connection", reused, conns)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"sort"
 	"strings"
 	"testing"
@@ -87,13 +88,19 @@ type shardFleet struct {
 	addrs   []string
 }
 
-func startFleet(t testing.TB, nodes int, seed int64, n int, strategy bellflower.PartitionStrategy) *shardFleet {
+// startFleet hosts the fleet; shards listed in jsonOnly are switched to
+// the legacy JSON-only wire surface before their handlers are mounted
+// (simulating not-yet-upgraded processes in a rolling upgrade).
+func startFleet(t testing.TB, nodes int, seed int64, n int, strategy bellflower.PartitionStrategy, jsonOnly ...int) *shardFleet {
 	t.Helper()
 	f := &shardFleet{}
 	for i := 0; i < n; i++ {
 		host, err := bellflower.NewShardHost(freshRepo(t, nodes, seed), i, n, bellflower.ServiceConfig{Workers: 2}, strategy)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if slices.Contains(jsonOnly, i) {
+			host.SetJSONOnly()
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/v1/shard/match", host.HandleMatch)

@@ -229,6 +229,78 @@ func FuzzShardWire(f *testing.F) {
 			t.Fatalf("report drifted over the wire:\n%+v\nvs\n%+v", got, rep)
 		}
 
+		// Binary codec equivalence: a full MatchRequest/MatchResponse must
+		// survive the binary transport with exact identity, and decode to
+		// the same JSON meaning as the JSON transport — that is what lets a
+		// mixed fleet serve byte-identical reports regardless of codec.
+		{
+			wsV, err := EncodeCandidates(v, cands.Restrict(v.Contains))
+			if err != nil {
+				t.Fatalf("candidates encode: %v", err)
+			}
+			var mine []*cluster.Cluster
+			for _, cl := range clusters {
+				if cl.Len() > 0 && v.ContainsTree(cl.Elements[0].Node.Tree()) {
+					mine = append(mine, cl)
+				}
+			}
+			wcsV, err := EncodeClusters(v, mine)
+			if err != nil {
+				t.Fatalf("clusters encode: %v", err)
+			}
+			breq := &MatchRequest{
+				Descriptor:    ViewDescriptor(v, 0, len(views), strategy),
+				Personal:      EncodeTree(personal),
+				Signature:     serve.Signature(personal, opts),
+				Options:       wo,
+				HasCandidates: true,
+				Candidates:    wsV,
+				HasClusters:   true,
+				Clusters:      wcsV,
+				Iterations:    rep.Iterations,
+			}
+			breq.ProjectionHash = ProjectionDigest(breq)
+
+			bdec, err := DecodeBinaryMatchRequest(EncodeBinaryMatchRequest(breq))
+			if err != nil {
+				t.Fatalf("binary request decode: %v", err)
+			}
+			if !reflect.DeepEqual(bdec, breq) {
+				t.Fatalf("binary request round trip drifted:\n%+v\nvs\n%+v", bdec, breq)
+			}
+			var jdec MatchRequest
+			jsonTrip(t, breq, &jdec)
+			jb, _ := json.Marshal(jdec)
+			bb, _ := json.Marshal(bdec)
+			if string(jb) != string(bb) {
+				t.Fatalf("binary- and JSON-decoded requests disagree:\n%s\nvs\n%s", bb, jb)
+			}
+			// The content address must survive BOTH transports: the shard
+			// recomputes it over whatever codec the request arrived in.
+			if d := ProjectionDigest(bdec); d != breq.ProjectionHash {
+				t.Fatalf("projection digest drifted over binary: %q vs %q", d, breq.ProjectionHash)
+			}
+			if d := ProjectionDigest(&jdec); d != breq.ProjectionHash {
+				t.Fatalf("projection digest drifted over JSON: %q vs %q", d, breq.ProjectionHash)
+			}
+
+			bresp := &MatchResponse{Report: wr}
+			brdec, err := DecodeBinaryMatchResponse(EncodeBinaryMatchResponse(bresp))
+			if err != nil {
+				t.Fatalf("binary response decode: %v", err)
+			}
+			if !reflect.DeepEqual(brdec, bresp) {
+				t.Fatalf("binary response round trip drifted")
+			}
+			gotB, err := DecodeReport(v, brdec.Report)
+			if err != nil {
+				t.Fatalf("report decode after binary: %v", err)
+			}
+			if !reflect.DeepEqual(gotB, rep) {
+				t.Fatalf("report drifted over the binary wire:\n%+v\nvs\n%+v", gotB, rep)
+			}
+		}
+
 		// Trace wire vocabulary: the X-Bellflower-Trace header and the span
 		// codec must round-trip exactly — that is what makes a distributed
 		// request stitch into one tree.

@@ -194,7 +194,9 @@ func (z *ReplicaSet) MatchWithClusters(ctx context.Context, personal *schema.Tre
 }
 
 // match encodes the request ONCE (all replicas share the descriptor and
-// view, so one body serves every attempt) and walks the attempt order:
+// view, so one encoded request serves every attempt — each replica picks
+// the body shape its own codec negotiation and projection-cache knowledge
+// call for) and walks the attempt order:
 // healthy replicas first, rotated round-robin so concurrent requests
 // spread across the group; unhealthy replicas last, as a live-traffic
 // last resort when every healthy attempt failed. A transport error feeds
@@ -212,7 +214,10 @@ func (z *ReplicaSet) match(ctx context.Context, personal *schema.Tree, opts pipe
 	primary := z.replicas[0]
 	encStart := time.Now()
 	_, esp := trace.StartSpan(ctx, "rpc.encode")
-	body, err := primary.encodeRequest(personal, opts, cands, hasCands, clusters, hasClusters, iterations)
+	enc, err := primary.encodeRequest(personal, opts, cands, hasCands, clusters, hasClusters, iterations)
+	if err == nil {
+		enc.body(primary.useBinary(), primary.slimEligible(enc))
+	}
 	esp.End()
 	primary.stEncode.Observe(time.Since(encStart))
 	if err != nil {
@@ -231,7 +236,7 @@ func (z *ReplicaSet) match(ctx context.Context, personal *schema.Tree, opts pipe
 		r := z.replicas[idx]
 		actx, asp := trace.StartSpan(ctx, "replica.attempt")
 		asp.SetAttr("replica", r.base)
-		rep, transport, err := r.post(actx, body)
+		rep, transport, err := r.post(actx, enc)
 		if err == nil {
 			asp.End()
 			z.mons[idx].ReportSuccess()

@@ -1,16 +1,21 @@
 package shardrpc
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
+	"sync/atomic"
 
 	"bellflower/internal/cluster"
 	"bellflower/internal/labeling"
 	"bellflower/internal/matcher"
 	"bellflower/internal/pipeline"
+	"bellflower/internal/schema"
 	"bellflower/internal/serve"
 	"bellflower/internal/trace"
 )
@@ -28,18 +33,43 @@ const maxMatchBody = 64 << 20
 // and request signature, and serves through the exact Service entry points
 // an in-process router would call — so a remote fan-out's per-shard
 // reports, caches and dedupe behave identically to the local topology.
+//
+// Requests declare their codec via Content-Type (application/json or
+// application/x-bellflower-shard); the response mirrors it. Error bodies
+// are always JSON. A mismatched Content-Type is rejected with 415 rather
+// than guessed at — codec negotiation must never silently mis-decode.
 type ShardServer struct {
-	svc  *serve.Service
-	view *labeling.View
-	desc Descriptor
-	rec  *trace.Recorder // optional local ring; see SetTraceRecorder
+	svc   *serve.Service
+	view  *labeling.View
+	desc  Descriptor
+	rec   *trace.Recorder // optional local ring; see SetTraceRecorder
+	projc *serve.ProjectionCache
+
+	// jsonOnly restricts the shard to the JSON codec and disables
+	// projection references — the legacy wire surface, for rolling
+	// upgrades and mixed-fleet testing. See SetJSONOnly.
+	jsonOnly bool
+
+	// Wire traffic counters (body bytes by direction and codec), surfaced
+	// through Stats.
+	inJSON, inBinary, outJSON, outBinary atomic.Int64
 }
 
 // NewShardServer wraps a Service running on view (pipeline.NewViewRunner)
-// with the shard's descriptor.
+// with the shard's descriptor. The server speaks both codecs and resolves
+// projection references out of a content-addressed cache charged to the
+// service's memory governor.
 func NewShardServer(svc *serve.Service, view *labeling.View, desc Descriptor) *ShardServer {
-	return &ShardServer{svc: svc, view: view, desc: desc}
+	return &ShardServer{svc: svc, view: view, desc: desc, projc: svc.NewProjectionCache()}
 }
+
+// SetJSONOnly restricts the shard to the legacy JSON wire surface: binary
+// requests are rejected with 415, projection references with 400, and the
+// stats handshake stops advertising codecs — exactly how a pre-codec
+// build answers, so rolling-upgrade interop is testable against current
+// code. Not safe to call concurrently with traffic; set it before
+// mounting the handlers.
+func (s *ShardServer) SetJSONOnly() { s.jsonOnly = true }
 
 // SetTraceRecorder attaches a local trace ring: every traced match is
 // observed into it, so a shard host can serve its own /v1/traces even
@@ -55,6 +85,37 @@ func (s *ShardServer) Service() *serve.Service { return s.svc }
 
 // Descriptor returns the shard's descriptor.
 func (s *ShardServer) Descriptor() Descriptor { return s.desc }
+
+// Stats returns the service's snapshot with the shard server's transport
+// counters folded in (wire bytes by direction and codec). The projection
+// cache counters are already the service's own.
+func (s *ShardServer) Stats() serve.Stats {
+	st := s.svc.Stats()
+	st.WireBytes.InJSON += s.inJSON.Load()
+	st.WireBytes.InBinary += s.inBinary.Load()
+	st.WireBytes.OutJSON += s.outJSON.Load()
+	st.WireBytes.OutBinary += s.outBinary.Load()
+	return st
+}
+
+// WritePrometheus renders the shard's full stats snapshot — the service
+// counters plus the wire-level figures only the shard server holds
+// (bellflower_wire_bytes_total, the projection-cache counters) — in the
+// Prometheus text exposition format. The shard daemon's /metrics endpoint
+// uses this instead of the bare service snapshot.
+func (s *ShardServer) WritePrometheus(w io.Writer) error {
+	return serve.WritePrometheus(w, s.Stats(), 1)
+}
+
+// Codecs lists the codecs this shard accepts, as advertised in the stats
+// handshake. A JSON-only shard advertises nothing — indistinguishable
+// from a pre-codec build, which is the point.
+func (s *ShardServer) Codecs() []string {
+	if s.jsonOnly {
+		return nil
+	}
+	return []string{CodecJSON, CodecBinary}
+}
 
 // Close shuts the underlying service down.
 func (s *ShardServer) Close() { s.svc.Close() }
@@ -87,6 +148,27 @@ func matchStatus(err error) int {
 	}
 }
 
+// requestCodec resolves a match request's Content-Type to a codec name.
+// An absent Content-Type means JSON (curl-friendliness); anything other
+// than the two match media types is a 415 — never guessed at.
+func requestCodec(r *http.Request) (string, error) {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return CodecJSON, nil
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return "", fmt.Errorf("unparseable Content-Type %q", ct)
+	}
+	switch mt {
+	case ContentTypeJSON:
+		return CodecJSON, nil
+	case ContentTypeBinary:
+		return CodecBinary, nil
+	}
+	return "", fmt.Errorf("unsupported Content-Type %q (want %s or %s)", mt, ContentTypeJSON, ContentTypeBinary)
+}
+
 // HandleMatch serves POST /v1/shard/match. A request arriving with an
 // X-Bellflower-Trace header is served under a resumed trace — the shard's
 // decode/match/encode spans (and the pipeline spans beneath them) parent
@@ -95,6 +177,14 @@ func matchStatus(err error) int {
 func (s *ShardServer) HandleMatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST required"})
+		return
+	}
+	codec, cerr := requestCodec(r)
+	if cerr == nil && codec == CodecBinary && s.jsonOnly {
+		cerr = fmt.Errorf("unsupported Content-Type %q (this shard speaks %s only)", ContentTypeBinary, ContentTypeJSON)
+	}
+	if cerr != nil {
+		writeJSON(w, http.StatusUnsupportedMediaType, errorJSON{Error: cerr.Error()})
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxMatchBody)
@@ -120,12 +210,35 @@ func (s *ShardServer) HandleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	_, dsp := trace.StartSpan(ctx, "decode")
-	var req MatchRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
 		fail(dsp, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
+	}
+	var req MatchRequest
+	if codec == CodecBinary {
+		s.inBinary.Add(int64(len(body)))
+		preq, err := DecodeBinaryMatchRequest(body)
+		if err != nil {
+			fail(dsp, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		req = *preq
+	} else {
+		s.inJSON.Add(int64(len(body)))
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			fail(dsp, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		if s.jsonOnly && (req.ProjectionRef || req.ProjectionHash != "") {
+			// A pre-codec build's strict decoder rejects these fields as
+			// unknown; the emulation must too, or mixed-fleet tests would
+			// pass against traffic a real legacy shard refuses.
+			fail(dsp, http.StatusBadRequest, `bad request body: json: unknown field "projection_hash"`)
+			return
+		}
 	}
 	// A descriptor mismatch means the caller partitioned differently (or
 	// holds a different repository): serving would return mappings in the
@@ -156,11 +269,58 @@ func (s *ShardServer) HandleMatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+
+	if req.ProjectionRef {
+		// The request references its projection by content address instead
+		// of shipping it. Resolve or ask for the payload — 428 tells the
+		// client to retry once with the projection inlined; it is a
+		// protocol turn, not a failure, so clients neither fail over nor
+		// count it against replica health.
+		if s.jsonOnly {
+			fail(dsp, http.StatusBadRequest, "projection references unsupported (JSON-only shard)")
+			return
+		}
+		if req.ProjectionHash == "" {
+			fail(dsp, http.StatusBadRequest, "projection reference without projection hash")
+			return
+		}
+		proj, ok := s.projc.Get(req.ProjectionHash)
+		if !ok {
+			fail(dsp, http.StatusPreconditionRequired,
+				fmt.Sprintf("projection-needed: %s is not cached on this shard", req.ProjectionHash))
+			return
+		}
+		req.HasCandidates = proj.HasCandidates
+		req.HasClusters = proj.HasClusters
+		req.Iterations = proj.Iterations
+		var cands *matcher.Candidates
+		if proj.Candidates != nil {
+			// The cached candidates are bound to the structurally identical
+			// personal tree of the request that populated the entry; rebind
+			// them to THIS request's decoded tree (O(|personal|), slices
+			// shared).
+			cands = proj.Candidates.Rebind(personal)
+		}
+		dsp.End()
+		s.runMatch(ctx, w, codec, hv, tr, root, req, personal, opts, cands, proj.Clusters)
+		return
+	}
+
 	var cands *matcher.Candidates
 	var clusters []*cluster.Cluster
 	if req.HasClusters && !req.HasCandidates {
 		fail(dsp, http.StatusBadRequest, "clusters staged without candidates")
 		return
+	}
+	// A full payload carrying a content address must actually hash to it —
+	// self-verifying, so a corrupt or mislabelled projection is rejected
+	// instead of cached under the wrong key.
+	if req.ProjectionHash != "" {
+		if got := ProjectionDigest(&req); got != req.ProjectionHash {
+			fail(dsp, http.StatusBadRequest,
+				fmt.Sprintf("projection digest mismatch: payload hashes to %s, request claims %s", got, req.ProjectionHash))
+			return
+		}
 	}
 	if req.HasCandidates {
 		if cands, err = DecodeCandidates(s.view, personal, req.Candidates); err != nil {
@@ -177,10 +337,33 @@ func (s *ShardServer) HandleMatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.ProjectionHash != "" && req.HasCandidates && !s.jsonOnly {
+		s.projc.Put(req.ProjectionHash, serve.Projection{
+			HasCandidates: req.HasCandidates,
+			Candidates:    cands,
+			HasClusters:   req.HasClusters,
+			Clusters:      clusters,
+			Iterations:    req.Iterations,
+		})
+	}
 	dsp.End()
+	s.runMatch(ctx, w, codec, hv, tr, root, req, personal, opts, cands, clusters)
+}
+
+// runMatch executes the decoded request through the service and writes the
+// response in the request's codec.
+func (s *ShardServer) runMatch(ctx context.Context, w http.ResponseWriter, codec, hv string,
+	tr *trace.Trace, root *trace.Span, req MatchRequest,
+	personal *schema.Tree, opts pipeline.Options, cands *matcher.Candidates, clusters []*cluster.Cluster) {
+	fail := func(sp *trace.Span, status int, msg string) {
+		sp.SetAttr("error", msg)
+		sp.End()
+		writeJSON(w, status, errorJSON{Error: msg})
+	}
 
 	mctx, msp := trace.StartSpan(ctx, "match")
 	var rep *pipeline.Report
+	var err error
 	switch {
 	case req.HasClusters:
 		rep, err = s.svc.MatchWithClusters(mctx, personal, opts, cands, clusters, req.Iterations)
@@ -210,15 +393,32 @@ func (s *ShardServer) HandleMatch(w http.ResponseWriter, r *http.Request) {
 		root.End()
 		resp.Spans = EncodeSpans(tr.Spans())
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if codec == CodecBinary {
+		b := EncodeBinaryMatchResponse(&resp)
+		s.outBinary.Add(int64(len(b)))
+		w.Header().Set("Content-Type", ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(b)
+		return
+	}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		return
+	}
+	s.outJSON.Add(int64(len(b)))
+	w.Header().Set("Content-Type", ContentTypeJSON)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
 }
 
 // HandleStats serves GET /v1/shard/stats: the shard's instrumentation
-// snapshot plus its descriptor (the health-check handshake).
+// snapshot plus its descriptor (the health-check handshake) and codec
+// advertisement (the feature-negotiation handshake).
 func (s *ShardServer) HandleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "GET required"})
 		return
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{Descriptor: s.desc, Stats: s.svc.Stats()})
+	writeJSON(w, http.StatusOK, StatsResponse{Descriptor: s.desc, Codecs: s.Codecs(), Stats: s.Stats()})
 }

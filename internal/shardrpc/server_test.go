@@ -30,7 +30,7 @@ type testShard struct {
 	clientView *labeling.View
 }
 
-func shardUnderTest(t *testing.T) *testShard {
+func shardUnderTest(t *testing.T, mods ...func(*ShardServer)) *testShard {
 	t.Helper()
 	serverRepo := testRepo(t, 400, 17)
 	six := labeling.NewIndex(serverRepo)
@@ -38,6 +38,9 @@ func shardUnderTest(t *testing.T) *testShard {
 	svc := serve.New(pipeline.NewViewRunner(sviews[0]), serve.Config{Workers: 2})
 	host := NewShardServer(svc, sviews[0], ViewDescriptor(sviews[0], 0, 2, serve.PartitionClustered))
 	t.Cleanup(host.Close)
+	for _, mod := range mods {
+		mod(host)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/shard/match", host.HandleMatch)
 	mux.HandleFunc("/v1/shard/stats", host.HandleStats)

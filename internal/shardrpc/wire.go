@@ -726,16 +726,26 @@ func DecodeReport(v *labeling.View, wr WireReport) (*pipeline.Report, error) {
 // MatchRequest is the /v1/shard/match request body. HasCandidates /
 // HasClusters distinguish "absent" from "present but empty" — a shard may
 // legitimately be handed zero clusters for a query.
+//
+// ProjectionHash content-addresses the projected pre-pass payload
+// (ProjectionDigest). A full request carries it alongside the payload so
+// the shard can verify and cache the projection; a slim request sets
+// ProjectionRef and OMITS Candidates/Clusters entirely, asking the shard
+// to resolve the hash from its projection cache — the shard answers 428
+// (projection-needed) when it cannot, and the client retries with the
+// full payload.
 type MatchRequest struct {
-	Descriptor    Descriptor         `json:"descriptor"`
-	Personal      WireTree           `json:"personal"`
-	Signature     string             `json:"signature,omitempty"`
-	Options       WireOptions        `json:"options"`
-	HasCandidates bool               `json:"has_candidates,omitempty"`
-	Candidates    []WireCandidateSet `json:"candidates,omitempty"`
-	HasClusters   bool               `json:"has_clusters,omitempty"`
-	Clusters      []WireCluster      `json:"clusters,omitempty"`
-	Iterations    int                `json:"iterations,omitempty"`
+	Descriptor     Descriptor         `json:"descriptor"`
+	Personal       WireTree           `json:"personal"`
+	Signature      string             `json:"signature,omitempty"`
+	ProjectionHash string             `json:"projection_hash,omitempty"`
+	ProjectionRef  bool               `json:"projection_ref,omitempty"`
+	Options        WireOptions        `json:"options"`
+	HasCandidates  bool               `json:"has_candidates,omitempty"`
+	Candidates     []WireCandidateSet `json:"candidates,omitempty"`
+	HasClusters    bool               `json:"has_clusters,omitempty"`
+	Clusters       []WireCluster      `json:"clusters,omitempty"`
+	Iterations     int                `json:"iterations,omitempty"`
 }
 
 // MatchResponse is the /v1/shard/match success body. Spans carries the
@@ -751,8 +761,14 @@ type MatchResponse struct {
 // StatsResponse is the /v1/shard/stats body: the shard's instrumentation
 // snapshot plus its descriptor, which doubles as the health-check
 // handshake (RemoteShard.Check verifies it against the router's own
-// partition).
+// partition). Codecs advertises the match codecs the shard accepts
+// ("json", "binary") — the feature-negotiation half of the handshake: a
+// shard that omits it (any pre-codec build) is spoken to in JSON, so a
+// binary-capable router interops with JSON-only shards during a rolling
+// upgrade. A shard advertising "binary" also resolves projection
+// references (ProjectionRef requests).
 type StatsResponse struct {
 	Descriptor Descriptor  `json:"descriptor"`
+	Codecs     []string    `json:"codecs,omitempty"`
 	Stats      serve.Stats `json:"stats"`
 }
