@@ -431,7 +431,10 @@ func NewShardHost(repo *Repository, shard, shards int, cfg ServiceConfig, strate
 		return nil, fmt.Errorf("bellflower: shard index %d outside [0,%d)", shard, len(views))
 	}
 	v := views[shard]
-	svc := serve.New(pipeline.NewViewRunner(v), cfg)
+	// The host process holds the full repository anyway (views are windows
+	// over it), so it builds the full name-similarity index once; the view
+	// runner's vocabulary is grouped from the shard's own node universe.
+	svc := serve.New(pipeline.NewViewRunnerWithNameIndex(v, matcher.NewNameIndex(repo)), cfg)
 	return shardrpc.NewShardServer(svc, v, shardrpc.ViewDescriptor(v, shard, len(views), strategy)), nil
 }
 

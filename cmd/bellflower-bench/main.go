@@ -8,10 +8,10 @@
 // additionally record the actual on-the-wire bytes per request broken
 // down by codec, from the shard servers' transport counters.
 //
-//	bellflower-bench                       # full run, writes BENCH_8.json
+//	bellflower-bench                       # full run, writes BENCH_9.json
 //	bellflower-bench -quick -out /tmp/b.json
-//	bellflower-bench -check BENCH_8.json   # validate an existing file (CI)
-//	bellflower-bench -compare BENCH_7.json BENCH_8.json   # regression diff
+//	bellflower-bench -check BENCH_9.json   # validate an existing file (CI)
+//	bellflower-bench -compare BENCH_8.json BENCH_9.json   # regression diff
 //
 // Variants cover the repository/topology grid the serving layers care
 // about: a small and a large synthetic repository unsharded, the large
@@ -21,7 +21,14 @@
 // distributed split with 2 replicas per shard — the control-plane
 // topology, pricing the replica indirection on the happy path. The
 // workload cycles a fixed set of personal schemas, so each variant sees
-// both cold pipeline runs and warm cache hits.
+// both cold pipeline runs and warm cache hits. Two distribution-shaped
+// variants stress the matching kernel specifically: a skewed-vocabulary
+// repository (near-zero name noise, so few distinct keys cover many
+// nodes — vocabulary dedup's best case) and a hot-key request mix (90% of
+// requests hit one signature, the cache-dominated worst case for kernel
+// wins to matter). A match-kernel micro-section prices the keyed kernel
+// head to head against the naive reference loop and pins the warm
+// similarity call's ns and allocations.
 //
 // -quick shrinks repositories and iteration counts for CI smoke runs; the
 // JSON shape is identical. -check parses a bench file and exits non-zero
@@ -49,6 +56,7 @@ import (
 	"bellflower/internal/pipeline"
 	"bellflower/internal/serve"
 	"bellflower/internal/shardrpc"
+	"bellflower/internal/strsim"
 )
 
 func main() {
@@ -111,19 +119,36 @@ type overheadResult struct {
 	OverheadPct         float64 `json:"overhead_pct"`
 }
 
+// matchKernelResult prices the element-matching kernel in isolation: the
+// full workload mix matched against the large repository through the naive
+// reference loop versus the vocabulary-deduplicated keyed kernel, plus the
+// warm prepared-similarity call's cost (the kernel's innermost operation,
+// which must stay allocation-free).
+type matchKernelResult struct {
+	RepoNodes          int     `json:"repo_nodes"`
+	VocabKeys          int     `json:"vocab_keys"`
+	DistinctVocabRatio float64 `json:"distinct_vocab_ratio"`
+	NaiveNsPerOp       float64 `json:"naive_ns_per_op"`
+	KeyedNsPerOp       float64 `json:"keyed_ns_per_op"`
+	Speedup            float64 `json:"speedup"`
+	SimNsPerCall       float64 `json:"sim_ns_per_call"`
+	SimAllocsPerCall   float64 `json:"sim_allocs_per_call"`
+}
+
 type benchFile struct {
-	Label         string            `json:"label"`
-	GoVersion     string            `json:"go_version"`
-	Quick         bool              `json:"quick"`
-	Variants      []variantResult   `json:"variants"`
-	WireCodecs    []wireCodecResult `json:"wire_codecs,omitempty"`
-	TraceOverhead overheadResult    `json:"trace_overhead"`
+	Label         string             `json:"label"`
+	GoVersion     string             `json:"go_version"`
+	Quick         bool               `json:"quick"`
+	Variants      []variantResult    `json:"variants"`
+	WireCodecs    []wireCodecResult  `json:"wire_codecs,omitempty"`
+	MatchKernel   *matchKernelResult `json:"match_kernel,omitempty"`
+	TraceOverhead overheadResult     `json:"trace_overhead"`
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bellflower-bench", flag.ContinueOnError)
 	var (
-		label      = fs.String("label", "8", "bench label; the default output file is BENCH_<label>.json")
+		label      = fs.String("label", "9", "bench label; the default output file is BENCH_<label>.json")
 		out        = fs.String("out", "", "output path (default BENCH_<label>.json in the working directory)")
 		quick      = fs.Bool("quick", false, "CI smoke mode: smaller repositories and fewer iterations, same JSON shape")
 		check      = fs.String("check", "", "validate an existing bench JSON file and exit (no benchmarks run)")
@@ -207,6 +232,38 @@ func run(args []string) error {
 	stop()
 	bf.Variants = append(bf.Variants, v)
 
+	// Variant 6: skewed vocabulary — the same node count generated with
+	// near-zero name noise, so a handful of distinct (name, datatype) keys
+	// covers the whole repository. This is vocabulary dedup's best case;
+	// the cold match stage should collapse relative to large-unsharded.
+	skewed, err := skewedRepo(largeNodes, *seed)
+	if err != nil {
+		return err
+	}
+	svc = bellflower.NewService(skewed, bellflower.ServiceConfig{})
+	bf.Variants = append(bf.Variants, runVariant("large-skewed-vocab", largeNodes, svc, iters))
+	svc.Close()
+
+	// Variant 7: hot-key request distribution — 90% of requests hit one
+	// signature, the rest cycle the mix. The cache-dominated steady state
+	// where kernel improvements must not regress the warm path.
+	svc = bellflower.NewService(large, bellflower.ServiceConfig{})
+	bf.Variants = append(bf.Variants, runVariantPick("large-hotkey", largeNodes, svc, iters, func(i, n int) int {
+		if i%10 != 0 {
+			return 0 // the hot key
+		}
+		return (i / 10) % n
+	}))
+	svc.Close()
+
+	// Match-kernel head-to-head on the large repository.
+	mkIters := 30
+	if *quick {
+		mkIters = 5
+	}
+	mk := matchKernelBench(large, mkIters)
+	bf.MatchKernel = &mk
+
 	// Wire-codec head-to-head on the large repository.
 	wcIters := 300
 	if *quick {
@@ -246,6 +303,17 @@ func synthRepo(nodes int, seed int64) (*bellflower.Repository, error) {
 	return bellflower.Synthetic(cfg)
 }
 
+// skewedRepo generates a repository with near-zero name noise: names come
+// almost verbatim from the concept vocabulary, so the distinct
+// (name, datatype) key count stays tiny relative to the node count.
+func skewedRepo(nodes int, seed int64) (*bellflower.Repository, error) {
+	cfg := bellflower.DefaultSyntheticConfig()
+	cfg.TargetNodes = nodes
+	cfg.Seed = seed
+	cfg.NoiseRate = 0.02
+	return bellflower.Synthetic(cfg)
+}
+
 // workload is the fixed personal-schema mix every variant cycles through:
 // small and mid-size schemas with vocabulary the synthetic generator
 // actually emits, so candidate sets are non-trivial. Cycling repeats each
@@ -269,6 +337,14 @@ func parseWorkload() []*bellflower.Tree {
 }
 
 func runVariant(name string, nodes int, backend bellflower.ServiceBackend, iters int) variantResult {
+	return runVariantPick(name, nodes, backend, iters, func(i, n int) int { return i % n })
+}
+
+// runVariantPick is runVariant with an explicit request distribution:
+// pick(i, n) maps iteration i to one of the n workload schemas. The round
+// robin default exercises every signature evenly; the hot-key variant
+// concentrates on one.
+func runVariantPick(name string, nodes int, backend bellflower.ServiceBackend, iters int, pick func(i, n int) int) variantResult {
 	ctx := context.Background()
 	opts := bellflower.DefaultOptions()
 	trees := parseWorkload()
@@ -293,7 +369,7 @@ func runVariant(name string, nodes int, backend bellflower.ServiceBackend, iters
 		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			if _, err := backend.Match(ctx, trees[i%len(trees)], opts); err != nil {
+			if _, err := backend.Match(ctx, trees[pick(i, len(trees))], opts); err != nil {
 				fmt.Fprintf(os.Stderr, "bellflower-bench: %s iter %d: %v\n", name, i, err)
 			}
 		}
@@ -335,6 +411,76 @@ func runVariant(name string, nodes int, backend bellflower.ServiceBackend, iters
 			"json":   float64(wb.InJSON+wb.OutJSON) / float64(st.Requests),
 			"binary": float64(wb.InBinary+wb.OutBinary) / float64(st.Requests),
 		}
+	}
+	return res
+}
+
+// matchKernelBench prices the element-matching kernel in isolation, away
+// from caches and fan-out: the full workload mix against repo through the
+// naive reference loop (FindCandidatesAmong over every node) versus the
+// keyed kernel (vocabulary dedup + pruning + parallel outer loop), best of
+// 3 passes each, one op being the whole six-schema mix. The warm
+// similarity call is timed and alloc-counted separately — it must stay at
+// zero allocations, the property the strsim regression tests pin.
+func matchKernelBench(repo *bellflower.Repository, iters int) matchKernelResult {
+	opts := bellflower.DefaultOptions()
+	cfg := matcher.Config{MinSim: opts.MinSim}
+	m := matcher.NameMatcher{}
+	trees := parseWorkload()
+
+	ni := matcher.NewNameIndex(repo)
+	vocab := ni.Vocabulary(repo.Nodes())
+
+	best := func(run func()) float64 {
+		var bestNs float64
+		for pass := 0; pass < 3; pass++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				run()
+			}
+			if ns := float64(time.Since(start).Nanoseconds()) / float64(iters); pass == 0 || ns < bestNs {
+				bestNs = ns
+			}
+		}
+		return bestNs
+	}
+	naiveNs := best(func() {
+		for _, tr := range trees {
+			matcher.FindCandidates(tr, repo, m, cfg)
+		}
+	})
+	keyedNs := best(func() {
+		for _, tr := range trees {
+			vocab.FindCandidates(tr, m, cfg)
+		}
+	})
+
+	// Warm prepared-similarity call: ns and allocations per call.
+	var sc strsim.Scorer
+	pa, pb := strsim.Prepare("authorName"), strsim.Prepare("name_of_the_author")
+	sc.Fuzzy(&pa, &pb) // warm the scratch rows
+	const simCalls = 200000
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < simCalls; i++ {
+		sc.Fuzzy(&pa, &pb)
+	}
+	simNs := float64(time.Since(start).Nanoseconds()) / simCalls
+	runtime.ReadMemStats(&m1)
+
+	res := matchKernelResult{
+		RepoNodes:          repo.Len(),
+		VocabKeys:          ni.Keys(),
+		DistinctVocabRatio: ni.DistinctRatio(),
+		NaiveNsPerOp:       naiveNs,
+		KeyedNsPerOp:       keyedNs,
+		SimNsPerCall:       simNs,
+		SimAllocsPerCall:   float64(m1.Mallocs-m0.Mallocs) / simCalls,
+	}
+	if keyedNs > 0 {
+		res.Speedup = naiveNs / keyedNs
 	}
 	return res
 }
@@ -558,6 +704,17 @@ func checkFile(path string) error {
 		if wc.SlimRequestBytes > 0 && wc.SlimRequestBytes >= wc.FullRequestBytes {
 			return fmt.Errorf("%s: codec %q slim body (%d bytes) not smaller than the full body (%d bytes)",
 				path, wc.Codec, wc.SlimRequestBytes, wc.FullRequestBytes)
+		}
+	}
+	if mk := bf.MatchKernel; mk != nil {
+		if mk.NaiveNsPerOp <= 0 || mk.KeyedNsPerOp <= 0 || mk.VocabKeys <= 0 {
+			return fmt.Errorf("%s: match-kernel measurement incomplete", path)
+		}
+		if mk.Speedup < 1 {
+			return fmt.Errorf("%s: keyed matching kernel slower than the naive loop (speedup %.2fx)", path, mk.Speedup)
+		}
+		if mk.SimAllocsPerCall > 0.01 {
+			return fmt.Errorf("%s: warm similarity call allocates (%.3f allocs/call, want 0)", path, mk.SimAllocsPerCall)
 		}
 	}
 	if bf.TraceOverhead.NoTraceNsPerOp <= 0 || bf.TraceOverhead.InstrumentedNsPerOp <= 0 {

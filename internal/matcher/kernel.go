@@ -1,0 +1,324 @@
+package matcher
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bellflower/internal/schema"
+	"bellflower/internal/strsim"
+)
+
+// PropertyLocal is an opt-in marker for matcher implementations outside this
+// package: returning true promises that Similarity depends only on the two
+// nodes' Name and Type fields (never on tree position, children or other
+// context), which lets the keyed kernel score each distinct (name, datatype)
+// key once and fan the score out to every node sharing it. The built-in
+// name, synonym, datatype and combined matchers are recognized without the
+// marker; structure matchers are context-dependent and must not implement
+// it.
+type PropertyLocal interface {
+	PropertyLocal() bool
+}
+
+// isPropertyLocal reports whether m's similarity is a pure function of
+// (Name, Type) pairs, making vocabulary dedup exact.
+func isPropertyLocal(m Matcher) bool {
+	switch mm := m.(type) {
+	case NameMatcher, TypeMatcher:
+		return true
+	case *SynonymMatcher:
+		return true
+	case *Combined:
+		for _, p := range mm.parts {
+			if !isPropertyLocal(p.Matcher) {
+				return false
+			}
+		}
+		return true
+	}
+	if pl, ok := m.(PropertyLocal); ok {
+		return pl.PropertyLocal()
+	}
+	return false
+}
+
+// personalScratch is one worker's per-personal-node state: the node, its
+// prepared name and the ASCII folds the synonym and datatype matchers need,
+// plus the worker's reusable string-similarity scratch.
+type personalScratch struct {
+	sc      strsim.Scorer
+	node    *schema.Node
+	prep    strsim.Prepared
+	synFold string
+	typFold string
+}
+
+// scoreFunc scores one (personal node, interned key) pair. Implementations
+// must be bit-identical to the matcher's Similarity on any node carrying the
+// key — the equivalence property tests pin this.
+type scoreFunc func(ps *personalScratch, key *nameKey) float64
+
+// compileScore builds the fast scoring function for a property-local
+// matcher. Matchers recognized only via the PropertyLocal marker fall back
+// to calling Similarity against the key's representative node — still
+// deduplicated, just not allocation-free.
+func compileScore(m Matcher) scoreFunc {
+	switch mm := m.(type) {
+	case NameMatcher:
+		metric, tokenAware := mm.Metric, mm.TokenAware
+		return func(ps *personalScratch, key *nameKey) float64 {
+			s := ps.sc.Similarity(metric, &ps.prep, &key.prep)
+			if tokenAware {
+				if t := ps.sc.TokenSimilarity(&ps.prep, &key.prep); t > s {
+					s = t
+				}
+			}
+			return s
+		}
+	case *SynonymMatcher:
+		return func(ps *personalScratch, key *nameKey) float64 {
+			if ps.synFold == key.synFold {
+				return 1
+			}
+			if mm.dict[ps.synFold][key.synFold] {
+				return 1
+			}
+			return 0
+		}
+	case TypeMatcher:
+		return func(ps *personalScratch, key *nameKey) float64 {
+			a, b := ps.typFold, key.typFold
+			if a == "" || b == "" {
+				return 0.5
+			}
+			if a == b {
+				return 1
+			}
+			fa, fb := typeFamily[a], typeFamily[b]
+			if fa != "" && fa == fb {
+				return 0.75
+			}
+			return 0
+		}
+	case *Combined:
+		parts := make([]scoreFunc, len(mm.parts))
+		for i, p := range mm.parts {
+			parts[i] = compileScore(p.Matcher)
+		}
+		weights, total := mm.parts, mm.total
+		return func(ps *personalScratch, key *nameKey) float64 {
+			sum := 0.0
+			for i, sub := range parts {
+				sum += weights[i].Weight * sub(ps, key)
+			}
+			return sum / total
+		}
+	default:
+		return func(ps *personalScratch, key *nameKey) float64 {
+			return m.Similarity(ps.node, key.rep)
+		}
+	}
+}
+
+// pruneEligible reports whether the length-difference bound applies: only
+// the pure fuzzy name matcher's score is capped by 1 − |la−lb|/max(la,lb).
+// Token awareness and the other metrics can exceed it.
+func pruneEligible(m Matcher) bool {
+	nm, ok := m.(NameMatcher)
+	return ok && !nm.TokenAware && nm.Metric == strsim.MetricFuzzy
+}
+
+// parallelThreshold is the (personal × vocab) pair count below which the
+// keyed kernel stays on one goroutine — tiny requests finish before worker
+// spin-up pays for itself.
+const parallelThreshold = 1 << 12
+
+// FindCandidates is the vocabulary-deduplicated element-matching kernel:
+// FindCandidatesAmong over the vocabulary's universe, scoring each distinct
+// (personal-name, repo-key) pair once and fanning the score out to every
+// node sharing the key — O(|personal| × |vocab|) similarity calls instead of
+// O(|personal| × |nodes|). The per-personal-node outer loop runs on a
+// bounded worker set, each worker scoring with reusable zero-allocation
+// scratch, and the pure fuzzy matcher additionally skips OSA passes its
+// length-difference bound proves cannot clear cfg.MinSim.
+//
+// The result is bit-identical — scores and order — to the naive reference
+// kernel FindCandidatesAmong(personal, v.Nodes(), m, cfg): dedup only reuses
+// scores across equal (Name, Type) keys, pruning only skips pairs the MinSim
+// filter would drop, and the (sim desc, node ID asc) candidate order is a
+// total order independent of evaluation schedule. Matchers that are not
+// property-local (structure matchers, unknown implementations) fall back to
+// the naive kernel.
+func (v *Vocabulary) FindCandidates(personal *schema.Tree, m Matcher, cfg Config) *Candidates {
+	if v.ni == nil || !isPropertyLocal(m) {
+		if v.ni != nil {
+			v.ni.fallbacks.Add(1)
+		}
+		return FindCandidatesAmong(personal, v.nodes, m, cfg)
+	}
+	out := &Candidates{
+		Personal: personal,
+		Sets:     make([]CandidateSet, personal.Len()),
+	}
+	pnodes := personal.Nodes()
+	if len(pnodes) == 0 {
+		return out
+	}
+	score := compileScore(m)
+	prune := pruneEligible(m)
+
+	var simCalls, saved, prunes atomic.Int64
+	process := func(ps *personalScratch, i int) {
+		p := pnodes[i]
+		ps.node = p
+		ps.prep = strsim.Prepare(p.Name)
+		ps.synFold = fold(p.Name)
+		ps.typFold = fold(p.Type)
+		var nPrunes int64
+		var elems []Candidate
+		var topK *candidateHeap
+		if cfg.MaxPerNode > 0 {
+			topK = newCandidateHeap(cfg.MaxPerNode)
+		}
+		for gi, ki := range v.keys {
+			key := &v.ni.keys[ki]
+			var s float64
+			if prune {
+				var pruned bool
+				s, pruned = ps.sc.FuzzyBounded(&ps.prep, &key.prep, cfg.MinSim)
+				if pruned {
+					nPrunes++
+					continue
+				}
+			} else {
+				s = score(ps, key)
+			}
+			if s > cfg.MinSim {
+				for _, rn := range v.groups[gi] {
+					if topK != nil {
+						topK.offer(Candidate{Node: rn, Sim: s})
+					} else {
+						elems = append(elems, Candidate{Node: rn, Sim: s})
+					}
+				}
+			}
+		}
+		if topK != nil {
+			elems = topK.sorted()
+		} else {
+			sort.Slice(elems, func(a, b int) bool { return candidateBefore(elems[a], elems[b]) })
+		}
+		out.Sets[i].Personal = p
+		out.Sets[i].Elems = elems
+		simCalls.Add(int64(len(v.keys)) - nPrunes)
+		saved.Add(int64(len(v.nodes) - len(v.keys)))
+		prunes.Add(nPrunes)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pnodes) {
+		workers = len(pnodes)
+	}
+	if len(pnodes)*len(v.keys) < parallelThreshold {
+		workers = 1
+	}
+	if workers <= 1 {
+		var ps personalScratch
+		for i := range pnodes {
+			process(&ps, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var ps personalScratch
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(pnodes) {
+						return
+					}
+					process(&ps, i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	v.ni.simCalls.Add(simCalls.Load())
+	v.ni.savedCalls.Add(saved.Load())
+	v.ni.pruneHits.Add(prunes.Load())
+	return out
+}
+
+// candidateBefore is the kernel's total candidate order: descending
+// similarity, ties broken by ascending node ID. Node IDs are unique, so the
+// order is strict and any correct selection algorithm yields the same
+// sequence.
+func candidateBefore(a, b Candidate) bool {
+	if a.Sim != b.Sim {
+		return a.Sim > b.Sim
+	}
+	return a.Node.ID < b.Node.ID
+}
+
+// candidateHeap keeps the best k candidates seen so far as a min-heap under
+// candidateBefore (the root is the worst retained candidate), replacing the
+// naive kernel's collect-everything-then-sort when MaxPerNode bounds the
+// result.
+type candidateHeap struct {
+	k     int
+	elems []Candidate
+}
+
+func newCandidateHeap(k int) *candidateHeap {
+	return &candidateHeap{k: k, elems: make([]Candidate, 0, k)}
+}
+
+func (h *candidateHeap) offer(c Candidate) {
+	if len(h.elems) < h.k {
+		h.elems = append(h.elems, c)
+		// Sift up: parents rank after (are worse than) their children.
+		i := len(h.elems) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !candidateBefore(h.elems[parent], h.elems[i]) {
+				break
+			}
+			h.elems[parent], h.elems[i] = h.elems[i], h.elems[parent]
+			i = parent
+		}
+		return
+	}
+	if !candidateBefore(c, h.elems[0]) {
+		return // not better than the worst retained candidate
+	}
+	h.elems[0] = c
+	// Sift down.
+	i := 0
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h.elems) && candidateBefore(h.elems[worst], h.elems[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h.elems) && candidateBefore(h.elems[worst], h.elems[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.elems[i], h.elems[worst] = h.elems[worst], h.elems[i]
+		i = worst
+	}
+}
+
+func (h *candidateHeap) sorted() []Candidate {
+	if len(h.elems) == 0 {
+		return nil // the naive kernel leaves empty sets nil
+	}
+	sort.Slice(h.elems, func(a, b int) bool { return candidateBefore(h.elems[a], h.elems[b]) })
+	return h.elems
+}

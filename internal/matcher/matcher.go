@@ -329,6 +329,12 @@ func FindCandidates(personal *schema.Tree, repo *schema.Repository, m Matcher, c
 // regardless of the order of nodes, so restricting a repository to a
 // subset of its trees produces exactly the full-repository result filtered
 // to those trees (see Candidates.Restrict).
+//
+// This is the naive reference kernel: it scores every (personal node,
+// repository node) pair directly. The serving path uses the
+// vocabulary-deduplicated Vocabulary.FindCandidates, which is pinned
+// bit-identical to this loop by the kernel equivalence property tests and
+// falls back to it for matchers that are not property-local.
 func FindCandidatesAmong(personal *schema.Tree, nodes []*schema.Node, m Matcher, cfg Config) *Candidates {
 	out := &Candidates{
 		Personal: personal,

@@ -1,0 +1,176 @@
+package matcher
+
+import (
+	"sync/atomic"
+
+	"bellflower/internal/schema"
+	"bellflower/internal/strsim"
+)
+
+// NameIndex interns every distinct (name, datatype) key of a repository and
+// caches the key's prepared similarity inputs (folded form, token list,
+// trigram set, bigram vector) plus the ASCII folds the synonym and datatype
+// matchers use. It is computed once per repository generation — alongside
+// labeling.Index — and shared by every runner, view and shard over that
+// repository, so shards pay no extra memory for it.
+//
+// Repository vocabularies are tiny relative to node counts (the same element
+// names recur across trees), which is what makes the keyed kernel's
+// vocabulary dedup pay: scoring one personal node costs O(|vocab|)
+// similarity calls instead of O(|nodes|).
+type NameIndex struct {
+	repo  *schema.Repository
+	keyOf []int32 // node ID -> index into keys
+	keys  []nameKey
+	bytes int64
+
+	// Kernel effectiveness counters, accumulated by Vocabulary.FindCandidates.
+	simCalls   atomic.Int64
+	savedCalls atomic.Int64
+	pruneHits  atomic.Int64
+	fallbacks  atomic.Int64
+}
+
+// nameKey is one interned (name, datatype) key with its precomputed scoring
+// inputs.
+type nameKey struct {
+	name    string
+	typ     string
+	prep    strsim.Prepared
+	synFold string       // ASCII fold of name (SynonymMatcher's fold)
+	typFold string       // ASCII fold of typ (TypeMatcher's fold)
+	rep     *schema.Node // first node carrying this key; representative for opaque local matchers
+}
+
+// NewNameIndex interns the repository's (name, datatype) vocabulary.
+func NewNameIndex(repo *schema.Repository) *NameIndex {
+	n := repo.Len()
+	ni := &NameIndex{repo: repo, keyOf: make([]int32, n)}
+	type pair struct{ name, typ string }
+	seen := make(map[pair]int32, n/2)
+	for id := 0; id < n; id++ {
+		node := repo.Node(id)
+		k := pair{node.Name, node.Type}
+		ki, ok := seen[k]
+		if !ok {
+			ki = int32(len(ni.keys))
+			seen[k] = ki
+			ni.keys = append(ni.keys, nameKey{
+				name:    node.Name,
+				typ:     node.Type,
+				prep:    strsim.Prepare(node.Name),
+				synFold: fold(node.Name),
+				typFold: fold(node.Type),
+				rep:     node,
+			})
+		}
+		ni.keyOf[id] = ki
+	}
+	b := int64(4 * len(ni.keyOf))
+	for i := range ni.keys {
+		k := &ni.keys[i]
+		b += 120 + int64(len(k.name)+len(k.typ)+len(k.synFold)+len(k.typFold)) + k.prep.MemoryBytes()
+	}
+	ni.bytes = b
+	return ni
+}
+
+// Repository returns the repository the index was built from.
+func (ni *NameIndex) Repository() *schema.Repository { return ni.repo }
+
+// Keys returns the number of distinct (name, datatype) keys.
+func (ni *NameIndex) Keys() int { return len(ni.keys) }
+
+// Nodes returns the number of repository nodes the index covers.
+func (ni *NameIndex) Nodes() int { return len(ni.keyOf) }
+
+// DistinctRatio returns Keys/Nodes — the fraction of the node universe that
+// is distinct vocabulary. The keyed kernel's dedup win is its inverse.
+func (ni *NameIndex) DistinctRatio() float64 {
+	if len(ni.keyOf) == 0 {
+		return 0
+	}
+	return float64(len(ni.keys)) / float64(len(ni.keyOf))
+}
+
+// MemoryBytes estimates the resident size of the index.
+func (ni *NameIndex) MemoryBytes() int64 { return ni.bytes }
+
+// KernelStats is a snapshot of the keyed kernel's effectiveness counters.
+type KernelStats struct {
+	// SimCalls is the number of similarity evaluations the keyed kernel
+	// performed.
+	SimCalls int64
+	// SavedCalls is the number of evaluations vocabulary dedup avoided
+	// relative to the naive kernel (|nodes| − |vocab| per personal node).
+	SavedCalls int64
+	// PruneHits is the number of OSA evaluations the length-difference
+	// bound skipped.
+	PruneHits int64
+	// NaiveFallbacks is the number of kernel invocations that fell back to
+	// the naive reference loop (non-local matcher or foreign universe).
+	NaiveFallbacks int64
+}
+
+// KernelStats returns a snapshot of the kernel counters.
+func (ni *NameIndex) KernelStats() KernelStats {
+	return KernelStats{
+		SimCalls:       ni.simCalls.Load(),
+		SavedCalls:     ni.savedCalls.Load(),
+		PruneHits:      ni.pruneHits.Load(),
+		NaiveFallbacks: ni.fallbacks.Load(),
+	}
+}
+
+// Vocabulary is one node universe (a whole repository or a shard view's
+// member nodes) grouped by interned key. Building it is a single pass over
+// the universe; the grouping is immutable afterwards and safe for concurrent
+// use by the kernel.
+type Vocabulary struct {
+	ni     *NameIndex
+	nodes  []*schema.Node   // the universe, in its original order
+	keys   []int32          // distinct key indexes present, in first-appearance order
+	groups [][]*schema.Node // nodes per key, parallel to keys
+}
+
+// Vocabulary groups a node universe by the index's interned keys. Every node
+// must belong to the index's repository; a universe containing foreign nodes
+// yields a vocabulary that always takes the naive path (the kernel cannot
+// vouch for its dedup there).
+func (ni *NameIndex) Vocabulary(nodes []*schema.Node) *Vocabulary {
+	v := &Vocabulary{ni: ni, nodes: nodes}
+	slot := make(map[int32]int, 64)
+	for _, n := range nodes {
+		if n.ID < 0 || n.ID >= len(ni.keyOf) || ni.repo.Node(n.ID) != n {
+			return &Vocabulary{nodes: nodes} // foreign universe: naive only
+		}
+		ki := ni.keyOf[n.ID]
+		gi, ok := slot[ki]
+		if !ok {
+			gi = len(v.keys)
+			slot[ki] = gi
+			v.keys = append(v.keys, ki)
+			v.groups = append(v.groups, nil)
+		}
+		v.groups[gi] = append(v.groups[gi], n)
+	}
+	return v
+}
+
+// Index returns the name index the vocabulary was grouped under, or nil for
+// a naive-only vocabulary.
+func (v *Vocabulary) Index() *NameIndex { return v.ni }
+
+// Nodes returns the vocabulary's node universe.
+func (v *Vocabulary) Nodes() []*schema.Node { return v.nodes }
+
+// Keys returns the number of distinct keys present in the universe.
+func (v *Vocabulary) Keys() int { return len(v.keys) }
+
+// DistinctRatio returns Keys/len(Nodes) for this universe.
+func (v *Vocabulary) DistinctRatio() float64 {
+	if len(v.nodes) == 0 {
+		return 0
+	}
+	return float64(len(v.keys)) / float64(len(v.nodes))
+}

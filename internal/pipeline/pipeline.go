@@ -261,30 +261,55 @@ func (r *Report) Deltas() []float64 {
 // clusters, report) on its own stack. Many goroutines may call Run on one
 // Runner at once — the serve subsystem depends on this.
 type Runner struct {
-	repo *schema.Repository
-	ix   *labeling.Index
-	view *labeling.View // non-nil: matching restricted to the view's trees
+	repo  *schema.Repository
+	ix    *labeling.Index
+	view  *labeling.View // non-nil: matching restricted to the view's trees
+	ni    *matcher.NameIndex
+	vocab *matcher.Vocabulary // the match universe grouped by interned key
 }
 
-// NewRunner builds the labelling index for the repository.
+// NewRunner builds the labelling index and the name-similarity index for
+// the repository.
 func NewRunner(repo *schema.Repository) *Runner {
-	return &Runner{repo: repo, ix: labeling.NewIndex(repo)}
+	return newRunner(repo, labeling.NewIndex(repo), nil, matcher.NewNameIndex(repo))
 }
 
 // NewRunnerFromIndex wraps an already-built labelling index, sharing it
 // instead of re-indexing the repository — the serving router uses this for
 // its full-repository pre-pass runner so router and shards hold one index.
+// A fresh name index is built; use NewRunnerFromIndexes to share one.
 func NewRunnerFromIndex(ix *labeling.Index) *Runner {
-	return &Runner{repo: ix.Repository(), ix: ix}
+	return newRunner(ix.Repository(), ix, nil, matcher.NewNameIndex(ix.Repository()))
+}
+
+// NewRunnerFromIndexes wraps already-built labelling and name indexes,
+// sharing both: the serving layer builds each index once per repository
+// generation and hands them to the pre-pass runner and every shard runner.
+func NewRunnerFromIndexes(ix *labeling.Index, ni *matcher.NameIndex) *Runner {
+	return newRunner(ix.Repository(), ix, nil, ni)
 }
 
 // NewViewRunner builds a runner restricted to a shard view: candidate
 // matching covers only the view's member trees, and precomputed candidates
 // or clusters handed to RunWithCandidates / RunWithClusters must lie inside
 // the view. The underlying index (and its memory) is shared with every
-// other runner over the same index.
+// other runner over the same index. A fresh name index is built; sharded
+// serving uses NewViewRunnerWithNameIndex so all shards share one.
 func NewViewRunner(view *labeling.View) *Runner {
-	return &Runner{repo: view.Repository(), ix: view.Index(), view: view}
+	return newRunner(view.Repository(), view.Index(), view, matcher.NewNameIndex(view.Repository()))
+}
+
+// NewViewRunnerWithNameIndex is NewViewRunner sharing an already-built name
+// index, so every shard over one repository generation pays zero extra
+// memory for it.
+func NewViewRunnerWithNameIndex(view *labeling.View, ni *matcher.NameIndex) *Runner {
+	return newRunner(view.Repository(), view.Index(), view, ni)
+}
+
+func newRunner(repo *schema.Repository, ix *labeling.Index, view *labeling.View, ni *matcher.NameIndex) *Runner {
+	r := &Runner{repo: repo, ix: ix, view: view, ni: ni}
+	r.vocab = ni.Vocabulary(r.matchNodes())
+	return r
 }
 
 // Repository returns the runner's repository — always the full repository,
@@ -293,6 +318,9 @@ func (r *Runner) Repository() *schema.Repository { return r.repo }
 
 // Index returns the runner's labelling index.
 func (r *Runner) Index() *labeling.Index { return r.ix }
+
+// NameIndex returns the runner's name-similarity index.
+func (r *Runner) NameIndex() *matcher.NameIndex { return r.ni }
 
 // View returns the shard view the runner is scoped to, or nil for a
 // whole-repository runner.
@@ -307,6 +335,13 @@ func (r *Runner) matchNodes() []*schema.Node {
 		return r.view.Nodes()
 	}
 	return r.repo.Nodes()
+}
+
+// MatchCandidates runs the element-matching kernel for one personal schema
+// against this runner's node universe: the vocabulary-deduplicated keyed
+// kernel for property-local matchers, the naive reference loop otherwise.
+func (r *Runner) MatchCandidates(personal *schema.Tree, m matcher.Matcher, cfg matcher.Config) *matcher.Candidates {
+	return r.vocab.FindCandidates(personal, m, cfg)
 }
 
 // checkOwned verifies that a precomputed candidate or cluster node belongs
@@ -347,7 +382,7 @@ func (r *Runner) RunContext(ctx context.Context, personal *schema.Tree, opts Opt
 	}
 	t0 := time.Now()
 	_, msp := trace.StartSpan(ctx, "pipeline.match")
-	cands := matcher.FindCandidatesAmong(personal, r.matchNodes(), m, matcher.Config{MinSim: opts.MinSim})
+	cands := r.MatchCandidates(personal, m, matcher.Config{MinSim: opts.MinSim})
 	msp.End()
 	return r.runFromCandidates(ctx, personal, cands, time.Since(t0), opts)
 }

@@ -23,6 +23,9 @@ func WritePrometheus(w io.Writer, st Stats, shards int) error {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
+	gaugeF := func(name, help string, v float64) {
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
 
 	counter("bellflower_requests_total", "Match requests received (batch entries count individually; a sharded request counts once per shard).", st.Requests)
 	counter("bellflower_cache_hits_total", "Requests served from the report cache.", st.CacheHits)
@@ -40,6 +43,8 @@ func WritePrometheus(w io.Writer, st Stats, shards int) error {
 	counter("bellflower_cache_expired_total", "Cache entries dropped because their TTL passed.", st.CacheExpired)
 	counter("bellflower_projection_cache_hits_total", "Shard-server projection references resolved from the content-addressed projection cache (the projection never crossed the wire).", st.ProjectionCacheHits)
 	counter("bellflower_projection_cache_misses_total", "Shard-server projection references answered 428 projection-needed (the client retried with the full payload).", st.ProjectionCacheMisses)
+	counter("bellflower_sim_calls_saved_total", "Similarity evaluations avoided by the matching kernel's vocabulary dedup (distinct keys scored once, fanned out to nodes).", st.SimCallsSaved)
+	counter("bellflower_match_prunes_total", "Edit-distance passes skipped by the matching kernel's length-difference pruning bound.", st.MatchPrunes)
 
 	const wb = "bellflower_wire_bytes_total"
 	fmt.Fprintf(ew, "# HELP %s Shard-RPC body bytes by direction and codec, counted at the shard server (in = request bodies received, out = response bodies sent).\n# TYPE %s counter\n", wb, wb)
@@ -58,6 +63,8 @@ func WritePrometheus(w io.Writer, st Stats, shards int) error {
 	gauge("bellflower_cache_bytes", "Resident size-estimated bytes across the unified cache (reports + pre-pass).", st.CacheBytes)
 	gauge("bellflower_cache_byte_budget", "Unified cache byte budget (0 = unbounded).", st.CacheByteBudget)
 	gauge("bellflower_index_bytes", "Resident labelling-index bytes (distinct indexes counted once; view-backed shards share one).", st.IndexBytes)
+	gauge("bellflower_name_index_bytes", "Resident name-similarity-index bytes of the matching kernel (distinct indexes counted once; view-backed shards share one).", st.NameIndexBytes)
+	gaugeF("bellflower_distinct_vocab_ratio", "Distinct (name, datatype) keys over repository nodes; its inverse is the matching kernel's vocabulary-dedup factor.", st.DistinctVocabRatio)
 
 	const hist = "bellflower_request_latency_seconds"
 	fmt.Fprintf(ew, "# HELP %s End-to-end request latency.\n# TYPE %s histogram\n", hist, hist)

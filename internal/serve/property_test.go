@@ -117,6 +117,9 @@ func TestShardedEquivalenceProperty(t *testing.T) {
 					if r.Shard(i).Index() != r.fullRunner.Index() {
 						t.Fatalf("seed %d %v shards=%d: shard %d owns a private index", tc.seed, strategy, shards, i)
 					}
+					if r.Shard(i).Runner().NameIndex() != r.fullRunner.NameIndex() {
+						t.Fatalf("seed %d %v shards=%d: shard %d owns a private name index", tc.seed, strategy, shards, i)
+					}
 					if r.Shard(i).Runner().View() == nil {
 						t.Fatalf("seed %d %v shards=%d: shard %d is not view-backed", tc.seed, strategy, shards, i)
 					}
@@ -139,6 +142,23 @@ func TestShardedEquivalenceProperty(t *testing.T) {
 				if rep.MappingElements != direct.MappingElements {
 					t.Errorf("seed %d %v shards=%d: mapping elements %d, want %d",
 						tc.seed, strategy, shards, rep.MappingElements, direct.MappingElements)
+				}
+				// The byte-identical report above must have come THROUGH the
+				// keyed kernel, not around it: the default name matcher is
+				// property-local, so the shared name index's counters advance
+				// and the naive fallback never fires. The rollup's memory
+				// gauge equals the single shared index — shards add none.
+				ks := r.fullRunner.NameIndex().KernelStats()
+				if ks.SimCalls == 0 {
+					t.Errorf("seed %d %v shards=%d: keyed kernel performed no similarity calls", tc.seed, strategy, shards)
+				}
+				if ks.NaiveFallbacks != 0 {
+					t.Errorf("seed %d %v shards=%d: keyed kernel fell back to the naive loop %d times",
+						tc.seed, strategy, shards, ks.NaiveFallbacks)
+				}
+				if st := r.Stats(); st.NameIndexBytes != r.fullRunner.NameIndex().MemoryBytes() {
+					t.Errorf("seed %d %v shards=%d: rollup NameIndexBytes %d, want the shared index's %d",
+						tc.seed, strategy, shards, st.NameIndexBytes, r.fullRunner.NameIndex().MemoryBytes())
 				}
 
 				// Truncated report: identical Δ sequence, every mapping a

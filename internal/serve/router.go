@@ -228,6 +228,7 @@ func NewRouterFromRepository(repo *schema.Repository, n int, cfg Config) *Router
 // opts into the partial-results fan-out (see SetPartialResults).
 func NewRouterWithPartition(repo *schema.Repository, n int, cfg Config, strategy PartitionStrategy) *Router {
 	ix := labeling.NewIndex(repo)
+	ni := matcher.NewNameIndex(repo)
 	views := PartitionRepositoryViews(ix, n, strategy)
 	if cfg.Workers == 0 && len(views) > 1 {
 		cfg.Workers = runtime.GOMAXPROCS(0) / len(views)
@@ -240,7 +241,7 @@ func NewRouterWithPartition(repo *schema.Repository, n int, cfg Config, strategy
 	shardCfg.gov = gov
 	shards := make([]*Service, len(views))
 	for i, v := range views {
-		shards[i] = New(pipeline.NewViewRunner(v), shardCfg)
+		shards[i] = New(pipeline.NewViewRunnerWithNameIndex(v, ni), shardCfg)
 	}
 	r := NewRouter(shards)
 	// The pre-pass runs on request goroutines (it must complete even when
@@ -248,7 +249,7 @@ func NewRouterWithPartition(repo *schema.Repository, n int, cfg Config, strategy
 	// to the summed shard worker budget so a burst of distinct cold
 	// requests cannot run more CPU-bound matching than the operator sized
 	// the service for.
-	r.enablePrepass(ix, views, gov, cfg, cfg.withDefaults().Workers*len(views))
+	r.enablePrepass(ix, ni, views, gov, cfg, cfg.withDefaults().Workers*len(views))
 	return r
 }
 
@@ -279,16 +280,16 @@ func NewRouterWithShardBackends(ix *labeling.Index, views []*labeling.View, back
 			r.shardOf[t] = i
 		}
 	}
-	r.enablePrepass(ix, views, newGovernor(cfg.CacheBytes, cfg.CacheTTL), cfg, cfg.withDefaults().Workers)
+	r.enablePrepass(ix, matcher.NewNameIndex(ix.Repository()), views, newGovernor(cfg.CacheBytes, cfg.CacheTTL), cfg, cfg.withDefaults().Workers)
 	return r
 }
 
 // enablePrepass switches the router onto the shared pre-pass path: one
-// full-repository runner over ix, per-shard views for projection, and the
-// pre-pass cache under gov. prepassConc bounds concurrent pre-pass
+// full-repository runner over ix and ni, per-shard views for projection,
+// and the pre-pass cache under gov. prepassConc bounds concurrent pre-pass
 // executions.
-func (r *Router) enablePrepass(ix *labeling.Index, views []*labeling.View, gov *memGovernor, cfg Config, prepassConc int) {
-	r.fullRunner = pipeline.NewRunnerFromIndex(ix)
+func (r *Router) enablePrepass(ix *labeling.Index, ni *matcher.NameIndex, views []*labeling.View, gov *memGovernor, cfg Config, prepassConc int) {
+	r.fullRunner = pipeline.NewRunnerFromIndexes(ix, ni)
 	r.views = views
 	r.gov = gov
 	r.partial.Store(cfg.PartialResults)
@@ -466,7 +467,7 @@ func (r *Router) runPrepass(ctx context.Context, personal *schema.Tree, opts pip
 				m = matcher.NameMatcher{}
 			}
 			t0 := time.Now()
-			e.cands = matcher.FindCandidates(personal, r.fullRunner.Repository(), m, matcher.Config{MinSim: opts.MinSim})
+			e.cands = r.fullRunner.MatchCandidates(personal, m, matcher.Config{MinSim: opts.MinSim})
 			e.matchDur = time.Since(t0)
 			t1 := time.Now()
 			e.clusters, e.iterations, e.err = pipeline.ComputeClusters(r.fullRunner.Index(), e.cands, opts)
@@ -704,6 +705,7 @@ func (r *Router) Snapshot() (Stats, []Stats) {
 	total.HealthSkips += r.healthSkips.Load()
 	total.Stages = mergeStages(total.Stages, r.routerStages())
 	total.IndexBytes = r.indexBytes()
+	total.NameIndexBytes, total.DistinctVocabRatio, total.SimCallsSaved, total.MatchPrunes = r.nameIndexStats()
 	total.CacheBytes, total.CacheByteBudget, total.CacheEvictions, total.CacheExpired = r.governorStats()
 	// Remote shards' caches and indexes are resident in THEIR processes;
 	// their snapshots carry the figures, so the rollup adds them on top of
@@ -717,6 +719,12 @@ func (r *Router) Snapshot() (Stats, []Stats) {
 		total.CacheEvictions += st.CacheEvictions
 		total.CacheExpired += st.CacheExpired
 		total.IndexBytes += st.IndexBytes
+		total.NameIndexBytes += st.NameIndexBytes
+		total.SimCallsSaved += st.SimCallsSaved
+		total.MatchPrunes += st.MatchPrunes
+		if st.DistinctVocabRatio > total.DistinctVocabRatio {
+			total.DistinctVocabRatio = st.DistinctVocabRatio
+		}
 	}
 	return total, shards
 }
@@ -781,6 +789,39 @@ func (r *Router) indexBytes() int64 {
 		}
 	}
 	return b
+}
+
+// nameIndexStats rolls the keyed matching kernel's figures up across the
+// router, counting each distinct LOCAL name index exactly once — view-backed
+// shards and the pre-pass runner all share the router's single index, so the
+// sharded figures equal the unsharded ones (the memory gauge proves no
+// per-shard duplication, and the shared counters are not multiplied by the
+// shard count). The distinct-vocabulary ratio reports the largest universe's
+// ratio rather than a sum, matching MergeStats' shared-gauge semantics.
+func (r *Router) nameIndexStats() (bytes int64, ratio float64, saved, prunes int64) {
+	seen := make(map[*matcher.NameIndex]bool, len(r.locals)+1)
+	add := func(ni *matcher.NameIndex) {
+		if ni == nil || seen[ni] {
+			return
+		}
+		seen[ni] = true
+		bytes += ni.MemoryBytes()
+		if dr := ni.DistinctRatio(); dr > ratio {
+			ratio = dr
+		}
+		ks := ni.KernelStats()
+		saved += ks.SavedCalls
+		prunes += ks.PruneHits
+	}
+	if r.fullRunner != nil {
+		add(r.fullRunner.NameIndex())
+	}
+	for _, s := range r.locals {
+		if s != nil {
+			add(s.runner.NameIndex())
+		}
+	}
+	return bytes, ratio, saved, prunes
 }
 
 // ShardStats returns one snapshot per shard, in shard order. Snapshots

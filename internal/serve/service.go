@@ -549,6 +549,13 @@ func (s *Service) Stats() Stats {
 		Latency:         s.ct.lat.snapshot(),
 		Stages:          s.ct.snapshotStages(),
 	}
+	if ni := s.runner.NameIndex(); ni != nil {
+		st.NameIndexBytes = ni.MemoryBytes()
+		st.DistinctVocabRatio = ni.DistinctRatio()
+		ks := ni.KernelStats()
+		st.SimCallsSaved = ks.SavedCalls
+		st.MatchPrunes = ks.PruneHits
+	}
 	if pc := s.projc.Load(); pc != nil {
 		st.ProjectionCacheHits = pc.hits.Load()
 		st.ProjectionCacheMisses = pc.misses.Load()

@@ -217,6 +217,28 @@ type Stats struct {
 	// deduplicating by index identity (see Router.Snapshot).
 	IndexBytes int64 `json:"index_bytes"`
 
+	// NameIndexBytes is the resident memory of the matching kernel's
+	// name-similarity index (the interned (name, datatype) vocabulary with
+	// precomputed scoring inputs). Like IndexBytes it is shared by every
+	// view-backed shard of one router, so the sharded rollup equals the
+	// unsharded figure; backends dedup by index identity (Router.Snapshot).
+	NameIndexBytes int64 `json:"name_index_bytes"`
+
+	// DistinctVocabRatio is distinct (name, datatype) keys divided by
+	// repository nodes — the fraction of the matching universe that is
+	// distinct vocabulary. Its inverse is the keyed kernel's dedup factor:
+	// a ratio of 0.1 means ten nodes share each scored key on average.
+	DistinctVocabRatio float64 `json:"distinct_vocab_ratio"`
+
+	// SimCallsSaved counts similarity evaluations the keyed kernel's
+	// vocabulary dedup avoided relative to the naive per-node loop, and
+	// MatchPrunes counts edit-distance passes skipped by the
+	// length-difference bound. Both live on the shared name index, so
+	// shards of one router report the same totals and the rollup carries
+	// them once (identity-dedup in Router.Snapshot, max in MergeStats).
+	SimCallsSaved int64 `json:"sim_calls_saved"`
+	MatchPrunes   int64 `json:"match_prunes"`
+
 	// PartialResults counts fanned-out requests served as Incomplete
 	// merges under the partial-results option (router-level; always 0
 	// for a plain Service and in per-shard snapshots).
@@ -397,8 +419,10 @@ func mergeStages(dst map[string]LatencyStats, src map[string]LatencyStats) map[s
 // request once per shard; shard-relative ratios (hit rates, dedupe rates)
 // remain meaningful.
 //
-// Gauges of possibly-shared resources — IndexBytes, CacheByteBudget,
-// CacheEvictions, CacheExpired — merge as the maximum, not the sum:
+// Gauges and counters of possibly-shared resources — IndexBytes,
+// NameIndexBytes, DistinctVocabRatio, SimCallsSaved, MatchPrunes,
+// CacheByteBudget, CacheEvictions, CacheExpired — merge as the maximum,
+// not the sum:
 // view-backed shards of one router share a single index and a single
 // memory governor, and summing would multiply one resident structure by
 // the shard count. The max is only a fallback for bare snapshot merging
@@ -422,6 +446,18 @@ func MergeStats(ss ...Stats) Stats {
 		}
 		if st.IndexBytes > out.IndexBytes {
 			out.IndexBytes = st.IndexBytes
+		}
+		if st.NameIndexBytes > out.NameIndexBytes {
+			out.NameIndexBytes = st.NameIndexBytes
+		}
+		if st.DistinctVocabRatio > out.DistinctVocabRatio {
+			out.DistinctVocabRatio = st.DistinctVocabRatio
+		}
+		if st.SimCallsSaved > out.SimCallsSaved {
+			out.SimCallsSaved = st.SimCallsSaved
+		}
+		if st.MatchPrunes > out.MatchPrunes {
+			out.MatchPrunes = st.MatchPrunes
 		}
 		out.PartialResults += st.PartialResults
 		out.PrePassFallbacks += st.PrePassFallbacks

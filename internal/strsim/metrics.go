@@ -2,6 +2,7 @@ package strsim
 
 import (
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -15,6 +16,13 @@ import (
 // characters within a sliding window and transposition counts.
 func JaroSimilarity(a, b string) float64 {
 	ra, rb := foldRunes(a), foldRunes(b)
+	return jaroFoldedRunes(ra, rb, make([]bool, len(ra)), make([]bool, len(rb)))
+}
+
+// jaroFoldedRunes is JaroSimilarity over already-folded text with
+// caller-provided (cleared) match scratch, shared with the prepared-form
+// scorer so both paths produce bit-identical results.
+func jaroFoldedRunes[T byte | rune](ra, rb []T, matchedA, matchedB []bool) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
@@ -30,8 +38,6 @@ func JaroSimilarity(a, b string) float64 {
 	if window < 0 {
 		window = 0
 	}
-	matchedA := make([]bool, la)
-	matchedB := make([]bool, lb)
 	matches := 0
 	for i := 0; i < la; i++ {
 		lo := i - window
@@ -93,7 +99,52 @@ func NGramCosineSimilarity(a, b string, n int) float64 {
 	if n < 1 {
 		panic("strsim: n-gram size must be >= 1")
 	}
-	ga, gb := ngramCounts(a, n), ngramCounts(b, n)
+	ga, na := ngramVec(a, n)
+	gb, nb := ngramVec(b, n)
+	return cosineVec(ga, na, gb, nb)
+}
+
+// gram is one entry of a sorted n-gram count vector.
+type gram struct {
+	g string
+	c int
+}
+
+// ngramVec returns the n-gram counts of the padded, case-folded text sorted
+// by gram, plus the Euclidean norm of the count vector. The sorted-slice
+// representation makes dot products a linear merge with a deterministic
+// accumulation order — the earlier map summed in random iteration order, so
+// equal inputs could produce last-ulp-different cosines.
+func ngramVec(s string, n int) ([]gram, float64) {
+	folded := strings.ToLower(strings.TrimSpace(s))
+	if folded == "" {
+		return nil, 0
+	}
+	pad := strings.Repeat("^", n-1)
+	runes := []rune(pad + folded + pad)
+	grams := make([]string, 0, len(runes))
+	for i := 0; i+n <= len(runes); i++ {
+		grams = append(grams, string(runes[i:i+n]))
+	}
+	sort.Strings(grams)
+	out := make([]gram, 0, len(grams))
+	for _, g := range grams {
+		if len(out) > 0 && out[len(out)-1].g == g {
+			out[len(out)-1].c++
+		} else {
+			out = append(out, gram{g: g, c: 1})
+		}
+	}
+	sum := 0.0
+	for _, e := range out {
+		sum += float64(e.c) * float64(e.c)
+	}
+	return out, math.Sqrt(sum)
+}
+
+// cosineVec is the cosine similarity of two sorted n-gram count vectors with
+// precomputed norms.
+func cosineVec(ga []gram, na float64, gb []gram, nb float64) float64 {
 	if len(ga) == 0 && len(gb) == 0 {
 		return 1
 	}
@@ -101,34 +152,20 @@ func NGramCosineSimilarity(a, b string, n int) float64 {
 		return 0
 	}
 	dot := 0.0
-	for g, ca := range ga {
-		if cb, ok := gb[g]; ok {
-			dot += float64(ca) * float64(cb)
+	i, j := 0, 0
+	for i < len(ga) && j < len(gb) {
+		switch {
+		case ga[i].g == gb[j].g:
+			dot += float64(ga[i].c) * float64(gb[j].c)
+			i++
+			j++
+		case ga[i].g < gb[j].g:
+			i++
+		default:
+			j++
 		}
 	}
-	return dot / (norm(ga) * norm(gb))
-}
-
-func ngramCounts(s string, n int) map[string]int {
-	folded := strings.ToLower(strings.TrimSpace(s))
-	if folded == "" {
-		return nil
-	}
-	pad := strings.Repeat("^", n-1)
-	runes := []rune(pad + folded + pad)
-	out := make(map[string]int)
-	for i := 0; i+n <= len(runes); i++ {
-		out[string(runes[i:i+n])]++
-	}
-	return out
-}
-
-func norm(m map[string]int) float64 {
-	sum := 0.0
-	for _, c := range m {
-		sum += float64(c) * float64(c)
-	}
-	return math.Sqrt(sum)
+	return dot / (na * nb)
 }
 
 // Metric identifies a name-similarity metric for the pluggable

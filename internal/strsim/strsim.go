@@ -15,8 +15,10 @@
 package strsim
 
 import (
+	"sort"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // CompareStringFuzzy returns a normalized similarity in [0, 1] between a and
@@ -54,10 +56,17 @@ func foldRunes(s string) []rune {
 // Damerau–Levenshtein: each substring may be transposed at most once) using
 // three rolling rows.
 func osaDistance(a, b []rune) int {
+	lb := len(b)
+	return osaInto(a, b, make([]int, lb+1), make([]int, lb+1), make([]int, lb+1))
+}
+
+// osaInto is osaDistance over caller-provided rolling rows (each len(b)+1
+// long), so warm callers allocate nothing. The byte and rune instantiations
+// produce identical distances on ASCII input — folding maps 'A'..'Z' to
+// 'a'..'z' and leaves other ASCII untouched — which keeps the byte-level
+// fast path exact.
+func osaInto[T byte | rune](a, b []T, prev2, prev, cur []int) int {
 	la, lb := len(a), len(b)
-	prev2 := make([]int, lb+1) // row i-2
-	prev := make([]int, lb+1)  // row i-1
-	cur := make([]int, lb+1)   // row i
 	for j := 0; j <= lb; j++ {
 		prev[j] = j
 	}
@@ -99,40 +108,50 @@ func Distance(a, b string) int {
 // "ISBN_13-code" -> ["isbn","13","code"].
 func Tokenize(name string) []string {
 	var tokens []string
-	var cur []rune
+	var buf [32]rune // reused across tokens; spills to the heap only for very long tokens
+	cur := buf[:0]
 	flush := func() {
 		if len(cur) > 0 {
 			tokens = append(tokens, string(cur))
 			cur = cur[:0]
 		}
 	}
-	runes := []rune(name)
-	for i, r := range runes {
+	// Single pass over the UTF-8 bytes: the previous rune is carried and the
+	// next rune is peeked in place, so the name is never converted to []rune.
+	prev := rune(-1) // -1 = start of string
+	for i := 0; i < len(name); {
+		r, size := utf8.DecodeRuneInString(name[i:])
+		next := i + size
 		switch {
 		case r == '_' || r == '-' || r == '.' || r == ':' || r == '/' || unicode.IsSpace(r):
 			flush()
 		case unicode.IsUpper(r):
 			// Start a new token at a lower->Upper boundary, and at the last
 			// upper of an acronym followed by a lower (XMLName -> xml name).
-			if i > 0 {
-				prev := runes[i-1]
-				nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+			if prev >= 0 {
+				nextLower := false
+				if next < len(name) {
+					nr, _ := utf8.DecodeRuneInString(name[next:])
+					nextLower = unicode.IsLower(nr)
+				}
 				if unicode.IsLower(prev) || unicode.IsDigit(prev) || (unicode.IsUpper(prev) && nextLower) {
 					flush()
 				}
 			}
 			cur = append(cur, unicode.ToLower(r))
 		case unicode.IsDigit(r):
-			if i > 0 && !unicode.IsDigit(runes[i-1]) {
+			if prev >= 0 && !unicode.IsDigit(prev) {
 				flush()
 			}
 			cur = append(cur, r)
 		default:
-			if i > 0 && unicode.IsDigit(runes[i-1]) {
+			if prev >= 0 && unicode.IsDigit(prev) {
 				flush()
 			}
 			cur = append(cur, unicode.ToLower(r))
 		}
+		prev = r
+		i = next
 	}
 	flush()
 	return tokens
@@ -180,8 +199,37 @@ func TokenSimilarity(a, b string) float64 {
 // robust for long names; the approximate-string-join literature the paper
 // cites [10] builds on exactly this kind of q-gram overlap.
 func TrigramSimilarity(a, b string) float64 {
-	ga := trigrams(a)
-	gb := trigrams(b)
+	return trigramJaccard(trigramSet(a), trigramSet(b))
+}
+
+// trigramSet returns the sorted distinct trigrams of the padded, case-folded
+// text. The sorted-slice representation replaces the earlier per-call map:
+// prepared forms can share it and set operations run as linear merges.
+func trigramSet(s string) []string {
+	folded := strings.ToLower(strings.TrimSpace(s))
+	if folded == "" {
+		return nil
+	}
+	padded := "^^" + folded + "$$"
+	runes := []rune(padded)
+	out := make([]string, 0, len(runes))
+	for i := 0; i+3 <= len(runes); i++ {
+		out = append(out, string(runes[i:i+3]))
+	}
+	sort.Strings(out)
+	w := 0
+	for i, g := range out {
+		if i == 0 || g != out[w-1] {
+			out[w] = g
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// trigramJaccard is the Jaccard similarity of two sorted distinct trigram
+// slices, computed as a linear merge.
+func trigramJaccard(ga, gb []string) float64 {
 	if len(ga) == 0 && len(gb) == 0 {
 		return 1
 	}
@@ -189,27 +237,21 @@ func TrigramSimilarity(a, b string) float64 {
 		return 0
 	}
 	inter := 0
-	for g := range ga {
-		if gb[g] {
+	i, j := 0, 0
+	for i < len(ga) && j < len(gb) {
+		switch {
+		case ga[i] == gb[j]:
 			inter++
+			i++
+			j++
+		case ga[i] < gb[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	union := len(ga) + len(gb) - inter
 	return float64(inter) / float64(union)
-}
-
-func trigrams(s string) map[string]bool {
-	folded := strings.ToLower(strings.TrimSpace(s))
-	if folded == "" {
-		return nil
-	}
-	padded := "^^" + folded + "$$"
-	runes := []rune(padded)
-	out := make(map[string]bool, len(runes))
-	for i := 0; i+3 <= len(runes); i++ {
-		out[string(runes[i:i+3])] = true
-	}
-	return out
 }
 
 // NameSimilarity is the similarity used by the default name matcher: the

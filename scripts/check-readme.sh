@@ -51,6 +51,17 @@ for metric in $(grep -oE 'bellflower_[a-z_]+' README.md | sed -E 's/_(bucket|sum
   fi
 done
 
+# ... and the reverse: every bellflower_* metric family the exporter
+# emits (a quoted name in prometheus.go, including the per-shard series)
+# must be named somewhere in the README, so new series cannot ship
+# undocumented.
+for metric in $(grep -oE '"bellflower_[a-z_]+"' internal/serve/prometheus.go | tr -d '"' | sort -u); do
+  if ! grep -q "$metric" README.md; then
+    echo "exporter emits metric $metric, which README.md does not document" >&2
+    fail=1
+  fi
+done
+
 # Debug endpoints: when the README documents the -debug-addr listener,
 # the paths it names must be mounted by debugRoutes.
 for ep in /debug/pprof/ /debug/vars; do
