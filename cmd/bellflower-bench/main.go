@@ -8,10 +8,10 @@
 // additionally record the actual on-the-wire bytes per request broken
 // down by codec, from the shard servers' transport counters.
 //
-//	bellflower-bench                       # full run, writes BENCH_9.json
+//	bellflower-bench                       # full run, writes BENCH_10.json
 //	bellflower-bench -quick -out /tmp/b.json
-//	bellflower-bench -check BENCH_9.json   # validate an existing file (CI)
-//	bellflower-bench -compare BENCH_8.json BENCH_9.json   # regression diff
+//	bellflower-bench -check BENCH_10.json  # validate an existing file (CI)
+//	bellflower-bench -compare BENCH_9.json BENCH_10.json  # regression diff
 //
 // Variants cover the repository/topology grid the serving layers care
 // about: a small and a large synthetic repository unsharded, the large
@@ -28,7 +28,11 @@
 // requests hit one signature, the cache-dominated worst case for kernel
 // wins to matter). A match-kernel micro-section prices the keyed kernel
 // head to head against the naive reference loop and pins the warm
-// similarity call's ns and allocations.
+// similarity call's ns and allocations. A gen-kernel micro-section prices
+// the mapping-generation engine the same way: exhaustive
+// generate-then-truncate against the adaptive shared-bound top-N search,
+// sequential and parallel, on the workload mix and on a deeper clustered
+// shape, plus a warm-search allocation probe.
 //
 // -quick shrinks repositories and iteration counts for CI smoke runs; the
 // JSON shape is identical. -check parses a bench file and exits non-zero
@@ -51,8 +55,11 @@ import (
 	"time"
 
 	"bellflower"
+	"bellflower/internal/cluster"
 	"bellflower/internal/labeling"
+	"bellflower/internal/mapgen"
 	"bellflower/internal/matcher"
+	"bellflower/internal/objective"
 	"bellflower/internal/pipeline"
 	"bellflower/internal/serve"
 	"bellflower/internal/shardrpc"
@@ -135,6 +142,36 @@ type matchKernelResult struct {
 	SimAllocsPerCall   float64 `json:"sim_allocs_per_call"`
 }
 
+// genKernelShape prices the mapping-generation engine on one workload
+// shape: exhaustive generate-then-truncate (what a non-adaptive top-N
+// request pays) against the adaptive shared-bound branch-and-bound,
+// sequential and fanned out over workers sharing one Δ floor. All three
+// arms return bit-identical mappings — the property tests pin that — so
+// the ns/op spread is pure search-efficiency.
+type genKernelShape struct {
+	Name               string  `json:"name"`
+	Schemas            int     `json:"schemas"`
+	TopN               int     `json:"top_n"`
+	Parallelism        int     `json:"parallelism"`
+	UsefulClusters     int     `json:"useful_clusters"`
+	SearchSpace        float64 `json:"search_space"`
+	TruncateNsPerOp    float64 `json:"truncate_ns_per_op"`
+	AdaptiveSeqNsPerOp float64 `json:"adaptive_seq_ns_per_op"`
+	AdaptiveParNsPerOp float64 `json:"adaptive_par_ns_per_op"`
+	SeqSpeedup         float64 `json:"seq_speedup_vs_truncate"`
+	ParSpeedup         float64 `json:"par_speedup_vs_truncate"`
+}
+
+// genKernelResult is the generation-engine micro-section: the per-shape
+// head-to-head plus the warm-search allocation probe — a near-miss schema
+// searched at δ=0.999 finds nothing, so a warm pooled search must not
+// allocate at all (the AllocsPerRun regression tests pin the same
+// property per entry point).
+type genKernelResult struct {
+	Shapes                []genKernelShape `json:"shapes"`
+	WarmSearchAllocsPerOp float64          `json:"warm_search_allocs_per_op"`
+}
+
 type benchFile struct {
 	Label         string             `json:"label"`
 	GoVersion     string             `json:"go_version"`
@@ -142,13 +179,14 @@ type benchFile struct {
 	Variants      []variantResult    `json:"variants"`
 	WireCodecs    []wireCodecResult  `json:"wire_codecs,omitempty"`
 	MatchKernel   *matchKernelResult `json:"match_kernel,omitempty"`
+	GenKernel     *genKernelResult   `json:"gen_kernel,omitempty"`
 	TraceOverhead overheadResult     `json:"trace_overhead"`
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bellflower-bench", flag.ContinueOnError)
 	var (
-		label      = fs.String("label", "9", "bench label; the default output file is BENCH_<label>.json")
+		label      = fs.String("label", "10", "bench label; the default output file is BENCH_<label>.json")
 		out        = fs.String("out", "", "output path (default BENCH_<label>.json in the working directory)")
 		quick      = fs.Bool("quick", false, "CI smoke mode: smaller repositories and fewer iterations, same JSON shape")
 		check      = fs.String("check", "", "validate an existing bench JSON file and exit (no benchmarks run)")
@@ -263,6 +301,15 @@ func run(args []string) error {
 	}
 	mk := matchKernelBench(large, mkIters)
 	bf.MatchKernel = &mk
+
+	// Generation-engine head-to-head on the large repository.
+	gkIters := 30
+	if *quick {
+		gkIters = 5
+	}
+	if bf.GenKernel, err = genKernelBench(large, gkIters); err != nil {
+		return err
+	}
 
 	// Wire-codec head-to-head on the large repository.
 	wcIters := 300
@@ -483,6 +530,167 @@ func matchKernelBench(repo *bellflower.Repository, iters int) matchKernelResult 
 		res.Speedup = naiveNs / keyedNs
 	}
 	return res
+}
+
+// genSink keeps the generation arms' results live so the compiler cannot
+// hollow out a measured loop.
+var genSink int
+
+// genKernelBench prices the mapping-generation engine in isolation, away
+// from caches and the serving stack. Two shapes: the standard workload mix
+// over tree clusters (the per-tree baseline every variant pays), and a
+// deeper/fatter configuration — nested schemas, lower MinSim, k-means
+// medium clustering — where candidate sets multiply into large search
+// spaces and the shared bound plus best-first scheduling have room to
+// work. Per shape, best of 3 passes each: exhaustive generate-then-
+// truncate, adaptive top-N sequential, adaptive top-N over 4 workers. A
+// final probe measures warm-search allocations on a near-miss schema at
+// δ=0.999 (full searches, nothing found, so the pooled state must make
+// the op allocation-free).
+func genKernelBench(repo *bellflower.Repository, iters int) (*genKernelResult, error) {
+	opts := pipeline.DefaultOptions()
+	ix := labeling.NewIndex(repo)
+
+	type prepared struct {
+		gen    *mapgen.Generator
+		useful []*cluster.Cluster
+	}
+	prep := func(specs []string, minSim float64, variant pipeline.Variant) ([]prepared, int, float64, error) {
+		var ps []prepared
+		usefulTotal, space := 0, 0.0
+		for _, spec := range specs {
+			personal := bellflower.MustParseSchema(spec)
+			cands := matcher.FindCandidates(personal, repo, matcher.NameMatcher{}, matcher.Config{MinSim: minSim})
+			copts := opts
+			copts.Variant = variant
+			clusters, _, err := pipeline.ComputeClusters(ix, cands, copts)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			full := uint64(1)<<uint(personal.Len()) - 1
+			var useful []*cluster.Cluster
+			for _, cl := range clusters {
+				if cl.Useful(full) {
+					useful = append(useful, cl)
+				}
+			}
+			ev := objective.NewEvaluator(opts.Objective, ix, personal)
+			gen := mapgen.New(mapgen.Config{Threshold: opts.Threshold}, ix, ev, cands)
+			_, ctr := gen.GenerateTopN(useful, 1) // exact, schedule-independent counters
+			usefulTotal += int(ctr.UsefulClusters)
+			space += ctr.SearchSpace
+			ps = append(ps, prepared{gen: gen, useful: useful})
+		}
+		return ps, usefulTotal, space, nil
+	}
+
+	best := func(run func()) float64 {
+		var bestNs float64
+		for pass := 0; pass < 3; pass++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				run()
+			}
+			if ns := float64(time.Since(start).Nanoseconds()) / float64(iters); pass == 0 || ns < bestNs {
+				bestNs = ns
+			}
+		}
+		return bestNs
+	}
+
+	const par = 4
+	shapes := []struct {
+		name    string
+		specs   []string
+		minSim  float64
+		variant pipeline.Variant
+		topN    int
+	}{
+		{"workload-mix", workload, opts.MinSim, pipeline.VariantTree, 5},
+		{"deep-clustered", []string{
+			"book(title,author(first,last),isbn@)",
+			"person(name,address(street,city))",
+		}, 0.35, pipeline.VariantMedium, 3},
+	}
+	res := &genKernelResult{}
+	for _, sh := range shapes {
+		ps, useful, space, err := prep(sh.specs, sh.minSim, sh.variant)
+		if err != nil {
+			return nil, err
+		}
+		topN := sh.topN
+		truncateNs := best(func() {
+			for _, p := range ps {
+				ms, _ := p.gen.Generate(p.useful)
+				if len(ms) > topN {
+					ms = ms[:topN]
+				}
+				genSink = len(ms)
+			}
+		})
+		seqNs := best(func() {
+			for _, p := range ps {
+				ms, _ := p.gen.GenerateTopNParallel(p.useful, topN, 1, nil)
+				genSink = len(ms)
+			}
+		})
+		parNs := best(func() {
+			for _, p := range ps {
+				ms, _ := p.gen.GenerateTopNParallel(p.useful, topN, par, nil)
+				genSink = len(ms)
+			}
+		})
+		s := genKernelShape{
+			Name:               sh.name,
+			Schemas:            len(sh.specs),
+			TopN:               topN,
+			Parallelism:        par,
+			UsefulClusters:     useful,
+			SearchSpace:        space,
+			TruncateNsPerOp:    truncateNs,
+			AdaptiveSeqNsPerOp: seqNs,
+			AdaptiveParNsPerOp: parNs,
+		}
+		if seqNs > 0 {
+			s.SeqSpeedup = truncateNs / seqNs
+		}
+		if parNs > 0 {
+			s.ParSpeedup = truncateNs / parNs
+		}
+		res.Shapes = append(res.Shapes, s)
+	}
+
+	// Warm-search allocation probe: misspelled vocabulary keeps element
+	// similarities below 1, and δ=0.999 then rejects every complete
+	// mapping — the searches run to their leaves but produce no output, so
+	// a warm op must allocate nothing.
+	probe := bellflower.MustParseSchema("bok(titel,autor,prce)")
+	probeCands := matcher.FindCandidates(probe, repo, matcher.NameMatcher{}, matcher.Config{MinSim: 0.3})
+	probeClusters, _, err := pipeline.ComputeClusters(ix, probeCands, opts)
+	if err != nil {
+		return nil, err
+	}
+	full := uint64(1)<<uint(probe.Len()) - 1
+	var probeUseful []*cluster.Cluster
+	for _, cl := range probeClusters {
+		if cl.Useful(full) {
+			probeUseful = append(probeUseful, cl)
+		}
+	}
+	probeGen := mapgen.New(mapgen.Config{Threshold: 0.999},
+		ix, objective.NewEvaluator(opts.Objective, ix, probe), probeCands)
+	runtime.GC() // empties the state pool; the warm-up op below refills it
+	probeGen.GenerateTopNParallel(probeUseful, 3, 1, nil)
+	const probeOps = 200
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < probeOps; i++ {
+		ms, _ := probeGen.GenerateTopNParallel(probeUseful, 3, 1, nil)
+		genSink = len(ms)
+	}
+	runtime.ReadMemStats(&m1)
+	res.WarmSearchAllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / probeOps
+	return res, nil
 }
 
 // distributedBackend builds n in-process shard servers over HTTP (each
@@ -715,6 +923,39 @@ func checkFile(path string) error {
 		}
 		if mk.SimAllocsPerCall > 0.01 {
 			return fmt.Errorf("%s: warm similarity call allocates (%.3f allocs/call, want 0)", path, mk.SimAllocsPerCall)
+		}
+	}
+	if gk := bf.GenKernel; gk != nil {
+		if len(gk.Shapes) < 2 {
+			return fmt.Errorf("%s: gen-kernel section has %d shapes, want at least 2", path, len(gk.Shapes))
+		}
+		for _, s := range gk.Shapes {
+			if s.Name == "" || s.TruncateNsPerOp <= 0 || s.AdaptiveSeqNsPerOp <= 0 ||
+				s.AdaptiveParNsPerOp <= 0 || s.UsefulClusters <= 0 {
+				return fmt.Errorf("%s: gen-kernel shape %q measurement incomplete", path, s.Name)
+			}
+			// Quick runs shrink the repository until per-op work is small
+			// enough that worker spawn can dominate, so the head-to-head
+			// win is only gated on recorded full runs.
+			if !bf.Quick && s.ParSpeedup < 1 {
+				return fmt.Errorf("%s: parallel adaptive top-N slower than generate-then-truncate on %q (%.2fx)",
+					path, s.Name, s.ParSpeedup)
+			}
+		}
+		if gk.WarmSearchAllocsPerOp > 0.5 {
+			return fmt.Errorf("%s: warm adaptive search allocates (%.3f allocs/op, want 0)", path, gk.WarmSearchAllocsPerOp)
+		}
+		// The generation-stage budget the engine work buys: a recorded
+		// full run must hold the hot-key variant's cold generate median at
+		// half its pre-engine (BENCH_9) level.
+		if !bf.Quick {
+			for _, v := range bf.Variants {
+				if v.Name == "large-hotkey" {
+					if g := v.StageMediansMS["generate"]; g > 0.75 {
+						return fmt.Errorf("%s: large-hotkey generate median %.2fms, budget is 0.75ms", path, g)
+					}
+				}
+			}
 		}
 	}
 	if bf.TraceOverhead.NoTraceNsPerOp <= 0 || bf.TraceOverhead.InstrumentedNsPerOp <= 0 {

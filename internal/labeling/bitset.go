@@ -1,0 +1,58 @@
+package labeling
+
+// Bitset is a dense bitset over a compact integer ID space — repository
+// node IDs or view-local IDs, both of which number 0..Len()-1. The mapping
+// generator uses it for per-cluster membership and the 1-to-1 "used image"
+// check, replacing per-search map[int]bool allocations: a Bitset is grown
+// once to the repository size and reused across searches, so the warm path
+// touches no allocator.
+//
+// The zero value is an empty bitset; Grow it before use. A Bitset is not
+// safe for concurrent mutation — each search owns its own (pooled) set.
+type Bitset struct {
+	words []uint64
+}
+
+// NewBitset returns a bitset able to hold IDs 0..n-1, all clear.
+func NewBitset(n int) *Bitset {
+	b := &Bitset{}
+	b.Grow(n)
+	return b
+}
+
+// Grow extends the bitset to hold IDs 0..n-1, preserving existing bits.
+// It never shrinks.
+func (b *Bitset) Grow(n int) {
+	want := (n + 63) / 64
+	if want <= len(b.words) {
+		return
+	}
+	if want <= cap(b.words) {
+		b.words = b.words[:want]
+		return
+	}
+	grown := make([]uint64, want)
+	copy(grown, b.words)
+	b.words = grown
+}
+
+// Len returns the capacity in bits.
+func (b *Bitset) Len() int { return len(b.words) * 64 }
+
+// Set marks id.
+func (b *Bitset) Set(id int) { b.words[id>>6] |= 1 << uint(id&63) }
+
+// Unset clears id.
+func (b *Bitset) Unset(id int) { b.words[id>>6] &^= 1 << uint(id&63) }
+
+// Has reports whether id is marked.
+func (b *Bitset) Has(id int) bool { return b.words[id>>6]&(1<<uint(id&63)) != 0 }
+
+// Reset clears every bit. O(Len/64); callers that marked only a few IDs
+// (cluster membership) clear them individually instead, keeping the cost
+// proportional to what was set.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}

@@ -10,20 +10,53 @@
 // admissible bounding function, so it discovers exactly the same mappings
 // while generating far fewer partial mappings. The number of partial
 // mappings generated is the paper's machine-independent efficiency
-// indicator (Tab. 1b). GenerateTopN adds the adaptive top-N variant whose
-// pruning threshold rises to the N-th best Δ found so far.
+// indicator (Tab. 1b).
+//
+// GenerateTopN / GenerateTopNParallel add the adaptive top-N variant: the
+// pruning threshold starts at δ and rises to the N-th best Δ found so far.
+// The parallel engine fans clusters out to workers that share one atomic
+// Δ-floor fed by a mutex-guarded global top-N heap, and dispatches
+// clusters best-first by a precomputed optimistic per-cluster bound, so
+// late clusters are often skipped without their restricted candidate sets
+// ever being built.
 //
 // Ranked lists from independent searches — per-cluster lists within one
 // repository, or per-shard lists when a repository is partitioned across
 // several serve.Service instances — are combined with Rank and MergeRanked
 // respectively; both orderings are deterministic.
 //
+// # Determinism
+//
+// GenerateTopNParallel returns results bit-identical — scores AND order —
+// to the sequential adaptive search and to exhaustive generation truncated
+// to N, for every worker count. Three properties carry the proof: the
+// shared floor never exceeds the Δ of the N-th best mapping under the full
+// Rank total order (descending Δ, then cluster ID, then image node IDs),
+// pruning rejects only on strict "bound below floor", and the heap keeps
+// the first N mappings under that same total order. True top-N mappings
+// are therefore never pruned, never rejected and never evicted, whatever
+// the schedule; the final Rank pass fixes the order. The property and fuzz
+// tests in parallel_test.go pin this equivalence.
+//
+// The work counters are the one schedule-dependent output: under
+// parallelism, PartialMappings, CompleteMappings and the EngineStats
+// skip/tightening figures depend on how fast the floor rose, which depends
+// on cluster interleaving. SearchSpace, UsefulClusters and the mappings
+// themselves are exact and schedule-independent (they are computed in the
+// deterministic planning pass, including for clusters later skipped by
+// bound). With parallelism <= 1 the engine runs inline on the calling
+// goroutine and every counter is deterministic.
+//
 // # Concurrency
 //
-// A Generator is immutable after New: every Generate* call keeps its search
-// state (DFS stack, result heap, edge union) on its own stack, so any number
-// of goroutines may search different clusters through one Generator at once
-// — the pipeline's Parallelism fan-out depends on this. The package-level
-// helpers Rank, MergeRanked and SearchSpaceSize are pure functions over
-// their arguments (Rank sorts its argument in place).
+// A Generator is immutable after New: search state (assignment arrays,
+// restricted candidate sets, dense bitsets, dense edge union, result heap)
+// lives in a sync.Pool, acquired per call and per worker, never on the
+// Generator — so any number of goroutines may search through one Generator
+// at once, and a warm acquire→search→release cycle allocates nothing (the
+// AllocsPerRun pins in parallel_test.go enforce this). Clusters passed to
+// the generator must be disjoint node sets, which every clustering Result
+// in this codebase produces. The package-level helpers Rank, MergeRanked
+// and SearchSpaceSize are pure functions over their arguments (Rank sorts
+// its argument in place).
 package mapgen

@@ -1,0 +1,185 @@
+package mapgen
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"bellflower/internal/cluster"
+	"bellflower/internal/labeling"
+	"bellflower/internal/matcher"
+	"bellflower/internal/objective"
+	"bellflower/internal/schema"
+	"bellflower/internal/strsim"
+)
+
+// mappingsIdentical asserts full bit-identity — scores, order, cluster,
+// images, sims — the guarantee GenerateTopNParallel makes for every
+// worker count.
+func mappingsIdentical(t *testing.T, label string, got, want []Mapping) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d mappings, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		g, w := &got[i], &want[i]
+		if g.Score != w.Score || g.ClusterID != w.ClusterID {
+			t.Fatalf("%s: rank %d: %+v / cluster %d, want %+v / cluster %d",
+				label, i, g.Score, g.ClusterID, w.Score, w.ClusterID)
+		}
+		for k := range g.Images {
+			if g.Images[k].ID != w.Images[k].ID || g.Sims[k] != w.Sims[k] {
+				t.Fatalf("%s: rank %d image %d: node %d sim %v, want node %d sim %v",
+					label, i, k, g.Images[k].ID, g.Sims[k], w.Images[k].ID, w.Sims[k])
+			}
+		}
+	}
+}
+
+// randomCase builds a random repository, candidate set and clustering from
+// a seed; shared by the property test and the fuzz harness.
+func randomCase(seed int64) (*labeling.Index, *objective.Evaluator, *matcher.Candidates, []*cluster.Cluster) {
+	words := []string{"book", "title", "author", "name", "data", "isbn", "press"}
+	rng := rand.New(rand.NewSource(seed))
+	repo := schema.NewRepository()
+	for tr := 0; tr < 1+rng.Intn(4); tr++ {
+		b := schema.NewBuilder("t")
+		nodes := []*schema.Node{b.Root(words[rng.Intn(len(words))])}
+		for i := 1; i < 3+rng.Intn(14); i++ {
+			p := nodes[rng.Intn(len(nodes))]
+			nodes = append(nodes, b.Element(p, words[rng.Intn(len(words))]))
+		}
+		repo.MustAdd(b.MustTree())
+	}
+	personal := schema.MustParseSpec("book(title,author,press)")
+	ix := labeling.NewIndex(repo)
+	matchers := []matcher.Matcher{
+		matcher.NameMatcher{},
+		matcher.NameMatcher{Metric: strsim.MetricJaroWinkler},
+		matcher.NameMatcher{TokenAware: true, Metric: strsim.MetricBigramCosine},
+	}
+	cands := matcher.FindCandidates(personal, repo, matchers[rng.Intn(len(matchers))],
+		matcher.Config{MinSim: 0.3})
+	ev := objective.NewEvaluator(objective.DefaultParams(), ix, personal)
+	var clusters []*cluster.Cluster
+	if rng.Intn(2) == 0 {
+		clusters = cluster.TreeClusters(ix, cands).Clusters
+	} else if res, err := cluster.KMeans(ix, cands, cluster.DefaultConfig()); err == nil {
+		clusters = res.Clusters
+	}
+	return ix, ev, cands, clusters
+}
+
+// checkParallelEquivalence runs the three-way identity — parallel adaptive
+// ≡ sequential adaptive ≡ exhaustive-then-truncate — for one seeded case
+// and reports whether it held.
+func checkParallelEquivalence(t *testing.T, seed int64, n int, threshold float64) {
+	t.Helper()
+	ix, ev, cands, clusters := randomCase(seed)
+
+	exh, _ := New(Config{Threshold: threshold, Algorithm: Exhaustive}, ix, ev, cands).Generate(clusters)
+	if len(exh) > n {
+		exh = exh[:n]
+	}
+	seq, seqCtr := New(Config{Threshold: threshold}, ix, ev, cands).GenerateTopN(clusters, n)
+	mappingsIdentical(t, "sequential vs exhaustive", seq, exh)
+
+	for _, par := range []int{2, 3, 4, 8} {
+		got, ctr := New(Config{Threshold: threshold}, ix, ev, cands).GenerateTopNParallel(clusters, n, par, nil)
+		mappingsIdentical(t, "parallel", got, seq)
+		if ctr.SearchSpace != seqCtr.SearchSpace || ctr.UsefulClusters != seqCtr.UsefulClusters {
+			t.Fatalf("parallelism %d: space %v / useful %d, want %v / %d (schedule leaked into exact counters)",
+				par, ctr.SearchSpace, ctr.UsefulClusters, seqCtr.SearchSpace, seqCtr.UsefulClusters)
+		}
+	}
+}
+
+// Property: for random repositories, matchers, clusterings, N and δ, the
+// parallel adaptive search returns results bit-identical to the
+// sequential adaptive search and to exhaustive generation truncated to N,
+// for every parallelism, and the schedule-independent counters agree.
+func TestGenerateTopNParallelEquivalence(t *testing.T) {
+	thresholds := []float64{0, 0.3, 0.5, 0.75, 0.9}
+	f := func(seed int64, nRaw, thRaw uint8) bool {
+		n := 1 + int(nRaw)%9
+		checkParallelEquivalence(t, seed, n, thresholds[int(thRaw)%len(thresholds)])
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzGenerateTopNParallel is the fuzz-harness form of the equivalence
+// property, so the corpus can grow counterexamples across runs.
+func FuzzGenerateTopNParallel(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint8(0))
+	f.Add(int64(7), uint8(3), uint8(2))
+	f.Add(int64(42), uint8(8), uint8(4))
+	f.Add(int64(-99), uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, thRaw uint8) {
+		thresholds := []float64{0, 0.3, 0.5, 0.75, 0.9}
+		checkParallelEquivalence(t, seed, 1+int(nRaw)%9, thresholds[int(thRaw)%len(thresholds)])
+	})
+}
+
+// TestGenerateTopNParallelCancellation races workers against a stop signal
+// that fires mid-search; under -race this doubles as the engine's data-race
+// stress. Whatever survives must still be a prefix-consistent ranked list.
+func TestGenerateTopNParallelCancellation(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		ix, ev, cands, clusters := randomCase(seed)
+		g := New(Config{Threshold: 0.3}, ix, ev, cands)
+		var calls atomic.Int64
+		cutoff := seed % 5 // stop after 0..4 stop-hook consultations
+		ms, _ := g.GenerateTopNParallel(clusters, 5, 4, func() bool {
+			return calls.Add(1) > cutoff
+		})
+		for i := 1; i < len(ms); i++ {
+			if rankLess(&ms[i], &ms[i-1]) {
+				t.Fatalf("seed %d: cancelled result unranked at %d", seed, i)
+			}
+		}
+	}
+}
+
+// allocFix returns a generator whose searches do real work (partial
+// mappings are generated) but keep no mapping — the configuration the
+// zero-allocation pins measure, so result copies don't hide a leak in the
+// search machinery itself.
+func allocFix(t *testing.T) (*Generator, []*cluster.Cluster) {
+	t.Helper()
+	f := newFix(t, objective.DefaultParams(), 0.3,
+		"book(title,author)",
+		"lib(bok(titel,autor),bok(ttl,athr))",
+		"store(dept(bok(titel)))")
+	g := f.gen(Config{Threshold: 0.999})
+	clusters := f.treeClusters()
+	_, ctr := g.Generate(clusters)
+	if ctr.PartialMappings == 0 || ctr.Found != 0 {
+		t.Fatalf("alloc fixture must search without keeping: %+v", ctr)
+	}
+	return g, clusters
+}
+
+// The warm search paths must not allocate: state comes from the pool, the
+// restricted sets, bitsets, edge union and heap reuse their backing
+// arrays. Guards the tentpole's zero-allocation claim.
+func TestSearchAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	g, clusters := allocFix(t)
+	g.GenerateTopN(clusters, 3) // warm the pool and every backing array
+
+	if n := testing.AllocsPerRun(50, func() { g.Generate(clusters) }); n > 0 {
+		t.Errorf("warm Generate allocates %v times per run", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { g.GenerateTopN(clusters, 3) }); n > 0 {
+		t.Errorf("warm GenerateTopN allocates %v times per run", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { g.GenerateInCluster(clusters[0]) }); n > 0 {
+		t.Errorf("warm GenerateInCluster allocates %v times per run", n)
+	}
+}

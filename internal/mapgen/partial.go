@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"bellflower/internal/cluster"
-	"bellflower/internal/matcher"
 	"bellflower/internal/objective"
 	"bellflower/internal/schema"
 )
@@ -46,19 +45,22 @@ type PartialMapping struct {
 // GeneratePartialInCluster searches a (typically non-useful) cluster for
 // partial mappings over exactly the personal nodes that have candidates in
 // the cluster. Returns nil when fewer than two personal nodes are covered
-// or when the covered set does not include the personal root's nearest
-// covered representative (a single mapped node is not an informative
-// partial mapping). Counters are accumulated like in GenerateInCluster.
+// (a single mapped node is not an informative partial mapping). Counters
+// are accumulated like in GenerateInCluster. The DFS runs on the same
+// pooled search state as the complete-mapping searches — dense bitset for
+// the 1-to-1 check, dense edge union, pooled suffixBest.
 func (g *Generator) GeneratePartialInCluster(cl *cluster.Cluster) ([]PartialMapping, Counters) {
-	sets, _ := g.restricted(cl)
-	n := g.cands.Personal.Len()
+	st := acquireState(g)
+	defer st.release()
+	g.restrictedInto(st, cl) // fills every set; coverage decided below
+	n := st.n
 
-	covered := make([]bool, n)
-	numCovered := 0
 	var mask uint64
+	numCovered := 0
 	for i := 0; i < n; i++ {
-		if len(sets[i]) > 0 {
-			covered[i] = true
+		st.images[i] = nil
+		st.sims[i] = 0
+		if len(st.sets[i]) > 0 {
 			numCovered++
 			mask |= 1 << uint(i)
 		}
@@ -71,53 +73,47 @@ func (g *Generator) GeneratePartialInCluster(cl *cluster.Cluster) ([]PartialMapp
 	// find the nearest covered proper ancestor.
 	var edges []contractedEdge
 	for _, node := range g.cands.Personal.Nodes() {
-		if !covered[node.Pre] {
+		if mask&(1<<uint(node.Pre)) == 0 {
 			continue
 		}
 		for p := node.Parent(); p != nil; p = p.Parent() {
-			if covered[p.Pre] {
+			if mask&(1<<uint(p.Pre)) != 0 {
 				edges = append(edges, contractedEdge{p.Pre, node.Pre})
 				break
 			}
 		}
 	}
 
+	// Preorder over covered nodes keeps contracted parents before children.
 	order := make([]int, 0, numCovered)
 	for i := 0; i < n; i++ {
-		if covered[i] {
+		if mask&(1<<uint(i)) != 0 {
 			order = append(order, i)
 		}
 	}
-	// Preorder over covered nodes keeps contracted parents before children.
-	es := len(edges)
 	ctr := Counters{}
 	space := 1.0
 	for _, i := range order {
-		space *= float64(len(sets[i]))
+		space *= float64(len(st.sets[i]))
 	}
 	ctr.SearchSpace = space
 
 	ps := &partialSearch{
-		g: g, cl: cl, sets: sets, order: order, edges: edges, es: es,
-		images: make([]*schema.Node, n),
-		sims:   make([]float64, n),
-		used:   make(map[int]bool),
-		union:  objective.NewEdgeUnion(g.ix),
-		ctr:    &ctr,
-		n:      n, mask: mask, numCovered: numCovered,
+		g: g, st: st, cl: cl, order: order, edges: edges, es: len(edges),
+		ctr: &ctr, n: n, mask: mask, numCovered: numCovered,
 	}
-	ps.suffixBest = make([]float64, len(order)+1)
+	sb := st.suffixBest[:len(order)+1]
+	sb[len(order)] = 0
 	for k := len(order) - 1; k >= 0; k-- {
 		best := 0.0
-		for _, c := range sets[order[k]] {
-			if c.Sim > best {
-				best = c.Sim
-			}
+		if s := st.sets[order[k]]; len(s) > 0 {
+			best = s[0].Sim // restricted sets keep descending-sim order
 		}
-		ps.suffixBest[k] = ps.suffixBest[k+1] + best
+		sb[k] = sb[k+1] + best
 	}
 	ps.run(0, 0)
 	ctr.Found = int64(len(ps.out))
+	g.cfg.Stats.addPartials(ctr.PartialMappings)
 	return ps.out, ctr
 }
 
@@ -127,16 +123,11 @@ type contractedEdge struct{ parent, child int }
 
 type partialSearch struct {
 	g          *Generator
+	st         *searchState
 	cl         *cluster.Cluster
-	sets       [][]matcher.Candidate
 	order      []int // covered preorder ranks, ascending
 	edges      []contractedEdge
 	es         int
-	images     []*schema.Node
-	sims       []float64
-	used       map[int]bool
-	union      *objective.EdgeUnion
-	suffixBest []float64
 	ctr        *Counters
 	out        []PartialMapping
 	n          int
@@ -154,20 +145,22 @@ func (ps *partialSearch) deltaPath(et int) float64 {
 }
 
 func (ps *partialSearch) run(k int, simSum float64) {
+	st := ps.st
 	if k == len(ps.order) {
 		ps.ctr.CompleteMappings++
 		dsim := simSum / float64(ps.n) // missing nodes count as 0
-		dpath := ps.deltaPath(ps.union.Size())
+		dpath := ps.deltaPath(st.union.Size())
 		delta := ps.g.ev.Combine(dsim, dpath)
 		if delta >= ps.g.cfg.Threshold {
+			images, sims := st.emit(st.images, st.sims)
 			pm := PartialMapping{
-				Images:      append([]*schema.Node(nil), ps.images...),
-				Sims:        append([]float64(nil), ps.sims...),
+				Images:      images,
+				Sims:        sims,
 				CoveredMask: ps.mask,
 				Covered:     ps.numCovered,
 				ClusterID:   ps.cl.ID,
 				Score: objective.Score{
-					Delta: delta, Sim: dsim, Path: dpath, Et: ps.union.Size(),
+					Delta: delta, Sim: dsim, Path: dpath, Et: st.union.Size(),
 				},
 			}
 			ps.out = append(ps.out, pm)
@@ -183,34 +176,34 @@ func (ps *partialSearch) run(k int, simSum float64) {
 			break
 		}
 	}
-	for _, c := range ps.sets[i] {
-		if ps.used[c.Node.ID] {
+	for _, c := range st.sets[i] {
+		if st.used.Has(c.Node.ID) {
 			continue
 		}
 		ps.ctr.PartialMappings++
-		var touched []int
+		mark := -1
 		if parent >= 0 {
-			touched = ps.union.Push(ps.images[parent], c.Node)
+			mark = st.union.Push(st.images[parent], c.Node)
 		}
 		prune := false
 		if ps.g.cfg.Algorithm == BranchAndBound {
 			bound := ps.g.ev.Combine(
-				(simSum+c.Sim+ps.suffixBest[k+1])/float64(ps.n),
-				ps.deltaPath(ps.union.Size()),
+				(simSum+c.Sim+st.suffixBest[k+1])/float64(ps.n),
+				ps.deltaPath(st.union.Size()),
 			)
 			prune = bound < ps.g.cfg.Threshold
 		}
 		if !prune {
-			ps.images[i] = c.Node
-			ps.sims[i] = c.Sim
-			ps.used[c.Node.ID] = true
+			st.images[i] = c.Node
+			st.sims[i] = c.Sim
+			st.used.Set(c.Node.ID)
 			ps.run(k+1, simSum+c.Sim)
-			delete(ps.used, c.Node.ID)
-			ps.images[i] = nil
-			ps.sims[i] = 0
+			st.used.Unset(c.Node.ID)
+			st.images[i] = nil
+			st.sims[i] = 0
 		}
 		if parent >= 0 {
-			ps.union.Pop(touched)
+			st.union.Pop(mark)
 		}
 	}
 }

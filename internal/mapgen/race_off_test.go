@@ -1,0 +1,5 @@
+//go:build !race
+
+package mapgen
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package mapgen
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so the zero-allocation pins skip themselves.
+const raceEnabled = true

@@ -1,27 +1,50 @@
 package mapgen
 
 import (
-	"container/heap"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"bellflower/internal/cluster"
 	"bellflower/internal/objective"
-	"bellflower/internal/schema"
 )
 
 // Top-N search: the paper notes that "schema matching systems are built to
 // deliver top-N mappings, or mappings with the similarity index above
 // certain numerical threshold δ". Generate implements the δ mode; this
-// file implements the top-N mode with an adaptive Branch & Bound: the
-// pruning threshold starts at δ and rises to the N-th best Δ found so far,
-// so later clusters are searched with an ever-tighter bound. This is
-// strictly more efficient than generating everything and truncating, and
-// it returns exactly the same top-N list (property-tested).
+// file implements the top-N mode with an adaptive Branch & Bound whose
+// pruning threshold starts at δ and rises to the N-th best Δ found so far.
+// This is strictly more efficient than generating everything and
+// truncating, and it returns exactly the same top-N list (property- and
+// fuzz-tested).
+//
+// The search is a shared-bound parallel engine:
+//
+//   - One Δ-floor, read lock-free (an atomic float64) at every prune
+//     point, is fed by a mutex-guarded global top-N heap — any worker's
+//     discovery tightens every worker's bound.
+//   - Clusters are dispatched best-first, in descending order of an
+//     optimistic per-cluster upper bound precomputed in one pass over the
+//     candidate sets, so the floor rises as fast as possible; a cluster
+//     whose bound has fallen below the floor by the time it is dispatched
+//     is skipped without ever building its restricted sets.
+//   - The heap orders mappings by the full deterministic Rank comparator
+//     (not Δ alone), and the floor prunes only on strict "below", so the
+//     kept N-set is the unique top-N under the total order — the result
+//     is bit-identical (scores AND order) for every worker count, equal
+//     to the sequential search and to exhaustive-then-truncate.
+//
+// Counters caveat: under parallelism PartialMappings/CompleteMappings and
+// the skip/tightening stats depend on the floor's trajectory, which
+// depends on scheduling — only the mappings, SearchSpace and
+// UsefulClusters are schedule-independent.
 
 // GenerateTopN searches the clusters for the n best mappings with
 // Δ ≥ the configured threshold. The returned list is ranked. Counters
 // reflect the adaptively pruned search.
 func (g *Generator) GenerateTopN(clusters []*cluster.Cluster, n int) ([]Mapping, Counters) {
-	return g.GenerateTopNStop(clusters, n, nil)
+	return g.GenerateTopNParallel(clusters, n, 1, nil)
 }
 
 // GenerateTopNStop is GenerateTopN with a cooperative stop hook: stop is
@@ -31,135 +54,352 @@ func (g *Generator) GenerateTopN(clusters []*cluster.Cluster, n int) ([]Mapping,
 // depending on context. n <= 0 falls back to the threshold-only search,
 // still honouring stop between clusters.
 func (g *Generator) GenerateTopNStop(clusters []*cluster.Cluster, n int, stop func() bool) ([]Mapping, Counters) {
+	return g.GenerateTopNParallel(clusters, n, 1, stop)
+}
+
+// GenerateTopNParallel is the adaptive top-N search fanned out over up to
+// parallelism workers sharing one adaptive floor. The returned list is
+// bit-identical — scores and order — to the sequential search and to
+// exhaustive generation truncated to n, for any parallelism (see the
+// package comment above for why). stop is consulted between clusters by
+// every worker; clusters must be disjoint (any clustering Result is).
+// parallelism <= 1 searches inline on the calling goroutine with fully
+// deterministic counters; n <= 0 falls back to the threshold-only search.
+func (g *Generator) GenerateTopNParallel(clusters []*cluster.Cluster, n, parallelism int, stop func() bool) ([]Mapping, Counters) {
 	if n <= 0 {
 		return g.generateStop(clusters, stop)
 	}
+	st := acquireState(g)
+	defer st.release()
 	var total Counters
-	h := &mappingHeap{}
-	heap.Init(h)
-	floor := g.cfg.Threshold
-	for _, cl := range clusters {
-		if stop != nil && stop() {
-			break
-		}
-		sets, ok := g.restricted(cl)
-		if !ok {
-			continue
-		}
-		total.UsefulClusters++
-		total.SearchSpace += SearchSpaceSize(sets)
-		s := &topNSearch{
-			search: search{
-				g:      g,
-				cl:     cl,
-				sets:   sets,
-				n:      g.cands.Personal.Len(),
-				images: make([]*schema.Node, g.cands.Personal.Len()),
-				sims:   make([]float64, g.cands.Personal.Len()),
-				used:   make(map[int]bool),
-				union:  objective.NewEdgeUnion(g.ix),
-				ctr:    &total,
-			},
-			heap:  h,
-			limit: n,
-			floor: floor,
-		}
-		s.suffixBest = make([]float64, s.n+1)
-		for i := s.n - 1; i >= 0; i-- {
-			best := 0.0
-			for _, c := range sets[i] {
-				if c.Sim > best {
-					best = c.Sim
-				}
-			}
-			s.suffixBest[i] = s.suffixBest[i+1] + best
-		}
-		s.run(0, 0)
-		floor = s.floor
+	plans := g.planClusters(st, clusters, &total)
+
+	e := &st.eng
+	e.g, e.limit = g, n
+	e.heap = st.heap[:0]
+	e.cursor.Store(0)
+	e.partials.Store(0)
+	e.completes.Store(0)
+	e.skipped.Store(0)
+	e.tightenings = 0
+	e.floorBits.Store(math.Float64bits(g.cfg.Threshold))
+
+	if parallelism > len(plans) {
+		parallelism = len(plans)
 	}
-	out := make([]Mapping, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Mapping)
+	if parallelism <= 1 {
+		e.worker(st, plans, stop)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(parallelism)
+		for w := 0; w < parallelism; w++ {
+			go func() {
+				defer wg.Done()
+				ws := acquireState(g)
+				defer ws.release()
+				e.worker(ws, plans, stop)
+			}()
+		}
+		wg.Wait()
 	}
-	Rank(out) // heap pop order is ascending Δ; Rank fixes ties deterministically
-	total.Found = int64(len(out))
+
+	total.PartialMappings = e.partials.Load()
+	total.CompleteMappings = e.completes.Load()
+	total.Found = int64(len(e.heap))
+	var out []Mapping
+	if len(e.heap) > 0 {
+		out = append([]Mapping(nil), e.heap...)
+		Rank(out)
+	}
+	st.heap = e.heap[:0] // keep the backing array for the next run
+	e.heap, e.g = nil, nil
+	if s := g.cfg.Stats; s != nil {
+		s.addPartials(total.PartialMappings)
+		s.addSkipped(e.skipped.Load())
+		s.addTightenings(e.tightenings)
+	}
 	return out, total
 }
 
-// topNSearch is the adaptive-threshold DFS. It reuses the fields of search
-// but maintains its own bound (floor) and result heap.
-type topNSearch struct {
-	search
-	heap  *mappingHeap
+// clusterPlan is one useful cluster scheduled for the adaptive search.
+type clusterPlan struct {
+	cl    *cluster.Cluster
+	bound float64 // optimistic upper bound on any mapping's Δ in the cluster
+	space float64 // exact Π |restricted set| search-space size
+	idx   int32   // original position: the deterministic tie-break
+}
+
+// planSorter orders plans by descending bound, original position breaking
+// ties; it lives in the pooled state so sort.Sort sees a stable interface
+// value and the warm path allocates nothing.
+type planSorter struct{ p []clusterPlan }
+
+func (s *planSorter) Len() int { return len(s.p) }
+func (s *planSorter) Less(i, j int) bool {
+	if s.p[i].bound != s.p[j].bound {
+		return s.p[i].bound > s.p[j].bound
+	}
+	return s.p[i].idx < s.p[j].idx
+}
+func (s *planSorter) Swap(i, j int) { s.p[i], s.p[j] = s.p[j], s.p[i] }
+
+// planClusters computes, in ONE pass over the candidate sets, every
+// cluster's usefulness, exact search-space size and optimistic Δ upper
+// bound (cluster-wide best-similarity mass combined with the maximal
+// Δpath), using a dense node→cluster map instead of per-cluster member
+// scans. UsefulClusters and SearchSpace are credited here for every
+// useful cluster — including ones the engine later skips by bound — so
+// those counters stay exact and schedule-independent. Non-useful clusters
+// yield no plan, matching the threshold search's accounting.
+func (g *Generator) planClusters(st *searchState, clusters []*cluster.Cluster, ctr *Counters) []clusterPlan {
+	n := st.n
+	k := len(clusters)
+	st.growPlanScratch(k * n)
+	co := st.clusterOf
+	for ci, cl := range clusters {
+		for i := range cl.Elements {
+			co[cl.Elements[i].Node.ID] = int32(ci)
+		}
+	}
+	best, cnt := st.planBest, st.planCount
+	for i := 0; i < n; i++ {
+		for _, c := range g.cands.Sets[i].Elems {
+			ci := co[c.Node.ID]
+			if ci < 0 {
+				continue
+			}
+			p := int(ci)*n + i
+			if cnt[p] == 0 {
+				best[p] = c.Sim // sets are sorted by descending sim
+			}
+			cnt[p]++
+		}
+	}
+	plans := st.plans[:0]
+	for ci, cl := range clusters {
+		space, sum := 1.0, 0.0
+		ok := true
+		row := ci * n
+		for i := 0; i < n; i++ {
+			c := cnt[row+i]
+			if c == 0 {
+				ok = false
+				break
+			}
+			space *= float64(c)
+			sum += best[row+i]
+		}
+		if !ok {
+			continue
+		}
+		ctr.UsefulClusters++
+		ctr.SearchSpace += space
+		plans = append(plans, clusterPlan{
+			cl:    cl,
+			bound: g.ev.Combine(sum/float64(n), g.ev.DeltaPath(0)),
+			space: space,
+			idx:   int32(ci),
+		})
+	}
+	// Restore the scratch invariants: clusterOf back to -1, counts to 0.
+	for _, cl := range clusters {
+		for i := range cl.Elements {
+			co[cl.Elements[i].Node.ID] = -1
+		}
+	}
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	st.plans = plans
+	st.sorter.p = plans
+	sort.Sort(&st.sorter)
+	return plans
+}
+
+// engine is the shared state of one adaptive top-N run: the global heap
+// of kept mappings (mutex-guarded, worst-ranked entry at the root), the
+// atomic Δ-floor every worker prunes against, the dispatch cursor over
+// the bound-ordered plans, and the work counters. It is embedded in the
+// pooled search state, so a warm run allocates no engine either.
+type engine struct {
+	g     *Generator
 	limit int
-	floor float64
+
+	mu          sync.Mutex
+	heap        []Mapping
+	tightenings int64 // guarded by mu
+
+	floorBits atomic.Uint64 // math.Float64bits of the current floor
+	cursor    atomic.Int64
+	partials  atomic.Int64
+	completes atomic.Int64
+	skipped   atomic.Int64
+}
+
+// floor returns the current pruning bound; lock-free, monotone rising.
+func (e *engine) floor() float64 { return math.Float64frombits(e.floorBits.Load()) }
+
+// worker claims clusters off the shared cursor in best-first order until
+// the plans run out or stop fires. Clusters whose optimistic bound has
+// fallen strictly below the floor are skipped without building their
+// restricted sets.
+func (e *engine) worker(st *searchState, plans []clusterPlan, stop func() bool) {
+	var partials, completes, skipped int64
+	for {
+		if stop != nil && stop() {
+			break
+		}
+		i := int(e.cursor.Add(1) - 1)
+		if i >= len(plans) {
+			break
+		}
+		p := plans[i]
+		if p.bound < e.floor() {
+			skipped++
+			continue
+		}
+		e.searchCluster(st, p.cl, &partials, &completes)
+	}
+	e.partials.Add(partials)
+	e.completes.Add(completes)
+	e.skipped.Add(skipped)
+}
+
+func (e *engine) searchCluster(st *searchState, cl *cluster.Cluster, partials, completes *int64) {
+	if !e.g.restrictedInto(st, cl) {
+		return // unreachable for planned clusters; cheap safety
+	}
+	st.fillSuffixBest()
+	s := topNSearch{e: e, g: e.g, st: st, cl: cl, n: st.n}
+	s.run(0, 0)
+	*partials += s.partials
+	*completes += s.completes
+}
+
+// offer submits a complete mapping with Δ ≥ the floor at evaluation time.
+// The heap keeps the N first mappings under the full Rank order: while
+// not full everything is kept; once full, a newcomer that Rank-precedes
+// the current worst displaces it. Either way the floor rises to the
+// worst kept Δ — the adaptive tightening every worker observes.
+func (e *engine) offer(m Mapping) {
+	e.mu.Lock()
+	if len(e.heap) < e.limit {
+		e.heap = append(e.heap, m)
+		e.siftUp(len(e.heap) - 1)
+		if len(e.heap) == e.limit {
+			e.tighten(e.heap[0].Score.Delta)
+		}
+	} else if rankLess(&m, &e.heap[0]) {
+		e.heap[0] = m
+		e.siftDown(0)
+		e.tighten(e.heap[0].Score.Delta)
+	}
+	e.mu.Unlock()
+}
+
+// tighten raises the shared floor to f (caller holds mu). The floor never
+// falls: the heap's worst entry only ever improves.
+func (e *engine) tighten(f float64) {
+	if f > e.floor() {
+		e.floorBits.Store(math.Float64bits(f))
+		e.tightenings++
+	}
+}
+
+// heapWorse reports whether heap[i] ranks strictly after heap[j] under
+// the full deterministic comparator; the Rank-last element sits at the
+// root. No interface boxing — the heap is a plain []Mapping.
+func (e *engine) heapWorse(i, j int) bool { return rankLess(&e.heap[j], &e.heap[i]) }
+
+func (e *engine) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.heapWorse(i, p) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+func (e *engine) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		w := i
+		if l < len(e.heap) && e.heapWorse(l, w) {
+			w = l
+		}
+		if r < len(e.heap) && e.heapWorse(r, w) {
+			w = r
+		}
+		if w == i {
+			break
+		}
+		e.heap[i], e.heap[w] = e.heap[w], e.heap[i]
+		i = w
+	}
+}
+
+// topNSearch is the adaptive-threshold DFS: the threshold search with the
+// static δ replaced by the engine's rising floor, read lock-free at every
+// prune point. Pruning is strict (bound < floor) so equal-Δ ties are
+// decided by the heap's full comparator, never by the schedule.
+type topNSearch struct {
+	e  *engine
+	g  *Generator
+	st *searchState
+	cl *cluster.Cluster
+	n  int
+
+	partials  int64
+	completes int64
 }
 
 func (s *topNSearch) run(i int, simSum float64) {
+	st := s.st
 	if i == s.n {
-		s.ctr.CompleteMappings++
+		s.completes++
 		dsim := simSum / float64(s.n)
-		dpath := s.g.ev.DeltaPath(s.union.Size())
+		dpath := s.g.ev.DeltaPath(st.union.Size())
 		delta := s.g.ev.Combine(dsim, dpath)
-		if delta < s.floor {
+		if delta < s.e.floor() {
 			return
 		}
-		m := Mapping{
-			Images:    append([]*schema.Node(nil), s.images...),
-			Sims:      append([]float64(nil), s.sims...),
+		images, sims := st.emit(st.images, st.sims)
+		s.e.offer(Mapping{
+			Images:    images,
+			Sims:      sims,
 			ClusterID: s.cl.ID,
 			Score: objective.Score{
-				Delta: delta, Sim: dsim, Path: dpath, Et: s.union.Size(),
+				Delta: delta, Sim: dsim, Path: dpath, Et: st.union.Size(),
 			},
-		}
-		heap.Push(s.heap, m)
-		if s.heap.Len() > s.limit {
-			heap.Pop(s.heap)
-			// The heap is full: the weakest kept mapping is the new bound.
-			s.floor = (*s.heap)[0].Score.Delta
-		}
+		})
 		return
 	}
 	personal := s.g.cands.Personal.NodeAt(i)
 	parent := personal.Parent()
-	for _, c := range s.sets[i] {
-		if s.used[c.Node.ID] {
+	for _, c := range st.sets[i] {
+		if st.used.Has(c.Node.ID) {
 			continue
 		}
-		s.ctr.PartialMappings++
-		var touched []int
+		s.partials++
+		mark := -1
 		if parent != nil {
-			touched = s.union.Push(s.images[parent.Pre], c.Node)
+			mark = st.union.Push(st.images[parent.Pre], c.Node)
 		}
 		bound := s.g.ev.Combine(
-			(simSum+c.Sim+s.suffixBest[i+1])/float64(s.n),
-			s.g.ev.DeltaPath(s.union.Size()),
+			(simSum+c.Sim+st.suffixBest[i+1])/float64(s.n),
+			s.g.ev.DeltaPath(st.union.Size()),
 		)
-		if bound >= s.floor {
-			s.images[i] = c.Node
-			s.sims[i] = c.Sim
-			s.used[c.Node.ID] = true
+		if bound >= s.e.floor() {
+			st.images[i] = c.Node
+			st.sims[i] = c.Sim
+			st.used.Set(c.Node.ID)
 			s.run(i+1, simSum+c.Sim)
-			delete(s.used, c.Node.ID)
+			st.used.Unset(c.Node.ID)
 		}
 		if parent != nil {
-			s.union.Pop(touched)
+			st.union.Pop(mark)
 		}
 	}
-}
-
-// mappingHeap is a min-heap on Δ (worst mapping on top) so the N best
-// survive.
-type mappingHeap []Mapping
-
-func (h mappingHeap) Len() int            { return len(h) }
-func (h mappingHeap) Less(i, j int) bool  { return h[i].Score.Delta < h[j].Score.Delta }
-func (h mappingHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mappingHeap) Push(x interface{}) { *h = append(*h, x.(Mapping)) }
-func (h *mappingHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }

@@ -65,15 +65,30 @@ func TestGenerateTopNStop(t *testing.T) {
 	}
 
 	// A stop after the first cluster abandons the rest but keeps what was
-	// found so far.
+	// found so far. Best-first scheduling decides which cluster goes first,
+	// so identify it from the results and compare against its full search.
 	calls := 0
 	ms, _ = f.gen(Config{Threshold: 0.5}).GenerateTopNStop(clusters, 100, func() bool {
 		calls++
 		return calls > 1
 	})
-	full, _ := f.gen(Config{Threshold: 0.5}).Generate(clusters[:1])
-	if len(ms) != len(full) {
-		t.Errorf("stop after first cluster: %d mappings, want %d (first cluster only)", len(ms), len(full))
+	if len(ms) == 0 {
+		t.Fatal("stop after first cluster kept nothing")
+	}
+	first := ms[0].ClusterID
+	for _, m := range ms {
+		if m.ClusterID != first {
+			t.Fatalf("stop after first cluster returned clusters %d and %d", first, m.ClusterID)
+		}
+	}
+	for _, cl := range clusters {
+		if cl.ID != first {
+			continue
+		}
+		full, _ := f.gen(Config{Threshold: 0.5}).GenerateInCluster(cl)
+		if len(ms) != len(full) {
+			t.Errorf("stop after first cluster: %d mappings, want %d (cluster %d only)", len(ms), len(full), first)
+		}
 	}
 }
 

@@ -1,0 +1,102 @@
+package objective
+
+import (
+	"math/rand"
+	"testing"
+
+	"bellflower/internal/labeling"
+	"bellflower/internal/schema"
+)
+
+// randomTreeIndex builds a random single-tree repository and returns its
+// index plus the node list.
+func randomTreeIndex(rng *rand.Rand, size int) (*labeling.Index, []*schema.Node) {
+	b := schema.NewBuilder("t")
+	nodes := []*schema.Node{b.Root("root")}
+	for i := 1; i < size; i++ {
+		p := nodes[rng.Intn(len(nodes))]
+		nodes = append(nodes, b.Element(p, "n"))
+	}
+	repo := schema.NewRepository()
+	repo.MustAdd(b.MustTree())
+	return labeling.NewIndex(repo), nodes
+}
+
+// Property: DenseEdgeUnion tracks exactly the same |Et| as the map-based
+// EdgeUnion under a random DFS-shaped push/pop workload.
+func TestDenseEdgeUnionMatchesEdgeUnion(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ix, nodes := randomTreeIndex(rng, 3+rng.Intn(40))
+		dense := NewDenseEdgeUnion(ix)
+		ref := NewEdgeUnion(ix)
+
+		type frame struct {
+			mark    int
+			touched []int
+		}
+		var stack []frame
+		for op := 0; op < 400; op++ {
+			push := rng.Intn(3) != 0 // bias toward pushing, like a DFS descent
+			if len(stack) == 0 || (push && len(stack) < 25) {
+				a, b := nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))]
+				stack = append(stack, frame{dense.Push(a, b), ref.Push(a, b)})
+			} else {
+				f := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				dense.Pop(f.mark)
+				ref.Pop(f.touched)
+			}
+			if dense.Size() != ref.Size() {
+				t.Fatalf("seed %d op %d: dense |Et| = %d, map |Et| = %d",
+					seed, op, dense.Size(), ref.Size())
+			}
+		}
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			dense.Pop(f.mark)
+			ref.Pop(f.touched)
+		}
+		if dense.Size() != 0 {
+			t.Fatalf("seed %d: drained union has size %d", seed, dense.Size())
+		}
+	}
+}
+
+func TestDenseEdgeUnionRetarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ix1, nodes1 := randomTreeIndex(rng, 10)
+	ix2, nodes2 := randomTreeIndex(rng, 50)
+
+	u := NewDenseEdgeUnion(ix1)
+	mark := u.Push(nodes1[0], nodes1[len(nodes1)-1])
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Retarget on a non-empty union did not panic")
+			}
+		}()
+		u.Retarget(ix2)
+	}()
+	u.Pop(mark)
+
+	u.Retarget(ix2) // empty: allowed, grows to the larger repository
+	m2 := u.Push(nodes2[0], nodes2[len(nodes2)-1])
+	u.Pop(m2)
+	if u.Size() != 0 {
+		t.Errorf("size %d after retargeted push/pop", u.Size())
+	}
+}
+
+func TestDenseEdgeUnionForeignMark(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ix, _ := randomTreeIndex(rng, 5)
+	u := NewDenseEdgeUnion(ix)
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop with an out-of-range mark did not panic")
+		}
+	}()
+	u.Pop(1)
+}

@@ -134,8 +134,10 @@ type Options struct {
 	// AdaptiveTopN uses the adaptive top-N Branch & Bound (the pruning
 	// threshold rises to the N-th best Δ found so far) instead of
 	// generating everything and truncating. Requires TopN > 0; it returns
-	// the same top-N list with less work. Ignored when a StructureMatcher
-	// or Parallelism is configured (the adaptive bound is sequential).
+	// the same top-N list with less work. Composes with Parallelism: the
+	// workers share one adaptive bound and the result stays bit-identical
+	// to the sequential search for any worker count. Ignored when a
+	// StructureMatcher is configured (re-scoring needs the full list).
 	AdaptiveTopN bool
 }
 
@@ -261,11 +263,12 @@ func (r *Report) Deltas() []float64 {
 // clusters, report) on its own stack. Many goroutines may call Run on one
 // Runner at once — the serve subsystem depends on this.
 type Runner struct {
-	repo  *schema.Repository
-	ix    *labeling.Index
-	view  *labeling.View // non-nil: matching restricted to the view's trees
-	ni    *matcher.NameIndex
-	vocab *matcher.Vocabulary // the match universe grouped by interned key
+	repo     *schema.Repository
+	ix       *labeling.Index
+	view     *labeling.View // non-nil: matching restricted to the view's trees
+	ni       *matcher.NameIndex
+	vocab    *matcher.Vocabulary // the match universe grouped by interned key
+	genStats *mapgen.EngineStats // generation-engine counters, shareable
 }
 
 // NewRunner builds the labelling index and the name-similarity index for
@@ -307,7 +310,7 @@ func NewViewRunnerWithNameIndex(view *labeling.View, ni *matcher.NameIndex) *Run
 }
 
 func newRunner(repo *schema.Repository, ix *labeling.Index, view *labeling.View, ni *matcher.NameIndex) *Runner {
-	r := &Runner{repo: repo, ix: ix, view: view, ni: ni}
+	r := &Runner{repo: repo, ix: ix, view: view, ni: ni, genStats: mapgen.NewEngineStats()}
 	r.vocab = ni.Vocabulary(r.matchNodes())
 	return r
 }
@@ -321,6 +324,20 @@ func (r *Runner) Index() *labeling.Index { return r.ix }
 
 // NameIndex returns the runner's name-similarity index.
 func (r *Runner) NameIndex() *matcher.NameIndex { return r.ni }
+
+// GenStats returns the runner's generation-engine counters.
+func (r *Runner) GenStats() *mapgen.EngineStats { return r.genStats }
+
+// ShareGenStats replaces the runner's generation-engine counters with a
+// shared instance, so every runner of one repository generation (the
+// pre-pass runner and all shard runners) accumulates into one figure —
+// the same sharing discipline the NameIndex kernel counters get from the
+// constructors. Call before the first Run.
+func (r *Runner) ShareGenStats(gs *mapgen.EngineStats) {
+	if gs != nil {
+		r.genStats = gs
+	}
+}
 
 // View returns the shard view the runner is scoped to, or nil for a
 // whole-repository runner.
@@ -535,6 +552,7 @@ func (r *Runner) runGeneration(ctx context.Context, personal *schema.Tree, cands
 	genCfg := mapgen.Config{
 		Threshold: opts.Threshold,
 		Algorithm: opts.Algorithm,
+		Stats:     r.genStats,
 	}
 	gen := mapgen.New(genCfg, r.ix, ev, cands)
 
@@ -570,8 +588,9 @@ func (r *Runner) runGeneration(ctx context.Context, personal *schema.Tree, cands
 		return mapgen.New(genCfg, r.ix, ev, rescored).GenerateInCluster(cl)
 	}
 
-	if opts.AdaptiveTopN && opts.TopN > 0 && opts.StructureMatcher == nil && opts.Parallelism <= 1 {
-		ms, ctr := gen.GenerateTopNStop(useful, opts.TopN, func() bool { return ctx.Err() != nil })
+	if opts.AdaptiveTopN && opts.TopN > 0 && opts.StructureMatcher == nil {
+		ms, ctr := gen.GenerateTopNParallel(useful, opts.TopN, opts.Parallelism,
+			func() bool { return ctx.Err() != nil })
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -620,7 +639,14 @@ func (r *Runner) runGeneration(ctx context.Context, personal *schema.Tree, cands
 			perCluster[i], perCounter[i] = generateIn(cl)
 		}
 	}
-	var all []mapgen.Mapping
+	found := 0
+	for i := range perCluster {
+		found += len(perCluster[i])
+	}
+	var all []mapgen.Mapping // stays nil when nothing was found (wire round-trips as nil)
+	if found > 0 {
+		all = make([]mapgen.Mapping, 0, found)
+	}
 	for i := range useful {
 		rep.Counters.Add(perCounter[i])
 		if len(perCluster[i]) > 0 && rep.FirstGoodAfter == 0 {

@@ -149,3 +149,51 @@ func TestAdaptiveTopN(t *testing.T) {
 			adaptiveRep.Counters.PartialMappings, truncRep.Counters.PartialMappings)
 	}
 }
+
+// The adaptive top-N path composes with Parallelism: any worker count
+// returns the same mappings in the same order as the sequential adaptive
+// run (the engine's shared-bound determinism carried through the
+// pipeline).
+func TestAdaptiveTopNParallel(t *testing.T) {
+	r := NewRunner(smallRepo())
+	personal := personBooks()
+	opts := DefaultOptions()
+	opts.MinSim = 0.3
+	opts.Variant = VariantMedium
+	opts.TopN = 5
+	opts.AdaptiveTopN = true
+	seqRep, err := r.Run(personal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqRep.Mappings) == 0 {
+		t.Fatal("fixture found no mappings")
+	}
+	for _, par := range []int{2, 4, 8} {
+		popts := opts
+		popts.Parallelism = par
+		parRep, err := r.Run(personal, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parRep.Mappings) != len(seqRep.Mappings) {
+			t.Fatalf("parallelism %d: %d mappings, want %d", par, len(parRep.Mappings), len(seqRep.Mappings))
+		}
+		for i := range seqRep.Mappings {
+			a, b := seqRep.Mappings[i], parRep.Mappings[i]
+			if a.Score != b.Score || a.ClusterID != b.ClusterID {
+				t.Fatalf("parallelism %d rank %d: %+v vs %+v", par, i, a.Score, b.Score)
+			}
+			for j := range a.Images {
+				if a.Images[j] != b.Images[j] {
+					t.Fatalf("parallelism %d rank %d image %d differs", par, i, j)
+				}
+			}
+		}
+		if parRep.Counters.SearchSpace != seqRep.Counters.SearchSpace ||
+			parRep.Counters.UsefulClusters != seqRep.Counters.UsefulClusters {
+			t.Errorf("parallelism %d: exact counters differ: %+v vs %+v",
+				par, parRep.Counters, seqRep.Counters)
+		}
+	}
+}

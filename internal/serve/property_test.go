@@ -187,6 +187,37 @@ func TestShardedEquivalenceProperty(t *testing.T) {
 							tc.seed, strategy, shards, k)
 					}
 				}
+
+				// The adaptive parallel top-N engine must be invisible in the
+				// results: same Δ sequence as plain truncation, every mapping
+				// from the unsharded full result, for any worker count.
+				adaptive := truncated
+				adaptive.AdaptiveTopN = true
+				adaptive.Parallelism = 1 + shards%4
+				repAdaptive, err := r.Match(context.Background(), personal, adaptive)
+				if err != nil {
+					r.Close()
+					t.Fatalf("seed %d %v shards=%d adaptive: %v", tc.seed, strategy, shards, err)
+				}
+				ad := repAdaptive.Deltas()
+				if len(ad) != len(dd) {
+					t.Fatalf("seed %d %v shards=%d: adaptive topN found %d mappings, want %d",
+						tc.seed, strategy, shards, len(ad), len(dd))
+				}
+				for i := range dd {
+					if dd[i] != ad[i] {
+						t.Errorf("seed %d %v shards=%d: adaptive topN rank %d Δ=%v, want %v",
+							tc.seed, strategy, shards, i, ad[i], dd[i])
+					}
+				}
+				seenAd := make(map[string]int)
+				for _, k := range reportKeys(repAdaptive) {
+					seenAd[k]++
+					if seenAd[k] > fullKeys[k] {
+						t.Errorf("seed %d %v shards=%d: adaptive topN mapping %s not in the unsharded result",
+							tc.seed, strategy, shards, k)
+					}
+				}
 				r.Close()
 			}
 		}
@@ -216,22 +247,33 @@ func TestShardedEquivalenceTopNDeltas(t *testing.T) {
 		}
 		for _, strategy := range []PartitionStrategy{PartitionBalanced, PartitionClustered} {
 			for _, shards := range []int{2, 5, 8} {
-				r := NewRouterWithPartition(repo, shards, Config{Workers: 2}, strategy)
-				rep, err := r.Match(context.Background(), personal, o)
-				if err != nil {
-					r.Close()
-					t.Fatal(err)
-				}
-				dd, sd := direct.Deltas(), rep.Deltas()
-				if len(dd) != len(sd) {
-					t.Fatalf("topN=%d %v shards=%d: %d mappings, want %d", topN, strategy, shards, len(sd), len(dd))
-				}
-				for i := range dd {
-					if dd[i] != sd[i] {
-						t.Errorf("topN=%d %v shards=%d rank %d: Δ=%v, want %v", topN, strategy, shards, i, sd[i], dd[i])
+				// Plain truncation and the adaptive parallel engine must
+				// produce the same Δ sequence through the sharded path.
+				for _, adaptive := range []bool{false, true} {
+					ro := o
+					if adaptive {
+						ro.AdaptiveTopN = true
+						ro.Parallelism = 4
 					}
+					r := NewRouterWithPartition(repo, shards, Config{Workers: 2}, strategy)
+					rep, err := r.Match(context.Background(), personal, ro)
+					if err != nil {
+						r.Close()
+						t.Fatal(err)
+					}
+					dd, sd := direct.Deltas(), rep.Deltas()
+					if len(dd) != len(sd) {
+						t.Fatalf("topN=%d %v shards=%d adaptive=%v: %d mappings, want %d",
+							topN, strategy, shards, adaptive, len(sd), len(dd))
+					}
+					for i := range dd {
+						if dd[i] != sd[i] {
+							t.Errorf("topN=%d %v shards=%d adaptive=%v rank %d: Δ=%v, want %v",
+								topN, strategy, shards, adaptive, i, sd[i], dd[i])
+						}
+					}
+					r.Close()
 				}
-				r.Close()
 			}
 		}
 	}

@@ -290,6 +290,15 @@ func NewRouterWithShardBackends(ix *labeling.Index, views []*labeling.View, back
 // executions.
 func (r *Router) enablePrepass(ix *labeling.Index, ni *matcher.NameIndex, views []*labeling.View, gov *memGovernor, cfg Config, prepassConc int) {
 	r.fullRunner = pipeline.NewRunnerFromIndexes(ix, ni)
+	// One EngineStats across the pre-pass runner and every local shard
+	// runner, so generation counters accumulate into a single figure per
+	// repository generation (the NameIndex kernel-counter discipline).
+	gs := r.fullRunner.GenStats()
+	for _, s := range r.locals {
+		if s != nil {
+			s.runner.ShareGenStats(gs)
+		}
+	}
 	r.views = views
 	r.gov = gov
 	r.partial.Store(cfg.PartialResults)
@@ -706,6 +715,7 @@ func (r *Router) Snapshot() (Stats, []Stats) {
 	total.Stages = mergeStages(total.Stages, r.routerStages())
 	total.IndexBytes = r.indexBytes()
 	total.NameIndexBytes, total.DistinctVocabRatio, total.SimCallsSaved, total.MatchPrunes = r.nameIndexStats()
+	total.PartialMappings, total.ClustersSkippedByBound, total.FloorTightenings, total.GenPoolReuses = r.genStats()
 	total.CacheBytes, total.CacheByteBudget, total.CacheEvictions, total.CacheExpired = r.governorStats()
 	// Remote shards' caches and indexes are resident in THEIR processes;
 	// their snapshots carry the figures, so the rollup adds them on top of
@@ -722,6 +732,10 @@ func (r *Router) Snapshot() (Stats, []Stats) {
 		total.NameIndexBytes += st.NameIndexBytes
 		total.SimCallsSaved += st.SimCallsSaved
 		total.MatchPrunes += st.MatchPrunes
+		total.PartialMappings += st.PartialMappings
+		total.ClustersSkippedByBound += st.ClustersSkippedByBound
+		total.FloorTightenings += st.FloorTightenings
+		total.GenPoolReuses += st.GenPoolReuses
 		if st.DistinctVocabRatio > total.DistinctVocabRatio {
 			total.DistinctVocabRatio = st.DistinctVocabRatio
 		}
@@ -822,6 +836,36 @@ func (r *Router) nameIndexStats() (bytes int64, ratio float64, saved, prunes int
 		}
 	}
 	return bytes, ratio, saved, prunes
+}
+
+// genStats rolls the generation-engine counters up across the router,
+// counting each distinct LOCAL EngineStats exactly once — the pre-pass
+// runner and every view-backed shard runner share one (wired in
+// enablePrepass), so the sharded figures equal the unsharded ones. Remote
+// shards' figures arrive through their Stats snapshots and are added on
+// top by Snapshot, like the other resident-process counters.
+func (r *Router) genStats() (partials, skipped, tightenings, reuses int64) {
+	seen := make(map[*mapgen.EngineStats]bool, len(r.locals)+1)
+	add := func(gs *mapgen.EngineStats) {
+		if gs == nil || seen[gs] {
+			return
+		}
+		seen[gs] = true
+		snap := gs.Snapshot()
+		partials += snap.PartialMappings
+		skipped += snap.ClustersSkippedByBound
+		tightenings += snap.FloorTightenings
+		reuses += snap.PoolReuses
+	}
+	if r.fullRunner != nil {
+		add(r.fullRunner.GenStats())
+	}
+	for _, s := range r.locals {
+		if s != nil {
+			add(s.runner.GenStats())
+		}
+	}
+	return partials, skipped, tightenings, reuses
 }
 
 // ShardStats returns one snapshot per shard, in shard order. Snapshots

@@ -556,6 +556,11 @@ func (s *Service) Stats() Stats {
 		st.SimCallsSaved = ks.SavedCalls
 		st.MatchPrunes = ks.PruneHits
 	}
+	gs := s.runner.GenStats().Snapshot()
+	st.PartialMappings = gs.PartialMappings
+	st.ClustersSkippedByBound = gs.ClustersSkippedByBound
+	st.FloorTightenings = gs.FloorTightenings
+	st.GenPoolReuses = gs.PoolReuses
 	if pc := s.projc.Load(); pc != nil {
 		st.ProjectionCacheHits = pc.hits.Load()
 		st.ProjectionCacheMisses = pc.misses.Load()

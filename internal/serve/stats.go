@@ -239,6 +239,19 @@ type Stats struct {
 	SimCallsSaved int64 `json:"sim_calls_saved"`
 	MatchPrunes   int64 `json:"match_prunes"`
 
+	// Generation-engine counters, accumulated on one EngineStats shared by
+	// every runner of a repository generation (the same sharing discipline
+	// as SimCallsSaved/MatchPrunes): PartialMappings is the paper's
+	// machine-independent work indicator summed across requests;
+	// ClustersSkippedByBound counts useful clusters the adaptive top-N
+	// engine dropped before building their restricted sets;
+	// FloorTightenings counts rises of the shared adaptive Δ-floor;
+	// GenPoolReuses counts warm search-state acquisitions from the pool.
+	PartialMappings        int64 `json:"partial_mappings"`
+	ClustersSkippedByBound int64 `json:"clusters_skipped_by_bound"`
+	FloorTightenings       int64 `json:"floor_tightenings"`
+	GenPoolReuses          int64 `json:"gen_pool_reuses"`
+
 	// PartialResults counts fanned-out requests served as Incomplete
 	// merges under the partial-results option (router-level; always 0
 	// for a plain Service and in per-shard snapshots).
@@ -421,8 +434,9 @@ func mergeStages(dst map[string]LatencyStats, src map[string]LatencyStats) map[s
 //
 // Gauges and counters of possibly-shared resources — IndexBytes,
 // NameIndexBytes, DistinctVocabRatio, SimCallsSaved, MatchPrunes,
-// CacheByteBudget, CacheEvictions, CacheExpired — merge as the maximum,
-// not the sum:
+// PartialMappings, ClustersSkippedByBound, FloorTightenings,
+// GenPoolReuses, CacheByteBudget, CacheEvictions, CacheExpired — merge as
+// the maximum, not the sum:
 // view-backed shards of one router share a single index and a single
 // memory governor, and summing would multiply one resident structure by
 // the shard count. The max is only a fallback for bare snapshot merging
@@ -458,6 +472,18 @@ func MergeStats(ss ...Stats) Stats {
 		}
 		if st.MatchPrunes > out.MatchPrunes {
 			out.MatchPrunes = st.MatchPrunes
+		}
+		if st.PartialMappings > out.PartialMappings {
+			out.PartialMappings = st.PartialMappings
+		}
+		if st.ClustersSkippedByBound > out.ClustersSkippedByBound {
+			out.ClustersSkippedByBound = st.ClustersSkippedByBound
+		}
+		if st.FloorTightenings > out.FloorTightenings {
+			out.FloorTightenings = st.FloorTightenings
+		}
+		if st.GenPoolReuses > out.GenPoolReuses {
+			out.GenPoolReuses = st.GenPoolReuses
 		}
 		out.PartialResults += st.PartialResults
 		out.PrePassFallbacks += st.PrePassFallbacks

@@ -158,6 +158,12 @@ func TestDistributedEquivalence(t *testing.T) {
 		if len(direct.Mappings) == 0 {
 			t.Logf("seed %d: unsharded run found no mappings; equivalence still checked", tc.seed)
 		}
+		topNOpts := opts
+		topNOpts.TopN = 5
+		directTopN, err := bellflower.NewMatcher(freshRepo(t, tc.nodes, tc.seed)).Match(personal, topNOpts)
+		if err != nil {
+			t.Fatalf("seed %d topN: %v", tc.seed, err)
+		}
 
 		for _, strategy := range []bellflower.PartitionStrategy{bellflower.PartitionBalanced, bellflower.PartitionClustered} {
 			for _, shards := range []int{2, 3, 5} {
@@ -181,6 +187,28 @@ func TestDistributedEquivalence(t *testing.T) {
 				if rep.MappingElements != direct.MappingElements {
 					t.Errorf("seed %d %v shards=%d: mapping elements %d, want %d",
 						tc.seed, strategy, shards, rep.MappingElements, direct.MappingElements)
+				}
+				// The adaptive parallel top-N engine, running inside the
+				// remote shard processes, must carry the same Δ sequence
+				// across the wire as plain unsharded truncation.
+				adaptive := topNOpts
+				adaptive.AdaptiveTopN = true
+				adaptive.Parallelism = 3
+				repAd, err := backend.Match(context.Background(), personal, adaptive)
+				if err != nil {
+					backend.Close()
+					t.Fatalf("seed %d %v shards=%d adaptive: %v", tc.seed, strategy, shards, err)
+				}
+				dd, ad := directTopN.Deltas(), repAd.Deltas()
+				if len(dd) != len(ad) {
+					t.Fatalf("seed %d %v shards=%d: adaptive topN found %d mappings, want %d",
+						tc.seed, strategy, shards, len(ad), len(dd))
+				}
+				for i := range dd {
+					if dd[i] != ad[i] {
+						t.Errorf("seed %d %v shards=%d: adaptive topN rank %d Δ=%v, want %v",
+							tc.seed, strategy, shards, i, ad[i], dd[i])
+					}
 				}
 				backend.Close()
 				fleet.stop()
